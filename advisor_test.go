@@ -1,0 +1,111 @@
+package msync_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"msync"
+	"msync/internal/corpus"
+)
+
+func TestRecommendUnrelatedGoesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	old := corpus.RandomText(rng, 50_000)
+	cur := corpus.RandomText(rng, 50_000)
+	adv := msync.Recommend(old, cur, msync.LinkModel{})
+	if adv.Similarity > 0.1 {
+		t.Fatalf("similarity %.2f for unrelated data", adv.Similarity)
+	}
+	if adv.Config.MaxBlockSize != adv.Config.MinBlockSize {
+		t.Fatalf("expected a one-shot config, got %+v", adv.Config)
+	}
+	if !adv.Config.Adaptive {
+		t.Fatal("adaptive backstop missing")
+	}
+	if adv.Config.Validate() != nil {
+		t.Fatal("invalid recommendation")
+	}
+}
+
+func TestRecommendSimilarGoesDeep(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	old := corpus.SourceText(rng, 80_000)
+	cur := corpus.EditModel{BurstsPer32KB: 1, BurstEdits: 3, EditSize: 30, BurstSpread: 200}.Apply(rng, old)
+	adv := msync.Recommend(old, cur, msync.LinkModel{})
+	if adv.Similarity < 0.6 {
+		t.Fatalf("similarity %.2f for a lightly edited file", adv.Similarity)
+	}
+	def := msync.DefaultConfig()
+	if adv.Config.MinBlockSize >= def.MinBlockSize && adv.Config.ContMinBlock >= def.ContMinBlock {
+		t.Fatalf("expected deeper recursion than default: %+v", adv.Config)
+	}
+	if adv.Config.Validate() != nil {
+		t.Fatal("invalid recommendation")
+	}
+}
+
+func TestRecommendHighLatencyLimitsRoundtrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	old := corpus.SourceText(rng, 80_000)
+	cur := corpus.EditModel{BurstsPer32KB: 2, BurstEdits: 3, EditSize: 30, BurstSpread: 200}.Apply(rng, old)
+
+	sat := msync.LinkModel{DownBps: 1_250_000, UpBps: 1_250_000, RTT: 600 * time.Millisecond}
+	adv := msync.Recommend(old, cur, sat)
+	if adv.Config.MaxBlockSize != adv.Config.MinBlockSize {
+		t.Fatalf("satellite link should get one-shot, got %+v", adv.Config)
+	}
+
+	moderate := msync.LinkModel{DownBps: 1_250_000, UpBps: 1_250_000, RTT: 80 * time.Millisecond}
+	adv = msync.Recommend(old, cur, moderate)
+	if adv.Config.Verify.Batches != 1 {
+		t.Fatalf("moderate-latency link should cap verification batches, got %+v", adv.Config.Verify)
+	}
+}
+
+// TestRecommendationsWork: every recommendation must produce a working sync
+// and beat the worst-matched preset on its own scenario.
+func TestRecommendationsWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	scenarios := []struct {
+		name     string
+		old, cur []byte
+		link     msync.LinkModel
+	}{
+		{"unrelated", corpus.RandomText(rng, 60_000), corpus.RandomText(rng, 60_000), msync.LinkModel{}},
+		{"similar-slow", nil, nil, msync.LinkModel{DownBps: 125_000, UpBps: 32_000, RTT: 80 * time.Millisecond}},
+	}
+	base := corpus.SourceText(rng, 60_000)
+	scenarios[1].old = base
+	scenarios[1].cur = corpus.EditModel{BurstsPer32KB: 1, BurstEdits: 3, EditSize: 30, BurstSpread: 200}.Apply(rng, base)
+
+	for _, sc := range scenarios {
+		adv := msync.Recommend(sc.old, sc.cur, sc.link)
+		res, err := msync.SyncFile(sc.old, sc.cur, adv.Config)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.name, err)
+		}
+		if !bytes.Equal(res.Data, sc.cur) {
+			t.Fatalf("%s: reconstruction mismatch", sc.name)
+		}
+		if adv.Rationale == "" {
+			t.Fatalf("%s: missing rationale", sc.name)
+		}
+		t.Logf("%s: sim=%.2f cost=%d rationale=%q", sc.name, adv.Similarity, res.Costs.Total(), adv.Rationale)
+	}
+}
+
+func TestRecommendEdgeInputs(t *testing.T) {
+	for _, tc := range [][2][]byte{
+		{nil, nil},
+		{nil, []byte("new")},
+		{[]byte("old"), nil},
+		{[]byte("tiny"), []byte("tiny")},
+	} {
+		adv := msync.Recommend(tc[0], tc[1], msync.LinkModel{})
+		if err := adv.Config.Validate(); err != nil {
+			t.Fatalf("edge input produced invalid config: %v", err)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package msync_test
+
+// End-to-end test of the msync CLI: builds the binary, serves a directory
+// over loopback TCP, and synchronizes an outdated replica directory.
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"msync/internal/corpus"
+	"msync/internal/dirio"
+)
+
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "msync-bin")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/msync")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Skipf("cannot build CLI (no toolchain?): %v\n%s", err, out)
+	}
+	return bin
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback: %v", err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func TestCLISyncDirectories(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the CLI")
+	}
+	bin := buildCLI(t)
+
+	v1, v2 := corpus.GCCProfile(0.04).Generate(5)
+	serverDir, clientDir := t.TempDir(), t.TempDir()
+	if err := dirio.Apply(serverDir, nil, v2.Map()); err != nil {
+		t.Fatal(err)
+	}
+	if err := dirio.Apply(clientDir, nil, v1.Map()); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := freePort(t)
+	server := exec.Command(bin, "-serve", addr, "-dir", serverDir)
+	var serverOut bytes.Buffer
+	server.Stdout, server.Stderr = &serverOut, &serverOut
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		server.Process.Kill()
+		server.Wait()
+	}()
+
+	// Wait for the listener.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never listened: %s", serverOut.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	client := exec.Command(bin, "-connect", addr, "-dir", clientDir)
+	out, err := client.CombinedOutput()
+	if err != nil {
+		t.Fatalf("client failed: %v\n%s", err, out)
+	}
+
+	got, err := dirio.Load(clientDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := v2.Map()
+	if len(got) != len(want) {
+		t.Fatalf("client has %d files, want %d\noutput:\n%s", len(got), len(want), out)
+	}
+	for path, data := range want {
+		if !bytes.Equal(got[path], data) {
+			t.Fatalf("content mismatch for %s", path)
+		}
+	}
+	t.Logf("CLI sync output:\n%s", out)
+}
+
+func TestCLIDryRunLeavesDirUntouched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the CLI")
+	}
+	bin := buildCLI(t)
+	serverDir, clientDir := t.TempDir(), t.TempDir()
+	if err := dirio.Apply(serverDir, nil, map[string][]byte{"f.txt": []byte("new version")}); err != nil {
+		t.Fatal(err)
+	}
+	orig := map[string][]byte{"f.txt": []byte("old version"), "stale.txt": []byte("x")}
+	if err := dirio.Apply(clientDir, nil, orig); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := freePort(t)
+	server := exec.Command(bin, "-serve", addr, "-dir", serverDir)
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		server.Process.Kill()
+		server.Wait()
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never listened")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	out, err := exec.Command(bin, "-connect", addr, "-dir", clientDir, "-dry").CombinedOutput()
+	if err != nil {
+		t.Fatalf("dry run failed: %v\n%s", err, out)
+	}
+	got, _ := dirio.Load(clientDir)
+	if len(got) != 2 || string(got["f.txt"]) != "old version" {
+		t.Fatalf("dry run modified the directory: %v", got)
+	}
+	if !bytes.Contains(out, []byte("total")) {
+		t.Fatalf("dry run did not report costs:\n%s", out)
+	}
+}
+
+func TestCLIPush(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the CLI")
+	}
+	bin := buildCLI(t)
+	replicaDir, sourceDir := t.TempDir(), t.TempDir()
+	if err := dirio.Apply(replicaDir, nil, map[string][]byte{"doc.txt": []byte(fmt.Sprint("v1 ", bytes.Repeat([]byte("x"), 2000)))}); err != nil {
+		t.Fatal(err)
+	}
+	newContent := map[string][]byte{
+		"doc.txt": append([]byte("v2 "), bytes.Repeat([]byte("x"), 2000)...),
+		"new.txt": []byte("added"),
+	}
+	if err := dirio.Apply(sourceDir, nil, newContent); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := freePort(t)
+	server := exec.Command(bin, "-serve", addr, "-dir", replicaDir, "-allow-push")
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		server.Process.Kill()
+		server.Wait()
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never listened")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	out, err := exec.Command(bin, "-connect", addr, "-dir", sourceDir, "-push").CombinedOutput()
+	if err != nil {
+		t.Fatalf("push failed: %v\n%s", err, out)
+	}
+	// The server persists asynchronously after the session; poll briefly.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		got, _ := dirio.Load(replicaDir)
+		if len(got) == 2 && bytes.Equal(got["doc.txt"], newContent["doc.txt"]) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica not updated: %v", got)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

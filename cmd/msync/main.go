@@ -1,0 +1,167 @@
+// Command msync synchronizes directory trees over TCP using the multi-round
+// map-construction protocol.
+//
+// Server (holds the current data):
+//
+//	msync -serve :9440 -dir /data/current
+//
+// Client (holds an outdated copy; updates it in place):
+//
+//	msync -connect host:9440 -dir /data/replica
+//	msync -connect host:9440 -dir /data/replica -dry   # report cost only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"msync"
+	"msync/internal/dirio"
+)
+
+func main() {
+	var (
+		serve     = flag.String("serve", "", "listen address for server mode (e.g. :9440)")
+		connect   = flag.String("connect", "", "server address for client mode")
+		dir       = flag.String("dir", ".", "directory to serve or update")
+		dry       = flag.Bool("dry", false, "client: do not write, just report cost")
+		basic     = flag.Bool("basic", false, "use the basic protocol (no continuation/group testing)")
+		minB      = flag.Int("bmin", 0, "override minimum block size (power of two)")
+		tree      = flag.Bool("tree", false, "use merkle-tree change detection instead of a flat manifest")
+		timeout   = flag.Duration("timeout", 0, "client: overall session deadline (0 = none)")
+		jsonOut   = flag.Bool("json", false, "client: print costs as JSON")
+		push      = flag.Bool("push", false, "client: push local (newer) data to the server instead of pulling")
+		allowPush = flag.Bool("allow-push", false, "server: accept pushes and update -dir")
+	)
+	flag.Parse()
+
+	switch {
+	case *serve != "" && *connect != "":
+		log.Fatal("msync: -serve and -connect are mutually exclusive")
+	case *serve != "":
+		runServer(*serve, *dir, buildConfig(*basic, *minB), *allowPush)
+	case *connect != "" && *push:
+		runPush(*connect, *dir, buildConfig(*basic, *minB), *tree, *timeout)
+	case *connect != "":
+		runClient(*connect, *dir, *dry, *tree, *timeout, *jsonOut)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func buildConfig(basic bool, minBlock int) msync.Config {
+	cfg := msync.DefaultConfig()
+	if basic {
+		cfg = msync.BasicConfig()
+	}
+	if minBlock > 0 {
+		cfg.MinBlockSize = minBlock
+	}
+	return cfg
+}
+
+func runServer(addr, dir string, cfg msync.Config, allowPush bool) {
+	files, err := dirio.Load(dir)
+	if err != nil {
+		log.Fatalf("msync: loading %s: %v", dir, err)
+	}
+	total := 0
+	for _, d := range files {
+		total += len(d)
+	}
+	srv, err := msync.NewServer(files, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if allowPush {
+		before := files
+		srv.EnablePush(func(updated map[string][]byte) {
+			if err := dirio.Apply(dir, before, updated); err != nil {
+				log.Printf("msync: persisting push: %v", err)
+				return
+			}
+			before = updated
+			log.Printf("msync: adopted pushed update (%d files)", len(updated))
+		})
+	}
+	log.Printf("msync: serving %d files (%d bytes) from %s on %s", len(files), total, dir, addr)
+	log.Fatal(srv.ListenAndServe(addr))
+}
+
+func runPush(addr, dir string, cfg msync.Config, tree bool, timeout time.Duration) {
+	files, err := dirio.Load(dir)
+	if err != nil {
+		log.Fatalf("msync: loading %s: %v", dir, err)
+	}
+	srv, err := msync.NewServer(files, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.SetTreeManifest(tree)
+	conn, err := dial(addr, timeout)
+	if err != nil {
+		log.Fatalf("msync: dial: %v", err)
+	}
+	defer conn.Close()
+	costs, err := srv.Push(conn)
+	if err != nil {
+		log.Fatalf("msync: push: %v", err)
+	}
+	fmt.Println(costs.String())
+	log.Printf("msync: pushed %d files to %s", len(files), addr)
+}
+
+// dial connects to addr; a non-zero timeout bounds both the dial and the
+// whole session (an absolute connection deadline).
+func dial(addr string, timeout time.Duration) (net.Conn, error) {
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	return conn, nil
+}
+
+func runClient(addr, dir string, dry, tree bool, timeout time.Duration, jsonOut bool) {
+	files, err := dirio.Load(dir)
+	if err != nil {
+		log.Fatalf("msync: loading %s: %v", dir, err)
+	}
+	conn, err := dial(addr, timeout)
+	if err != nil {
+		log.Fatalf("msync: dial: %v", err)
+	}
+	defer conn.Close()
+	res, err := msync.NewClient(files).SetTreeManifest(tree).Sync(conn)
+	if err != nil {
+		log.Fatalf("msync: sync: %v", err)
+	}
+	if jsonOut {
+		enc, err := json.Marshal(res.Costs)
+		if err != nil {
+			log.Fatalf("msync: encoding costs: %v", err)
+		}
+		fmt.Println(string(enc))
+	} else {
+		fmt.Println(res.Costs.String())
+	}
+	if dry {
+		return
+	}
+	if err := dirio.Apply(dir, files, res.Files); err != nil {
+		log.Fatalf("msync: writing results: %v", err)
+	}
+	log.Printf("msync: %s updated (%d files)", dir, len(res.Files))
+}

@@ -1,0 +1,61 @@
+package msync_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"msync"
+)
+
+// ExampleSyncFile measures the wire cost of synchronizing one file whose
+// versions differ by a small edit.
+func ExampleSyncFile() {
+	old := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog\n", 500))
+	current := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog\n", 500) +
+		"appendix: one new line\n")
+
+	res, err := msync.SyncFile(old, current, msync.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reconstructed:", len(res.Data) == len(current))
+	fmt.Println("cheap:", res.Costs.Total() < int64(len(current))/20)
+	// Output:
+	// reconstructed: true
+	// cheap: true
+}
+
+// Example_collection synchronizes a small collection over an in-memory pipe.
+func Example_collection() {
+	serverFiles := map[string][]byte{
+		"a.txt": []byte(strings.Repeat("stable content ", 200) + "v2"),
+		"b.txt": []byte("brand new"),
+	}
+	clientFiles := map[string][]byte{
+		"a.txt": []byte(strings.Repeat("stable content ", 200) + "v1"),
+		"c.txt": []byte("deleted on the server"),
+	}
+
+	srv, err := msync.NewServer(serverFiles, msync.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	serverEnd, clientEnd := msync.Pipe()
+	go func() {
+		defer serverEnd.Close()
+		srv.Serve(serverEnd)
+	}()
+	res, err := msync.NewClient(clientFiles).Sync(clientEnd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("files:", len(res.Files))
+	fmt.Println("a updated:", string(res.Files["a.txt"][len(res.Files["a.txt"])-2:]))
+	_, hasStale := res.Files["c.txt"]
+	fmt.Println("stale removed:", !hasStale)
+	// Output:
+	// files: 2
+	// a updated: v2
+	// stale removed: true
+}

@@ -1,0 +1,69 @@
+// Backup: incremental backup of a source tree over real TCP, comparing the
+// msync protocol's cost against the rsync baseline for the same update.
+//
+//	go run ./examples/backup
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"msync"
+	"msync/internal/corpus"
+	"msync/internal/md4"
+	"msync/internal/rsync"
+)
+
+func main() {
+	// "Yesterday's backup" (v1) and today's working tree (v2).
+	v1, v2 := corpus.GCCProfile(0.2).Generate(7)
+	backup, today := v1.Map(), v2.Map()
+	size := 0
+	for _, d := range today {
+		size += len(d)
+	}
+
+	// Serve today's tree over loopback TCP.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("backup: listen: %v", err)
+	}
+	defer l.Close()
+	srv, err := msync.NewServer(today, msync.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.ServeListener(l)
+
+	// Update the backup replica.
+	res, err := msync.NewClient(backup).SyncTCP(l.Addr().String())
+	if err != nil {
+		log.Fatalf("backup: sync: %v", err)
+	}
+	for path, want := range today {
+		if md4.Sum(res.Files[path]) != md4.Sum(want) {
+			log.Fatalf("backup: %s differs after sync", path)
+		}
+	}
+
+	fmt.Printf("backed up %d files (%.1f MB) over TCP\n\n", len(today), float64(size)/(1<<20))
+	fmt.Println("msync cost:")
+	fmt.Println(res.Costs.String())
+
+	// The same update via the rsync algorithm, for comparison.
+	var rsC2S, rsS2C int
+	for path, cur := range today {
+		old := backup[path]
+		if old != nil && md4.Sum(old) == md4.Sum(cur) {
+			continue
+		}
+		r := rsync.Sync(old, cur, rsync.DefaultBlockSize, rsync.DefaultStrongLen)
+		rsC2S += r.C2S
+		rsS2C += r.S2C
+	}
+	fmt.Printf("\nrsync for the same update: %d bytes (c2s %d + s2c %d)\n",
+		rsC2S+rsS2C, rsC2S, rsS2C)
+	fmt.Printf("msync saves %.1fx over rsync\n",
+		float64(rsC2S+rsS2C)/float64(res.Costs.Total()))
+}

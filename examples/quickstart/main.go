@@ -1,0 +1,60 @@
+// Quickstart: synchronize a small collection between an in-process server
+// and client, and print what it cost.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"msync"
+)
+
+func main() {
+	// The server holds the current versions.
+	serverFiles := map[string][]byte{
+		"docs/readme.txt": []byte(strings.Repeat("All work and no play makes Jack a dull boy.\n", 200) +
+			"THE END (revised edition)\n"),
+		"docs/new.txt": []byte("This file did not exist at the client yet.\n"),
+	}
+	// The client holds an outdated copy.
+	clientFiles := map[string][]byte{
+		"docs/readme.txt": []byte(strings.Repeat("All work and no play makes Jack a dull boy.\n", 200) +
+			"THE END\n"),
+		"docs/stale.txt": []byte("This file was deleted on the server.\n"),
+	}
+
+	srv, err := msync.NewServer(serverFiles, msync.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	serverEnd, clientEnd := msync.Pipe()
+	go func() {
+		defer serverEnd.Close()
+		if _, err := srv.Serve(serverEnd); err != nil {
+			log.Printf("server: %v", err)
+		}
+	}()
+
+	res, err := msync.NewClient(clientFiles).Sync(clientEnd)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("synchronized files:")
+	for path, data := range res.Files {
+		fmt.Printf("  %-18s %5d bytes\n", path, len(data))
+	}
+	fmt.Println("\ncost accounting:")
+	fmt.Println(res.Costs.String())
+
+	collectionSize := 0
+	for _, d := range serverFiles {
+		collectionSize += len(d)
+	}
+	fmt.Printf("\ntransferred %d bytes to update a %d-byte collection (%.1f%%)\n",
+		res.Costs.Total(), collectionSize,
+		100*float64(res.Costs.Total())/float64(collectionSize))
+}

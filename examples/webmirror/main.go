@@ -1,0 +1,71 @@
+// Webmirror: the paper's motivating application (§6.3). A client maintains a
+// mirror of a large, nightly-changing web page collection over a slow link,
+// synchronizing every night and printing the bandwidth bill — including the
+// estimated transfer time on a DSL-class link.
+//
+//	go run ./examples/webmirror [-pages 500] [-nights 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"msync"
+	"msync/internal/corpus"
+)
+
+func main() {
+	var (
+		pages  = flag.Int("pages", 400, "number of pages in the collection")
+		nights = flag.Int("nights", 5, "number of nightly syncs to simulate")
+	)
+	flag.Parse()
+
+	profile := corpus.DefaultWebProfile(float64(*pages) / 1000)
+	web := corpus.NewWebCollection(profile, 2026)
+
+	// A DSL-class asymmetric link: 1 Mbit/s down, 256 kbit/s up, 80 ms RTT.
+	link := msync.LinkModel{DownBps: 125_000, UpBps: 32_000, RTT: 80 * time.Millisecond}
+
+	mirror := web.Version(0).Map()
+	size := 0
+	for _, d := range mirror {
+		size += len(d)
+	}
+	fmt.Printf("mirroring %d pages (%.1f MB) nightly over simulated DSL\n\n",
+		len(mirror), float64(size)/(1<<20))
+	fmt.Printf("%-8s %12s %10s %10s %10s %12s\n",
+		"night", "bytes", "%of coll", "files", "rtrips", "est. time")
+
+	var cumulative int64
+	for night := 1; night <= *nights; night++ {
+		current := web.Version(night).Map()
+		srv, err := msync.NewServer(current, msync.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		serverEnd, clientEnd := msync.Pipe()
+		go func() {
+			defer serverEnd.Close()
+			if _, err := srv.Serve(serverEnd); err != nil {
+				log.Printf("server: %v", err)
+			}
+		}()
+		res, err := msync.NewClient(mirror).Sync(clientEnd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mirror = res.Files
+		cumulative += res.Costs.Total()
+		fmt.Printf("%-8d %12d %9.2f%% %10d %10d %12s\n",
+			night, res.Costs.Total(),
+			100*float64(res.Costs.Total())/float64(size),
+			res.Costs.FilesSynced+res.Costs.FilesFull,
+			res.Costs.Roundtrips,
+			link.Duration(res.Costs).Truncate(10*time.Millisecond))
+	}
+	fmt.Printf("\ntotal over %d nights: %.1f KB (collection is %.1f KB)\n",
+		*nights, float64(cumulative)/1024, float64(size)/1024)
+}

@@ -1,0 +1,3 @@
+module msync
+
+go 1.22

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"time"
+
+	"msync/internal/core"
+	"msync/internal/corpus"
+	"msync/internal/stats"
+)
+
+// Links used by the latency experiment: a DSL-class asymmetric link, a
+// fast symmetric link, and a high-latency satellite-class link.
+var links = []struct {
+	name string
+	l    stats.LinkModel
+}{
+	{"DSL 1M/256k 80ms", stats.LinkModel{DownBps: 125_000, UpBps: 32_000, RTT: 80 * time.Millisecond}},
+	{"LAN 100M 2ms", stats.LinkModel{DownBps: 12_500_000, UpBps: 12_500_000, RTT: 2 * time.Millisecond}},
+	{"SAT 10M 600ms", stats.LinkModel{DownBps: 1_250_000, UpBps: 1_250_000, RTT: 600 * time.Millisecond}},
+}
+
+// Latency regenerates the paper's §7 trade-off discussion as a table:
+// estimated wall-clock sync time per method per link. Multi-round wins on
+// slow links; on fast or high-latency links the roundtrips dominate and
+// one-shot modes become competitive — the motivation for an adaptive tool.
+func Latency(opts Options) *Table {
+	v1, v2 := corpusPair(corpus.GCCProfile(opts.Scale), opts.Seed)
+	pairs, _, _ := changedPairs(v1, v2)
+
+	t := &Table{
+		Title:   "Extension — estimated sync seconds by link (gcc)",
+		Columns: []string{"bytes KB", "rtrips"},
+	}
+	for _, lk := range links {
+		t.Columns = append(t.Columns, lk.name)
+	}
+	methods := []struct {
+		name string
+		c    stats.Costs
+	}{
+		{"msync all-tech", msyncCosts(pairs, bestConfig())},
+		{"msync basic", msyncCosts(pairs, core.BasicConfig())},
+		{"msync one-shot b=512", msyncCosts(pairs, core.OneShotConfig(512))},
+		{"rsync default(700)", rsyncCosts(pairs, 700)},
+	}
+	for _, m := range methods {
+		row := Row{Name: m.name, Values: []float64{
+			stats.KB(m.c.Total()), float64(m.c.Roundtrips),
+		}}
+		for _, lk := range links {
+			row.Values = append(row.Values, lk.l.Duration(&m.c).Seconds())
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"paper §7: multi-round pays off on slow links; with few roundtrips it is hard to beat rsync",
+		"an adaptive tool would pick the round budget from the link characteristics")
+	return t
+}

@@ -1,0 +1,183 @@
+// Package cdc implements content-defined chunking and an LBFS-style
+// deduplicating synchronization baseline.
+//
+// The paper's related work (§4) covers systems — LBFS, value-based web
+// caching, protocol-independent duplicate suppression — that use Karp-Rabin
+// fingerprints to split a byte stream into chunks at content-determined
+// boundaries, so that both sides of a link chunk identical data identically
+// regardless of insertions and deletions elsewhere. Exchanging chunk hashes
+// then deduplicates transfers in a single roundtrip.
+//
+// This package provides that family as a comparison baseline: Chunks for
+// the splitter and Sync for a one-roundtrip chunk-dedup file transfer.
+package cdc
+
+import (
+	"bytes"
+
+	"msync/internal/delta"
+	"msync/internal/md4"
+	"msync/internal/rolling"
+	"msync/internal/wire"
+)
+
+// Params controls the chunker. Avg must be a power of two; boundaries are
+// declared where the rolling fingerprint's low log2(Avg) bits match a fixed
+// pattern, giving Avg-byte chunks in expectation, clamped to [Min, Max].
+type Params struct {
+	Min, Avg, Max int
+}
+
+// DefaultParams mirrors LBFS's 2K/8K/64K choices scaled down for the
+// smaller files in this repository's experiments.
+func DefaultParams() Params { return Params{Min: 256, Avg: 2048, Max: 16384} }
+
+// Valid reports whether the parameters are usable.
+func (p Params) Valid() bool {
+	return p.Min > 0 && p.Max >= p.Min && p.Avg >= p.Min && p.Avg <= p.Max &&
+		p.Avg&(p.Avg-1) == 0 && p.Min > windowSize
+}
+
+// windowSize is the rolling fingerprint window for boundary detection.
+const windowSize = 48
+
+// boundaryMagic is the pattern the fingerprint's low bits must equal at a
+// chunk boundary. Any constant works; both sides must agree.
+const boundaryMagic = 0x1D3F
+
+// Chunk is one content-defined chunk of a byte stream.
+type Chunk struct {
+	Off, Len int
+	Sum      [md4.Size]byte
+}
+
+// Chunks splits data into content-defined chunks. The split points depend
+// only on local content (within Max bytes), so an insertion or deletion
+// perturbs only nearby chunks — the property that makes chunk hashes
+// comparable across file versions.
+func Chunks(data []byte, p Params) []Chunk {
+	if !p.Valid() {
+		panic("cdc: invalid params")
+	}
+	var out []Chunk
+	mask := uint64(p.Avg - 1)
+	magic := uint64(boundaryMagic) & mask
+	poly := rolling.Default()
+	// The polynomial family's diffusion table holds odd values, so bit 0 of
+	// a fixed-window hash is the window parity — constant. Judge boundaries
+	// on bits [1, log2(Avg)+1) instead.
+	sum := func(r *rolling.Roller) uint64 { return (r.Sum() >> 1) & mask }
+
+	start := 0
+	for start < len(data) {
+		end := start + p.Max
+		if end > len(data) {
+			end = len(data)
+		}
+		cut := end
+		if end-start > p.Min {
+			roller := poly.NewRoller(windowSize)
+			// Begin scanning at Min; the window covers the preceding bytes.
+			pos := start + p.Min
+			roller.Init(data[pos-windowSize:])
+			for pos < end {
+				if sum(roller) == magic {
+					cut = pos
+					break
+				}
+				if pos+1 >= end {
+					break
+				}
+				roller.Roll(data[pos-windowSize], data[pos])
+				pos++
+			}
+		}
+		out = append(out, Chunk{Off: start, Len: cut - start, Sum: md4.Sum(data[start:cut])})
+		start = cut
+	}
+	return out
+}
+
+// Result reports one LBFS-style transfer.
+type Result struct {
+	// C2S is the client→server cost: one hash per old-file chunk.
+	C2S int
+	// S2C is the server→client cost: the chunk reference/literal stream.
+	S2C int
+	// Output is the reconstructed file.
+	Output []byte
+	// ChunksTotal and ChunksReused count the server-side chunks.
+	ChunksTotal, ChunksReused int
+}
+
+// HashLen is the truncated chunk-hash length sent over the wire. 8 bytes
+// keeps collision probability negligible at these chunk counts.
+const HashLen = 8
+
+// Sync runs the one-roundtrip chunk-dedup protocol with both sides local:
+// the client announces the hashes of its old file's chunks, the server
+// replies with a stream of chunk references and compressed literals.
+func Sync(old, cur []byte, p Params) Result {
+	oldChunks := Chunks(old, p)
+	res := Result{C2S: 8 + len(oldChunks)*HashLen}
+
+	have := make(map[[HashLen]byte]int, len(oldChunks))
+	for i, c := range oldChunks {
+		var k [HashLen]byte
+		copy(k[:], c.Sum[:HashLen])
+		have[k] = i
+	}
+
+	// Server side: chunk the current file, emit refs or literals.
+	stream := wire.NewBuffer(1024)
+	curChunks := Chunks(cur, p)
+	var litBuf []byte
+	for _, c := range curChunks {
+		res.ChunksTotal++
+		var k [HashLen]byte
+		copy(k[:], c.Sum[:HashLen])
+		if idx, ok := have[k]; ok {
+			res.ChunksReused++
+			stream.Uvarint(uint64(idx) + 1)
+			continue
+		}
+		stream.Uvarint(0)
+		stream.Uvarint(uint64(c.Len))
+		litBuf = append(litBuf, cur[c.Off:c.Off+c.Len]...)
+	}
+	comp := delta.Compress(litBuf)
+	res.S2C = stream.Len() + len(comp) + md4.Size
+
+	// Client side: reconstruct.
+	lits, err := delta.Decompress(comp)
+	if err != nil {
+		panic("cdc: internal compression error: " + err.Error())
+	}
+	parser := wire.NewParser(stream.Build())
+	var out []byte
+	litPos := 0
+	for range curChunks {
+		v, err := parser.Uvarint()
+		if err != nil {
+			panic("cdc: internal stream error")
+		}
+		if v > 0 {
+			oc := oldChunks[v-1]
+			out = append(out, old[oc.Off:oc.Off+oc.Len]...)
+			continue
+		}
+		l, err := parser.Uvarint()
+		if err != nil {
+			panic("cdc: internal stream error")
+		}
+		out = append(out, lits[litPos:litPos+int(l)]...)
+		litPos += int(l)
+	}
+	// The whole-file check (counted in S2C above) guards hash collisions.
+	if !bytes.Equal(out, cur) {
+		res.S2C += len(delta.Compress(cur))
+		out = append([]byte(nil), cur...)
+	}
+	res.Output = out
+	return res
+}

@@ -1,0 +1,467 @@
+package collection
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"msync/internal/core"
+	"msync/internal/delta"
+	"msync/internal/md4"
+	"msync/internal/merkle"
+	"msync/internal/stats"
+	"msync/internal/wire"
+)
+
+// Client synchronizes a local collection copy against a Server.
+type Client struct {
+	files map[string][]byte
+	// TreeManifest switches change detection from the flat fingerprint
+	// manifest to merkle-tree reconciliation, which costs O(changed·log n)
+	// instead of O(n) — the right choice when almost nothing changed.
+	TreeManifest bool
+}
+
+// NewClient creates a client over the local (path → content) collection.
+func NewClient(files map[string][]byte) *Client {
+	return &Client{files: files}
+}
+
+// clientFile pairs a path with its per-file client engine.
+type clientFile struct {
+	path   string
+	engine *core.ClientFile
+}
+
+// Result is the outcome of one synchronization session.
+type Result struct {
+	// Files is the updated collection.
+	Files map[string][]byte
+	// Costs is the session's cost accounting from the client's perspective.
+	Costs *stats.Costs
+	// PerFile attributes payload bytes to individual synchronized files
+	// (map-construction sections, deltas and full transfers; shared framing
+	// and control traffic are not attributed).
+	PerFile map[string]int64
+}
+
+// Sync runs one session over conn and returns the updated collection.
+func (c *Client) Sync(conn io.ReadWriter) (*Result, error) {
+	costs := &stats.Costs{}
+	fr := wire.NewFrameReader(conn)
+	fw := wire.NewFrameWriter(conn)
+
+	// HELLO.
+	hb := wire.NewBuffer(8)
+	hb.Uvarint(protocolVersion)
+	hb.Byte(rolePull)
+	if c.TreeManifest {
+		hb.Byte(modeTree)
+	} else {
+		hb.Byte(modeManifest)
+	}
+	if err := fw.WriteFrame(wire.FrameHello, hb.Build()); err != nil {
+		return nil, err
+	}
+	addCost(costs, stats.C2S, stats.PhaseControl, hb.Len())
+	return consume(fr, fw, costs, c.files, c.TreeManifest)
+}
+
+// consume runs the receiving role of a session (after any handshake
+// header): announce local state, answer map-construction rounds, apply
+// deltas. It is shared by the pulling client and by a server accepting a
+// push. In the returned Costs, C2S is traffic from the data receiver to the
+// data holder.
+func consume(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, files map[string][]byte, treeManifest bool) (*Result, error) {
+	// Change detection: determine the paths under discussion (in verdict
+	// order) and the initial contents of the result set.
+	out := make(map[string][]byte, len(files))
+	var verdictPaths []string
+	if treeManifest {
+		vp, kept, err := treeDetect(fr, fw, costs, files)
+		if err != nil {
+			return nil, err
+		}
+		verdictPaths = vp
+		for _, p := range kept {
+			out[p] = files[p]
+		}
+	} else {
+		manifest := BuildManifest(files)
+		mraw := encodeManifest(manifest)
+		if err := fw.WriteFrame(wire.FrameManifest, mraw); err != nil {
+			return nil, err
+		}
+		addCost(costs, stats.C2S, stats.PhaseControl, len(mraw))
+		for _, e := range manifest {
+			verdictPaths = append(verdictPaths, e.Path)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		return nil, err
+	}
+
+	// Verdicts.
+	vraw, err := fr.ExpectFrame(wire.FrameVerdicts)
+	if err != nil {
+		return nil, err
+	}
+	costs.Roundtrips++
+	vp := wire.NewParser(vraw)
+	cfgRaw, err := vp.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := decodeConfig(cfgRaw)
+	if err != nil {
+		return nil, err
+	}
+	nv, err := vp.Uvarint()
+	if err != nil || int(nv) != len(verdictPaths) {
+		return nil, fmt.Errorf("collection: verdict count mismatch")
+	}
+
+	var engines []clientFile
+	fullBytes := 0
+	for _, path := range verdictPaths {
+		verdict, err := vp.Byte()
+		if err != nil {
+			return nil, err
+		}
+		switch verdict {
+		case verdictUnchanged:
+			out[path] = files[path]
+			costs.FilesUnchanged++
+		case verdictDelete:
+			delete(out, path)
+		case verdictFull:
+			comp, err := vp.Bytes()
+			if err != nil {
+				return nil, err
+			}
+			fullBytes += len(comp)
+			data, err := delta.Decompress(comp)
+			if err != nil {
+				return nil, fmt.Errorf("collection: full file %q: %w", path, err)
+			}
+			out[path] = data
+			costs.FilesFull++
+		case verdictSync:
+			newLen, err := vp.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			eng, err := core.NewClientFile(files[path], int(newLen), &cfg)
+			if err != nil {
+				return nil, err
+			}
+			engines = append(engines, clientFile{path, eng})
+			costs.FilesSynced++
+		default:
+			return nil, fmt.Errorf("collection: unknown verdict %d", verdict)
+		}
+	}
+	nNew, err := vp.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for k := uint64(0); k < nNew; k++ {
+		path, err := vp.String()
+		if err != nil {
+			return nil, err
+		}
+		comp, err := vp.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		fullBytes += len(comp)
+		data, err := delta.Decompress(comp)
+		if err != nil {
+			return nil, fmt.Errorf("collection: new file %q: %w", path, err)
+		}
+		out[path] = data
+		costs.FilesFull++
+	}
+	addCost(costs, stats.S2C, stats.PhaseControl, len(vraw)-fullBytes)
+	costs.Add(stats.S2C, stats.PhaseFull, fullBytes)
+
+	perEngine := make([]int64, len(engines))
+
+	// Map-construction rounds: respond to whatever the server sends until
+	// the delta frame arrives.
+	var deltaPayload []byte
+	for deltaPayload == nil {
+		ft, payload, err := fr.ReadFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch ft {
+		case wire.FrameRoundHashes, wire.FrameConfirm:
+			addCost(costs, stats.S2C, stats.PhaseMap, len(payload))
+			reply, err := respond(engines, ft, payload, perEngine)
+			if err != nil {
+				return nil, err
+			}
+			if err := fw.WriteFrame(wire.FrameRoundReply, reply); err != nil {
+				return nil, err
+			}
+			if err := fw.Flush(); err != nil {
+				return nil, err
+			}
+			addCost(costs, stats.C2S, stats.PhaseMap, len(reply))
+			costs.Roundtrips++
+		case wire.FrameDelta:
+			addCost(costs, stats.S2C, stats.PhaseDelta, len(payload))
+			deltaPayload = payload
+		case wire.FrameError:
+			return nil, fmt.Errorf("collection: server error: %s", payload)
+		default:
+			return nil, fmt.Errorf("collection: unexpected frame %s", wire.FrameName(ft))
+		}
+	}
+
+	// Apply deltas; collect whole-file-check failures.
+	dp := wire.NewParser(deltaPayload)
+	nd, err := dp.Uvarint()
+	if err != nil || int(nd) != len(engines) {
+		return nil, fmt.Errorf("collection: delta count mismatch")
+	}
+	deltaSections := make([][]byte, len(engines))
+	for i := range engines {
+		section, err := dp.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		deltaSections[i] = section
+		perEngine[i] += int64(len(section))
+	}
+	results := make([][]byte, len(engines))
+	verifyFailed := make([]bool, len(engines))
+	err = parallelFiles(len(engines), func(i int) error {
+		data, err := engines[i].engine.ApplyDelta(deltaSections[i])
+		switch {
+		case err == nil:
+			results[i] = data
+		case errors.Is(err, core.ErrVerifyFailed):
+			verifyFailed[i] = true
+		default:
+			return fmt.Errorf("collection: file %q: %w", engines[i].path, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var failed []int
+	for i := range engines {
+		if verifyFailed[i] {
+			failed = append(failed, i)
+		} else {
+			out[engines[i].path] = results[i]
+		}
+	}
+	ab := wire.NewBuffer(16)
+	ab.Uvarint(uint64(len(failed)))
+	for _, i := range failed {
+		ab.Uvarint(uint64(i))
+	}
+	if err := fw.WriteFrame(wire.FrameAck, ab.Build()); err != nil {
+		return nil, err
+	}
+	if err := fw.Flush(); err != nil {
+		return nil, err
+	}
+	addCost(costs, stats.C2S, stats.PhaseControl, ab.Len())
+	costs.Roundtrips++ // delta → ack
+
+	if len(failed) > 0 {
+		fraw, err := fr.ExpectFrame(wire.FrameFull)
+		if err != nil {
+			return nil, err
+		}
+		addCost(costs, stats.S2C, stats.PhaseFull, len(fraw))
+		costs.Roundtrips++
+		fp := wire.NewParser(fraw)
+		nf, err := fp.Uvarint()
+		if err != nil || int(nf) != len(failed) {
+			return nil, fmt.Errorf("collection: full-transfer count mismatch")
+		}
+		for k := uint64(0); k < nf; k++ {
+			idx, err := fp.Uvarint()
+			if err != nil || int(idx) >= len(engines) {
+				return nil, fmt.Errorf("collection: bad full index")
+			}
+			comp, err := fp.Bytes()
+			if err != nil {
+				return nil, err
+			}
+			data, err := delta.Decompress(comp)
+			if err != nil {
+				return nil, err
+			}
+			out[engines[idx].path] = data
+			perEngine[idx] += int64(len(comp))
+			costs.FilesFull++
+		}
+	}
+	perFile := make(map[string]int64, len(engines))
+	for i := range engines {
+		perFile[engines[i].path] = perEngine[i]
+	}
+	return &Result{Files: out, Costs: costs, PerFile: perFile}, nil
+}
+
+// treeDetect runs merkle reconciliation against the server and asks for the
+// differing files. It returns the requested paths (in verdict order) and the
+// local paths that stay untouched.
+func treeDetect(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, files map[string][]byte) (verdictPaths, kept []string, err error) {
+	manifest := BuildManifest(files)
+	entries := make([]merkle.Entry, len(manifest))
+	for i, e := range manifest {
+		entries[i] = merkle.Entry{Path: e.Path, Len: e.Len, Sum: e.Sum}
+	}
+	ini := merkle.NewInitiator(merkle.Build(entries, merkle.DepthFor(len(entries))))
+	for !ini.Done() {
+		msg := ini.Next()
+		if err := fw.WriteFrame(wire.FrameTree, msg); err != nil {
+			return nil, nil, err
+		}
+		if err := fw.Flush(); err != nil {
+			return nil, nil, err
+		}
+		addCost(costs, stats.C2S, stats.PhaseControl, len(msg))
+		payload, err := fr.ExpectFrame(wire.FrameTree)
+		if err != nil {
+			return nil, nil, err
+		}
+		addCost(costs, stats.S2C, stats.PhaseControl, len(payload))
+		costs.Roundtrips++
+		if err := ini.Absorb(payload); err != nil {
+			return nil, nil, err
+		}
+	}
+	diff := ini.Diff()
+
+	deleted := make(map[string]bool, len(diff.OnlyLocal))
+	for _, p := range diff.OnlyLocal {
+		deleted[p] = true
+	}
+	for _, e := range manifest {
+		if !deleted[e.Path] {
+			kept = append(kept, e.Path)
+		}
+	}
+	costs.FilesUnchanged += len(manifest) - len(deleted) - len(diff.Changed)
+
+	type wantEntry struct {
+		path string
+		have bool
+	}
+	wants := make([]wantEntry, 0, len(diff.Changed)+len(diff.OnlyRemote))
+	for _, e := range diff.Changed {
+		wants = append(wants, wantEntry{e.Path, true})
+	}
+	for _, e := range diff.OnlyRemote {
+		wants = append(wants, wantEntry{e.Path, false})
+	}
+	sort.Slice(wants, func(i, j int) bool { return wants[i].path < wants[j].path })
+
+	wb := wire.NewBuffer(64)
+	wb.Uvarint(uint64(len(wants)))
+	for _, w := range wants {
+		wb.String(w.path)
+		wb.Bool(w.have)
+		verdictPaths = append(verdictPaths, w.path)
+	}
+	if err := fw.WriteFrame(wire.FrameWant, wb.Build()); err != nil {
+		return nil, nil, err
+	}
+	addCost(costs, stats.C2S, stats.PhaseControl, wb.Len())
+	return verdictPaths, kept, nil
+}
+
+// respond handles one round-hashes or confirm frame and builds the reply.
+func respond(engines []clientFile, frameType byte, payload []byte, perEngine []int64) ([]byte, error) {
+	pr := wire.NewParser(payload)
+	n, err := pr.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	type job struct {
+		idx     uint64
+		section []byte
+	}
+	jobs := make([]job, 0, n)
+	for k := uint64(0); k < n; k++ {
+		idx, err := pr.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if int(idx) >= len(engines) {
+			return nil, fmt.Errorf("collection: bad file index %d", idx)
+		}
+		section, err := pr.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, job{idx, section})
+		perEngine[idx] += int64(len(section))
+	}
+	replies := make([][]byte, len(jobs)) // nil = no reply for this file
+	err = parallelFiles(len(jobs), func(k int) error {
+		eng := engines[jobs[k].idx].engine
+		if frameType == wire.FrameRoundHashes {
+			if err := eng.AbsorbHashes(jobs[k].section); err != nil {
+				return fmt.Errorf("collection: file %q: %w", engines[jobs[k].idx].path, err)
+			}
+			replies[k] = eng.EmitReply()
+			return nil
+		}
+		more, err := eng.AbsorbConfirm(jobs[k].section)
+		if err != nil {
+			return fmt.Errorf("collection: file %q: %w", engines[jobs[k].idx].path, err)
+		}
+		if more {
+			replies[k] = eng.EmitBatch()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	count := 0
+	for _, r := range replies {
+		if r != nil {
+			count++
+		}
+	}
+	rb := wire.NewBuffer(1024)
+	rb.Uvarint(uint64(count))
+	for k, r := range replies {
+		if r != nil {
+			rb.Uvarint(jobs[k].idx)
+			rb.Bytes(r)
+			perEngine[jobs[k].idx] += int64(len(r))
+		}
+	}
+	return rb.Build(), nil
+}
+
+// VerifyAgainst checks that every file in result matches the expected
+// content; a helper for tests and the CLI's --check mode.
+func VerifyAgainst(result, want map[string][]byte) error {
+	if len(result) != len(want) {
+		return fmt.Errorf("collection: file count %d, want %d", len(result), len(want))
+	}
+	for path, data := range want {
+		got, ok := result[path]
+		if !ok {
+			return fmt.Errorf("collection: missing %q", path)
+		}
+		if md4.Sum(got) != md4.Sum(data) {
+			return fmt.Errorf("collection: content mismatch for %q", path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package collection
+
+import (
+	"fmt"
+	"math"
+
+	"msync/internal/core"
+	"msync/internal/gtest"
+	"msync/internal/wire"
+)
+
+// protocolVersion guards wire compatibility.
+const protocolVersion = 1
+
+// encodeConfig serializes the protocol configuration. The server is
+// authoritative: it ships its config in the verdicts message and the client
+// builds its engines from it, so both sides always plan identically.
+func encodeConfig(c *core.Config) []byte {
+	b := wire.NewBuffer(64)
+	b.Uvarint(uint64(c.MaxBlockSize))
+	b.Uvarint(uint64(c.MinBlockSize))
+	b.Uvarint(uint64(c.ContMinBlock))
+	b.Uvarint(uint64(c.ContBits))
+	b.Uvarint(uint64(c.SlackBits))
+	b.Uvarint(uint64(c.MinHashBits))
+	b.Uvarint(uint64(c.MaxHashBits))
+	b.Uvarint(uint64(c.VerifyBits))
+	b.Uvarint(uint64(c.Verify.Batches))
+	b.Uvarint(uint64(c.Verify.GroupSize))
+	b.Uvarint(uint64(c.Verify.TrustedGroupSize))
+	b.Uvarint(uint64(c.Verify.SplitFactor))
+	b.Uvarint(uint64(c.Verify.RetryAlternates))
+	b.Bool(c.Decomposable)
+	b.Bool(c.TwoPhaseRounds)
+	b.Bool(c.EnableLocal)
+	b.Uvarint(uint64(c.LocalRadius))
+	b.Uvarint(uint64(c.LocalRange))
+	b.Uvarint(uint64(c.LocalSlack))
+	b.Uvarint(uint64(c.MaxAlternates))
+	b.Bool(c.Adaptive)
+	b.Uvarint(uint64(c.AdaptiveMinBlock))
+	b.Uvarint(math.Float64bits(c.AdaptiveFactor))
+	b.String(c.HashFamily)
+	return b.Build()
+}
+
+// decodeConfig parses a configuration.
+func decodeConfig(p []byte) (core.Config, error) {
+	pr := wire.NewParser(p)
+	var c core.Config
+	var v gtest.Config
+	fields := []*int{
+		&c.MaxBlockSize, &c.MinBlockSize, &c.ContMinBlock,
+	}
+	for _, f := range fields {
+		x, err := pr.Uvarint()
+		if err != nil {
+			return c, fmt.Errorf("collection: config: %w", err)
+		}
+		*f = int(x)
+	}
+	ufields := []*uint{&c.ContBits, &c.SlackBits, &c.MinHashBits, &c.MaxHashBits, &c.VerifyBits}
+	for _, f := range ufields {
+		x, err := pr.Uvarint()
+		if err != nil {
+			return c, fmt.Errorf("collection: config: %w", err)
+		}
+		*f = uint(x)
+	}
+	vfields := []*int{&v.Batches, &v.GroupSize, &v.TrustedGroupSize, &v.SplitFactor, &v.RetryAlternates}
+	for _, f := range vfields {
+		x, err := pr.Uvarint()
+		if err != nil {
+			return c, fmt.Errorf("collection: config: %w", err)
+		}
+		*f = int(x)
+	}
+	c.Verify = v
+	var err error
+	if c.Decomposable, err = pr.Bool(); err != nil {
+		return c, err
+	}
+	if c.TwoPhaseRounds, err = pr.Bool(); err != nil {
+		return c, err
+	}
+	if c.EnableLocal, err = pr.Bool(); err != nil {
+		return c, err
+	}
+	tail := []*int{&c.LocalRadius, &c.LocalRange}
+	for _, f := range tail {
+		x, err := pr.Uvarint()
+		if err != nil {
+			return c, err
+		}
+		*f = int(x)
+	}
+	ls, err := pr.Uvarint()
+	if err != nil {
+		return c, err
+	}
+	c.LocalSlack = uint(ls)
+	ma, err := pr.Uvarint()
+	if err != nil {
+		return c, err
+	}
+	c.MaxAlternates = int(ma)
+	if c.Adaptive, err = pr.Bool(); err != nil {
+		return c, err
+	}
+	amb, err := pr.Uvarint()
+	if err != nil {
+		return c, err
+	}
+	c.AdaptiveMinBlock = int(amb)
+	af, err := pr.Uvarint()
+	if err != nil {
+		return c, err
+	}
+	c.AdaptiveFactor = math.Float64frombits(af)
+	if c.HashFamily, err = pr.String(); err != nil {
+		return c, err
+	}
+	return c, c.Validate()
+}

@@ -1,0 +1,35 @@
+package collection
+
+import (
+	"testing"
+
+	"msync/internal/core"
+)
+
+// FuzzManifestDecode: arbitrary manifest bytes must never panic.
+func FuzzManifestDecode(f *testing.F) {
+	f.Add(encodeManifest(BuildManifest(map[string][]byte{"a/b": []byte("x")})))
+	f.Add([]byte{0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeManifest(data)
+		if err == nil && len(m) > 1<<20 {
+			t.Fatal("implausible manifest size")
+		}
+	})
+}
+
+// FuzzConfigDecode: arbitrary config bytes must never panic and only yield
+// validated configurations.
+func FuzzConfigDecode(f *testing.F) {
+	cfg := core.DefaultConfig()
+	f.Add(encodeConfig(&cfg))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := decodeConfig(data)
+		if err == nil {
+			if verr := c.Validate(); verr != nil {
+				t.Fatalf("decode accepted invalid config: %v", verr)
+			}
+		}
+	})
+}

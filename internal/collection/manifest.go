@@ -1,0 +1,98 @@
+// Package collection implements the collection-level synchronization
+// protocol: manifest exchange with per-file fingerprints, multiplexing of
+// every changed file's map-construction rounds into shared roundtrips (the
+// paper's amortization argument), the delta phase, and full-transfer
+// fallbacks for new files and whole-file-check failures.
+package collection
+
+import (
+	"sort"
+
+	"msync/internal/md4"
+	"msync/internal/wire"
+)
+
+// ManifestEntry fingerprints one client file: the paper's "very strong
+// 16-byte hash value for each file" used both to detect unchanged files and
+// to backstop per-file failures.
+type ManifestEntry struct {
+	Path string
+	Len  int
+	Sum  [md4.Size]byte
+}
+
+// BuildManifest fingerprints a path-keyed file set, sorted by path.
+func BuildManifest(files map[string][]byte) []ManifestEntry {
+	out := make([]ManifestEntry, 0, len(files))
+	for path, data := range files {
+		out = append(out, ManifestEntry{Path: path, Len: len(data), Sum: md4.Sum(data)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// encodeManifest serializes a manifest.
+func encodeManifest(m []ManifestEntry) []byte {
+	b := wire.NewBuffer(len(m) * 32)
+	b.Uvarint(uint64(len(m)))
+	for _, e := range m {
+		b.String(e.Path)
+		b.Uvarint(uint64(e.Len))
+		b.Raw(e.Sum[:])
+	}
+	return b.Build()
+}
+
+// decodeManifest parses a manifest.
+func decodeManifest(p []byte) ([]ManifestEntry, error) {
+	pr := wire.NewParser(p)
+	n, err := pr.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ManifestEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var e ManifestEntry
+		if e.Path, err = pr.String(); err != nil {
+			return nil, err
+		}
+		l, err := pr.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		e.Len = int(l)
+		sum, err := pr.Raw(md4.Size)
+		if err != nil {
+			return nil, err
+		}
+		copy(e.Sum[:], sum)
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Session roles carried in the HELLO frame.
+const (
+	// rolePull: the initiator holds the outdated copy and wants updates.
+	rolePull byte = 0
+	// rolePush: the initiator holds the newer data and updates the remote
+	// replica (the paper §7 asymmetric scenario).
+	rolePush byte = 1
+)
+
+// Manifest exchange modes carried in the HELLO frame.
+const (
+	// modeManifest sends the full flat fingerprint manifest (paper §6.1).
+	modeManifest byte = 0
+	// modeTree locates changed files by merkle reconciliation first
+	// (sublinear in collection size when few files change).
+	modeTree byte = 1
+)
+
+// Verdicts for each client-manifest entry plus trailing new files.
+const (
+	verdictUnchanged byte = iota
+	verdictSync           // changed: run the map+delta protocol
+	verdictDelete         // no longer on the server
+	verdictFull           // changed but too small to bother mapping; sent full
+)

@@ -1,0 +1,633 @@
+package collection
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"msync/internal/core"
+	"msync/internal/delta"
+	"msync/internal/merkle"
+	"msync/internal/stats"
+	"msync/internal/wire"
+)
+
+// Server serves one version of a collection to synchronizing clients, and
+// can also push its collection to a remote replica (paper §7's asymmetric
+// scenario: the data holder initiates).
+type Server struct {
+	cfg core.Config
+
+	mu    sync.RWMutex
+	files map[string][]byte
+	// manifest caches BuildManifest(files); hashing the whole collection
+	// per session is wasteful when serving many clients. Invalidated when
+	// the collection changes (push adoption).
+	manifest []ManifestEntry
+
+	// AllowPush lets clients push updated collections into this server.
+	AllowPush bool
+	// TreeManifest selects merkle change detection when this server pushes.
+	TreeManifest bool
+	// OnUpdate, if set, is called with the new collection after a received
+	// push (e.g. to persist it).
+	OnUpdate func(map[string][]byte)
+}
+
+// NewServer creates a server over the given (path → content) collection.
+func NewServer(files map[string][]byte, cfg core.Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, files: files}, nil
+}
+
+// snapshot returns the current collection under the read lock.
+func (s *Server) snapshot() map[string][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.files
+}
+
+// cachedManifest returns (building once) the manifest of the collection.
+func (s *Server) cachedManifest() []ManifestEntry {
+	s.mu.RLock()
+	m := s.manifest
+	s.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	built := BuildManifest(s.snapshot())
+	s.mu.Lock()
+	if s.manifest == nil {
+		s.manifest = built
+	}
+	m = s.manifest
+	s.mu.Unlock()
+	return m
+}
+
+// setFiles replaces the collection and invalidates the manifest cache.
+func (s *Server) setFiles(files map[string][]byte) {
+	s.mu.Lock()
+	s.files = files
+	s.manifest = nil
+	s.mu.Unlock()
+}
+
+// frameOverhead is the wire cost of a frame header for an n-byte payload.
+func frameOverhead(n int) int {
+	o := 2 // type byte + at least one length byte
+	for n >= 0x80 {
+		o++
+		n >>= 7
+	}
+	return o
+}
+
+func addCost(c *stats.Costs, d stats.Direction, p stats.Phase, payload int) {
+	c.Add(d, p, payload+frameOverhead(payload))
+}
+
+// syncFile pairs a path with its per-file server engine.
+type syncFile struct {
+	path   string
+	engine *core.ServerFile
+}
+
+// Serve runs one synchronization session over conn. It returns the session's
+// cost accounting (from the server's perspective; the client computes an
+// identical view).
+func (s *Server) Serve(conn io.ReadWriter) (*stats.Costs, error) {
+	costs := &stats.Costs{}
+	fr := wire.NewFrameReader(conn)
+	fw := wire.NewFrameWriter(conn)
+
+	fail := func(err error) (*stats.Costs, error) {
+		_ = fw.WriteFrame(wire.FrameError, []byte(err.Error()))
+		_ = fw.Flush()
+		return costs, err
+	}
+
+	// HELLO.
+	hello, err := fr.ExpectFrame(wire.FrameHello)
+	if err != nil {
+		return costs, err
+	}
+	addCost(costs, stats.C2S, stats.PhaseControl, len(hello))
+	hp := wire.NewParser(hello)
+	ver, err := hp.Uvarint()
+	if err != nil || ver != protocolVersion {
+		return fail(fmt.Errorf("collection: unsupported protocol version"))
+	}
+	role, err := hp.Byte()
+	if err != nil {
+		return fail(fmt.Errorf("collection: missing role"))
+	}
+	mode, err := hp.Byte()
+	if err != nil {
+		return fail(fmt.Errorf("collection: missing manifest mode"))
+	}
+	if role == rolePush {
+		// The remote side holds the newer data and plays the serving role;
+		// we consume the session and adopt the result.
+		if !s.AllowPush {
+			return fail(fmt.Errorf("collection: push not allowed"))
+		}
+		res, err := consume(fr, fw, costs, s.snapshot(), mode == modeTree)
+		if err != nil {
+			return costs, err
+		}
+		s.setFiles(res.Files)
+		if s.OnUpdate != nil {
+			s.OnUpdate(res.Files)
+		}
+		return costs, nil
+	}
+	if role != rolePull {
+		return fail(fmt.Errorf("collection: unknown role %d", role))
+	}
+	return s.serveSession(fr, fw, costs, fail, mode)
+}
+
+// serveSession runs the serving role after the handshake header.
+func (s *Server) serveSession(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, fail func(error) (*stats.Costs, error), mode byte) (*stats.Costs, error) {
+	serverManifest := s.cachedManifest()
+	var engines []syncFile
+	var err error
+	switch mode {
+	case modeManifest:
+		engines, err = s.manifestHandshake(fr, fw, costs, serverManifest)
+	case modeTree:
+		engines, err = s.treeHandshake(fr, fw, costs, serverManifest)
+	default:
+		err = fmt.Errorf("collection: unknown manifest mode %d", mode)
+	}
+	if err != nil {
+		return fail(err)
+	}
+
+	// Map-construction rounds, multiplexed across all sync files.
+	for {
+		var active []int
+		for i := range engines {
+			if engines[i].engine.Active() {
+				active = append(active, i)
+			}
+		}
+		if len(active) == 0 {
+			break
+		}
+		sections := make([][]byte, len(active))
+		parallelFiles(len(active), func(k int) error {
+			sections[k] = engines[active[k]].engine.EmitHashes()
+			return nil
+		})
+		rb := wire.NewBuffer(1024)
+		rb.Uvarint(uint64(len(active)))
+		for k, i := range active {
+			rb.Uvarint(uint64(i))
+			rb.Bytes(sections[k])
+		}
+		payload := rb.Build()
+		if err := fw.WriteFrame(wire.FrameRoundHashes, payload); err != nil {
+			return costs, err
+		}
+		if err := fw.Flush(); err != nil {
+			return costs, err
+		}
+		addCost(costs, stats.S2C, stats.PhaseMap, len(payload))
+
+		reply, err := fr.ExpectFrame(wire.FrameRoundReply)
+		if err != nil {
+			return costs, err
+		}
+		addCost(costs, stats.C2S, stats.PhaseMap, len(reply))
+		costs.Roundtrips++
+		pending, err := s.absorbReplies(engines, reply, true)
+		if err != nil {
+			return fail(err)
+		}
+
+		for len(pending) > 0 {
+			cb := wire.NewBuffer(256)
+			cb.Uvarint(uint64(len(pending)))
+			for _, i := range pending {
+				cb.Uvarint(uint64(i))
+				cb.Bytes(engines[i].engine.EmitConfirm())
+			}
+			cp := cb.Build()
+			if err := fw.WriteFrame(wire.FrameConfirm, cp); err != nil {
+				return costs, err
+			}
+			if err := fw.Flush(); err != nil {
+				return costs, err
+			}
+			addCost(costs, stats.S2C, stats.PhaseMap, len(cp))
+
+			batch, err := fr.ExpectFrame(wire.FrameRoundReply)
+			if err != nil {
+				return costs, err
+			}
+			addCost(costs, stats.C2S, stats.PhaseMap, len(batch))
+			costs.Roundtrips++
+			pending, err = s.absorbReplies(engines, batch, false)
+			if err != nil {
+				return fail(err)
+			}
+		}
+	}
+
+	// Delta phase: one section per sync file.
+	deltaSections := make([][]byte, len(engines))
+	parallelFiles(len(engines), func(i int) error {
+		deltaSections[i] = engines[i].engine.EmitDelta()
+		return nil
+	})
+	db := wire.NewBuffer(4096)
+	db.Uvarint(uint64(len(engines)))
+	for i := range engines {
+		db.Bytes(deltaSections[i])
+	}
+	dp := db.Build()
+	if err := fw.WriteFrame(wire.FrameDelta, dp); err != nil {
+		return costs, err
+	}
+	if err := fw.Flush(); err != nil {
+		return costs, err
+	}
+	addCost(costs, stats.S2C, stats.PhaseDelta, len(dp))
+
+	// ACK lists files whose whole-file check failed; send them in full.
+	ack, err := fr.ExpectFrame(wire.FrameAck)
+	if err != nil {
+		return costs, err
+	}
+	addCost(costs, stats.C2S, stats.PhaseControl, len(ack))
+	costs.Roundtrips++
+	ap := wire.NewParser(ack)
+	nFail, err := ap.Uvarint()
+	if err != nil {
+		return fail(err)
+	}
+	if nFail > 0 {
+		fb := wire.NewBuffer(1024)
+		fb.Uvarint(nFail)
+		for k := uint64(0); k < nFail; k++ {
+			idx, err := ap.Uvarint()
+			if err != nil || int(idx) >= len(engines) {
+				return fail(fmt.Errorf("collection: bad ack index"))
+			}
+			fb.Uvarint(idx)
+			fb.Bytes(delta.Compress(s.snapshot()[engines[idx].path]))
+			costs.FilesFull++
+		}
+		fp := fb.Build()
+		if err := fw.WriteFrame(wire.FrameFull, fp); err != nil {
+			return costs, err
+		}
+		if err := fw.Flush(); err != nil {
+			return costs, err
+		}
+		addCost(costs, stats.S2C, stats.PhaseFull, len(fp))
+		costs.Roundtrips++
+	}
+
+	for i := range engines {
+		e := engines[i].engine
+		costs.HashesSent += e.HashesSent
+		costs.CandidatesFound += e.CandidatesSeen
+		costs.MatchesConfirmed += e.MatchesConfirmed
+	}
+	costs.FalseCandidates = costs.CandidatesFound - costs.MatchesConfirmed
+	return costs, nil
+}
+
+// Push updates a remote replica over conn with this server's (newer)
+// collection: the inverse transfer direction of Serve, for replicas that
+// cannot dial out or for backup-style workflows. The remote end must be a
+// Server with AllowPush set.
+func (s *Server) Push(conn io.ReadWriter) (*stats.Costs, error) {
+	costs := &stats.Costs{}
+	fr := wire.NewFrameReader(conn)
+	fw := wire.NewFrameWriter(conn)
+
+	hb := wire.NewBuffer(8)
+	hb.Uvarint(protocolVersion)
+	hb.Byte(rolePush)
+	mode := byte(modeManifest)
+	if s.TreeManifest {
+		mode = modeTree
+	}
+	hb.Byte(mode)
+	if err := fw.WriteFrame(wire.FrameHello, hb.Build()); err != nil {
+		return costs, err
+	}
+	if err := fw.Flush(); err != nil {
+		return costs, err
+	}
+	addCost(costs, stats.C2S, stats.PhaseControl, hb.Len())
+
+	fail := func(err error) (*stats.Costs, error) {
+		_ = fw.WriteFrame(wire.FrameError, []byte(err.Error()))
+		_ = fw.Flush()
+		return costs, err
+	}
+	return s.serveSession(fr, fw, costs, fail, mode)
+}
+
+// manifestHandshake runs the flat-manifest handshake: read the client's
+// full manifest, reply with per-file verdicts plus new files.
+func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, serverManifest []ManifestEntry) ([]syncFile, error) {
+	manifestRaw, err := fr.ExpectFrame(wire.FrameManifest)
+	if err != nil {
+		return nil, err
+	}
+	addCost(costs, stats.C2S, stats.PhaseControl, len(manifestRaw))
+	manifest, err := decodeManifest(manifestRaw)
+	if err != nil {
+		return nil, err
+	}
+
+	serverByPath := make(map[string]int, len(serverManifest))
+	for i, e := range serverManifest {
+		serverByPath[e.Path] = i
+	}
+	vb := wire.NewBuffer(len(manifest)*2 + 256)
+	vb.Bytes(encodeConfig(&s.cfg))
+	vb.Uvarint(uint64(len(manifest)))
+	var engines []syncFile
+	seen := make(map[string]bool, len(manifest))
+	fullBytes := 0
+	for _, e := range manifest {
+		seen[e.Path] = true
+		si, ok := serverByPath[e.Path]
+		if !ok {
+			vb.Byte(verdictDelete)
+			continue
+		}
+		se := serverManifest[si]
+		if se.Len == e.Len && se.Sum == e.Sum {
+			vb.Byte(verdictUnchanged)
+			costs.FilesUnchanged++
+			continue
+		}
+		eng, err := s.emitChangedVerdict(vb, e.Path, se.Len, costs, &fullBytes)
+		if err != nil {
+			return nil, err
+		}
+		if eng != nil {
+			engines = append(engines, syncFile{e.Path, eng})
+		}
+	}
+	// New files (on the server, absent at the client), sorted manifest order.
+	var newFiles []ManifestEntry
+	for _, e := range serverManifest {
+		if !seen[e.Path] {
+			newFiles = append(newFiles, e)
+		}
+	}
+	vb.Uvarint(uint64(len(newFiles)))
+	for _, e := range newFiles {
+		vb.String(e.Path)
+		comp := delta.Compress(s.snapshot()[e.Path])
+		vb.Bytes(comp)
+		fullBytes += len(comp)
+		costs.FilesFull++
+	}
+	if err := s.sendVerdicts(fw, costs, vb.Build(), fullBytes); err != nil {
+		return nil, err
+	}
+	return engines, nil
+}
+
+// treeHandshake runs merkle reconciliation, then answers the client's WANT
+// list with verdicts for exactly those files.
+func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, serverManifest []ManifestEntry) ([]syncFile, error) {
+	entries := make([]merkle.Entry, len(serverManifest))
+	for i, e := range serverManifest {
+		entries[i] = merkle.Entry{Path: e.Path, Len: e.Len, Sum: e.Sum}
+	}
+	resp := merkle.NewResponder(entries)
+
+	var want []byte
+	for want == nil {
+		ft, payload, err := fr.ReadFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch ft {
+		case wire.FrameTree:
+			addCost(costs, stats.C2S, stats.PhaseControl, len(payload))
+			reply, err := resp.Respond(payload)
+			if err != nil {
+				return nil, err
+			}
+			if err := fw.WriteFrame(wire.FrameTree, reply); err != nil {
+				return nil, err
+			}
+			if err := fw.Flush(); err != nil {
+				return nil, err
+			}
+			addCost(costs, stats.S2C, stats.PhaseControl, len(reply))
+			costs.Roundtrips++
+		case wire.FrameWant:
+			addCost(costs, stats.C2S, stats.PhaseControl, len(payload))
+			want = payload
+		default:
+			return nil, fmt.Errorf("collection: unexpected frame %s during reconciliation", wire.FrameName(ft))
+		}
+	}
+
+	wp := wire.NewParser(want)
+	n, err := wp.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	vb := wire.NewBuffer(256)
+	vb.Bytes(encodeConfig(&s.cfg))
+	vb.Uvarint(n)
+	var engines []syncFile
+	fullBytes := 0
+	for k := uint64(0); k < n; k++ {
+		path, err := wp.String()
+		if err != nil {
+			return nil, err
+		}
+		have, err := wp.Bool()
+		if err != nil {
+			return nil, err
+		}
+		data, ok := s.snapshot()[path]
+		if !ok {
+			vb.Byte(verdictDelete)
+			continue
+		}
+		if !have {
+			vb.Byte(verdictFull)
+			comp := delta.Compress(data)
+			vb.Bytes(comp)
+			fullBytes += len(comp)
+			costs.FilesFull++
+			continue
+		}
+		eng, err := s.emitChangedVerdict(vb, path, len(data), costs, &fullBytes)
+		if err != nil {
+			return nil, err
+		}
+		if eng != nil {
+			engines = append(engines, syncFile{path, eng})
+		}
+	}
+	vb.Uvarint(0) // no trailing new-file section in tree mode
+	if err := s.sendVerdicts(fw, costs, vb.Build(), fullBytes); err != nil {
+		return nil, err
+	}
+	return engines, nil
+}
+
+// emitChangedVerdict writes the verdict for a changed file the client holds:
+// small files go whole, larger ones get a sync engine.
+func (s *Server) emitChangedVerdict(vb *wire.Buffer, path string, newLen int, costs *stats.Costs, fullBytes *int) (*core.ServerFile, error) {
+	if newLen < s.cfg.MinBlockSize*2 {
+		vb.Byte(verdictFull)
+		comp := delta.Compress(s.snapshot()[path])
+		vb.Bytes(comp)
+		*fullBytes += len(comp)
+		costs.FilesFull++
+		return nil, nil
+	}
+	vb.Byte(verdictSync)
+	vb.Uvarint(uint64(newLen))
+	eng, err := core.NewServerFile(s.files[path], &s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	costs.FilesSynced++
+	return eng, nil
+}
+
+// sendVerdicts flushes the verdict frame with split cost attribution.
+func (s *Server) sendVerdicts(fw *wire.FrameWriter, costs *stats.Costs, verdicts []byte, fullBytes int) error {
+	if err := fw.WriteFrame(wire.FrameVerdicts, verdicts); err != nil {
+		return err
+	}
+	if err := fw.Flush(); err != nil {
+		return err
+	}
+	addCost(costs, stats.S2C, stats.PhaseControl, len(verdicts)-fullBytes)
+	costs.Add(stats.S2C, stats.PhaseFull, fullBytes)
+	costs.Roundtrips++
+	return nil
+}
+
+// parallelFiles runs fn(0..n-1) across workers; per-file engines are
+// independent, so their CPU-heavy work parallelizes freely. The first error
+// wins.
+func parallelFiles(n int, fn func(i int) error) error {
+	nw := runtime.GOMAXPROCS(0)
+	if nw > n {
+		nw = n
+	}
+	if nw <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	next := make(chan int)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// absorbReplies processes one client reply frame (initial replies or
+// subsequent batches) and returns the files that still need another batch.
+func (s *Server) absorbReplies(engines []syncFile, payload []byte, first bool) ([]int, error) {
+	pr := wire.NewParser(payload)
+	n, err := pr.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	type job struct {
+		idx     int
+		section []byte
+	}
+	jobs := make([]job, 0, n)
+	for k := uint64(0); k < n; k++ {
+		idx, err := pr.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if int(idx) >= len(engines) {
+			return nil, fmt.Errorf("collection: bad file index %d", idx)
+		}
+		section, err := pr.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, job{int(idx), section})
+	}
+	mores := make([]bool, len(jobs))
+	err = parallelFiles(len(jobs), func(k int) error {
+		var more bool
+		var err error
+		if first {
+			more, err = engines[jobs[k].idx].engine.AbsorbReply(jobs[k].section)
+		} else {
+			more, err = engines[jobs[k].idx].engine.AbsorbBatch(jobs[k].section)
+		}
+		if err != nil {
+			return fmt.Errorf("collection: file %q: %w", engines[jobs[k].idx].path, err)
+		}
+		mores[k] = more
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pending []int
+	for k, more := range mores {
+		if more {
+			pending = append(pending, jobs[k].idx)
+		}
+	}
+	return pending, nil
+}
+
+// SelfTest verifies that the server's collection round-trips through a
+// compression cycle; used by integration tests and the CLI's --check mode.
+func (s *Server) SelfTest() error {
+	for path, data := range s.snapshot() {
+		dec, err := delta.Decompress(delta.Compress(data))
+		if err != nil || !bytes.Equal(dec, data) {
+			return fmt.Errorf("collection: self-test failed for %q", path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"msync/internal/corpus"
+)
+
+func BenchmarkSyncLocal1MB(b *testing.B) {
+	rng := rand.New(rand.NewSource(77))
+	old := corpus.SourceText(rng, 1<<20)
+	em := corpus.EditModel{BurstsPer32KB: 2, BurstEdits: 4, EditSize: 50, BurstSpread: 300}
+	cur := em.Apply(rng, old)
+	cfg := DefaultConfig()
+	b.SetBytes(int64(len(cur)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SyncLocal(old, cur, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

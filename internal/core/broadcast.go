@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"msync/internal/delta"
+	"msync/internal/stats"
+)
+
+// BroadcastResult reports a one-to-many synchronization.
+type BroadcastResult struct {
+	// Outputs holds each client's reconstructed file.
+	Outputs [][]byte
+	// SharedBytes is the hash payload transmitted once for all clients
+	// (broadcast/multicast); UnicastBytes sums the per-client replies and
+	// deltas.
+	SharedBytes, UnicastBytes int64
+	// PerClient is each client's individual cost accounting, counting the
+	// shared payload once per client (what a unicast fallback would pay).
+	PerClient []stats.Costs
+}
+
+// Total reports broadcast bytes: the shared payload once plus all unicast
+// traffic.
+func (r *BroadcastResult) Total() int64 { return r.SharedBytes + r.UnicastBytes }
+
+// UnicastTotal reports what the same transfers would cost without broadcast
+// (the shared payload repeated per client).
+func (r *BroadcastResult) UnicastTotal() int64 {
+	return r.SharedBytes*int64(len(r.Outputs)) + r.UnicastBytes
+}
+
+// BroadcastSync synchronizes one current file to many clients holding
+// different outdated versions, transmitting the hash payload once for all
+// of them — the paper's §7 "asymmetric cases, e.g., in cases with server
+// broadcast capability".
+//
+// The configuration must be single-round (OneShotConfig): with exactly one
+// round and one verification batch, the server's hash stream does not
+// depend on client feedback, so every client can consume the same bytes.
+// Per-client traffic is reduced to the candidate/verification reply and the
+// individual delta.
+func BroadcastSync(fNew []byte, olds [][]byte, cfg Config) (*BroadcastResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxBlockSize != cfg.MinBlockSize || cfg.ContMinBlock != 0 || cfg.Verify.Batches != 1 {
+		return nil, fmt.Errorf("core: broadcast requires a one-shot configuration " +
+			"(single round, no continuation, one verification batch)")
+	}
+	res := &BroadcastResult{
+		Outputs:   make([][]byte, len(olds)),
+		PerClient: make([]stats.Costs, len(olds)),
+	}
+
+	// Per-client engine pairs. The emitted hash payload is deterministic in
+	// (fNew, cfg), so engine 0's bytes serve every client; the remaining
+	// engines' emissions are asserted identical.
+	var shared []byte
+	servers := make([]*ServerFile, len(olds))
+	for i := range olds {
+		srv, err := NewServerFile(fNew, &cfg)
+		if err != nil {
+			return nil, err
+		}
+		servers[i] = srv
+		if !srv.Active() {
+			continue
+		}
+		payload := srv.EmitHashes()
+		if shared == nil {
+			shared = payload
+		} else if !bytes.Equal(shared, payload) {
+			return nil, fmt.Errorf("core: broadcast hash streams diverged (internal error)")
+		}
+	}
+	res.SharedBytes = int64(len(shared))
+
+	for i, old := range olds {
+		cli, err := NewClientFile(old, len(fNew), &cfg)
+		if err != nil {
+			return nil, err
+		}
+		costs := &res.PerClient[i]
+		costs.Add(stats.S2C, stats.PhaseMap, len(shared))
+		if servers[i].Active() {
+			if err := cli.AbsorbHashes(shared); err != nil {
+				return nil, fmt.Errorf("core: client %d: %w", i, err)
+			}
+			reply := cli.EmitReply()
+			costs.Add(stats.C2S, stats.PhaseMap, len(reply))
+			res.UnicastBytes += int64(len(reply))
+			more, err := servers[i].AbsorbReply(reply)
+			if err != nil {
+				return nil, fmt.Errorf("core: client %d: %w", i, err)
+			}
+			if more {
+				return nil, fmt.Errorf("core: broadcast verification demanded a second batch (internal error)")
+			}
+		}
+		dl := servers[i].EmitDelta()
+		costs.Add(stats.S2C, stats.PhaseDelta, len(dl))
+		res.UnicastBytes += int64(len(dl))
+		costs.Roundtrips = 2
+		out, err := cli.ApplyDelta(dl)
+		if err == ErrVerifyFailed {
+			full := delta.Compress(fNew)
+			costs.Add(stats.S2C, stats.PhaseFull, len(full))
+			res.UnicastBytes += int64(len(full))
+			out, err = delta.Decompress(full)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: client %d: %w", i, err)
+		}
+		res.Outputs[i] = out
+	}
+	return res, nil
+}

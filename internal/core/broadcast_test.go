@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"msync/internal/corpus"
+)
+
+func TestBroadcastSyncAllClientsConverge(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	cur := corpus.SourceText(rng, 120_000)
+	em := corpus.EditModel{BurstsPer32KB: 2, BurstEdits: 4, EditSize: 50, BurstSpread: 300}
+	olds := [][]byte{
+		em.Apply(rng, cur),                // lightly diverged
+		em.Apply(rng, em.Apply(rng, cur)), // more diverged
+		corpus.RandomText(rng, 50_000),    // unrelated
+		nil,                               // empty
+		append([]byte(nil), cur...),       // identical
+	}
+
+	res, err := BroadcastSync(cur, olds, OneShotConfig(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range res.Outputs {
+		if !bytes.Equal(out, cur) {
+			t.Fatalf("client %d did not converge", i)
+		}
+	}
+	if res.SharedBytes == 0 {
+		t.Fatal("no shared payload")
+	}
+	// Broadcasting must beat repeating the hash stream per client.
+	if res.Total() >= res.UnicastTotal() {
+		t.Fatalf("broadcast total %d not below unicast %d", res.Total(), res.UnicastTotal())
+	}
+	saved := res.UnicastTotal() - res.Total()
+	if saved != res.SharedBytes*int64(len(olds)-1) {
+		t.Fatalf("saving %d != shared×(n-1) = %d", saved, res.SharedBytes*int64(len(olds)-1))
+	}
+	t.Logf("broadcast: shared %d B once for %d clients (unicast would cost %d, broadcast %d)",
+		res.SharedBytes, len(olds), res.UnicastTotal(), res.Total())
+}
+
+func TestBroadcastRejectsMultiRoundConfigs(t *testing.T) {
+	_, err := BroadcastSync([]byte("data"), [][]byte{nil}, DefaultConfig())
+	if err == nil {
+		t.Fatal("multi-round config accepted for broadcast")
+	}
+}
+
+func TestBroadcastNoClients(t *testing.T) {
+	res, err := BroadcastSync([]byte("content here that is long enough"), nil, OneShotConfig(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 0 {
+		t.Fatal("unexpected outputs")
+	}
+}
+
+func TestBroadcastSharedStreamDeterminism(t *testing.T) {
+	// The guarantee broadcast rests on: fresh one-shot engines over the same
+	// file emit byte-identical hash streams.
+	rng := rand.New(rand.NewSource(82))
+	cur := corpus.SourceText(rng, 60_000)
+	cfg := OneShotConfig(512)
+	a, err := NewServerFile(cur, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewServerFile(cur, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.EmitHashes(), b.EmitHashes()) {
+		t.Fatal("one-shot hash streams diverged across engines")
+	}
+}

@@ -1,0 +1,474 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"msync/internal/bitio"
+	"msync/internal/delta"
+	"msync/internal/gtest"
+	"msync/internal/md4"
+	"msync/internal/rolling"
+)
+
+// ErrVerifyFailed is returned by ApplyDelta when the reconstructed file does
+// not match the whole-file strong hash (a verification hash collision
+// slipped a false match through). The caller should fall back to a full
+// transfer.
+var ErrVerifyFailed = errors.New("core: reconstructed file failed whole-file check")
+
+// ClientFile is the per-file engine on the side holding the outdated version.
+type ClientFile struct {
+	state
+	fOld []byte
+	fam  rolling.Family
+
+	// candOff and candAlts track, for each candidate (index into
+	// candEntries), the currently chosen source offset in fOld and the
+	// remaining alternatives.
+	candOff  []int
+	candAlts [][]int32
+	altNext  []int
+
+	awaitConfirm bool
+}
+
+// searchSet is a small open-addressed set of the hash values received in
+// one round, mapping each value to the plan entries that sent it. The
+// client scans its old file once per window size, probing this
+// cache-resident set at every position — far cheaper than indexing every
+// position of the old file (which dominated CPU).
+type searchSet struct {
+	keys []uint64
+	val  []int32
+	mask uint64
+	over map[uint64][]int32 // additional entries sharing a key (rare)
+}
+
+// emptySlot never collides with a real key: keys are truncated hashes of at
+// most MaxHashBits (≤56) bits.
+const emptySlot = ^uint64(0)
+
+func newSearchSet(n int) *searchSet {
+	size := 16
+	for size < n*4 {
+		size *= 2
+	}
+	ss := &searchSet{
+		keys: make([]uint64, size),
+		val:  make([]int32, size),
+		mask: uint64(size - 1),
+	}
+	for i := range ss.keys {
+		ss.keys[i] = emptySlot
+	}
+	return ss
+}
+
+func (ss *searchSet) slot(key uint64) uint64 {
+	return (key * 0x9E3779B97F4A7C15) >> 1 & ss.mask
+}
+
+// add associates a plan entry index with a hash value.
+func (ss *searchSet) add(key uint64, entry int32) {
+	s := ss.slot(key)
+	for {
+		switch ss.keys[s] {
+		case emptySlot:
+			ss.keys[s] = key
+			ss.val[s] = entry
+			return
+		case key:
+			if ss.over == nil {
+				ss.over = make(map[uint64][]int32)
+			}
+			ss.over[key] = append(ss.over[key], entry)
+			return
+		}
+		s = (s + 1) & ss.mask
+	}
+}
+
+// lookup returns the first entry for key (ok=false if absent); extras holds
+// any further entries sharing the key.
+func (ss *searchSet) lookup(key uint64) (first int32, extras []int32, ok bool) {
+	s := ss.slot(key)
+	for {
+		switch ss.keys[s] {
+		case emptySlot:
+			return 0, nil, false
+		case key:
+			return ss.val[s], ss.over[key], true
+		}
+		s = (s + 1) & ss.mask
+	}
+}
+
+// NewClientFile starts the client engine for one file. newLen is the length
+// of the server's current version (learned from the collection manifest).
+func NewClientFile(fOld []byte, newLen int, cfg *Config) (*ClientFile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &ClientFile{fOld: fOld, fam: cfg.hashFamily()}
+	c.initState(cfg, newLen)
+	return c, nil
+}
+
+// Active reports whether this file still participates in map rounds.
+func (c *ClientFile) Active() bool { return !c.done }
+
+// finalizePending absorbs the final confirm bits of the previous round from
+// r and advances shared state. Called at the head of a new round's hash
+// message and of the delta message.
+func (c *ClientFile) finalizePending(r *bitio.Reader) error {
+	if !c.awaitConfirm {
+		return nil
+	}
+	groups := c.vplan.Groups()
+	results := make([]bool, len(groups))
+	for i := range results {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return fmt.Errorf("core: final confirm bits: %w", err)
+		}
+		results[i] = bit
+	}
+	c.noteBatch(len(groups))
+	if c.vplan.Absorb(results) {
+		return fmt.Errorf("%w: final confirm expected no further batches", ErrProtocol)
+	}
+	c.finalizeRound()
+	c.awaitConfirm = false
+	return nil
+}
+
+// finalizeRound applies the completed verification plan.
+func (c *ClientFile) finalizeRound() {
+	confirmed := c.vplan.Confirmed()
+	offs := make([]int, len(confirmed))
+	copy(offs, c.candOff)
+	c.finishRound(confirmed, offs)
+	c.candOff = nil
+	c.candAlts = nil
+	c.altNext = nil
+}
+
+// AbsorbHashes processes a round's hash section: it finalizes the previous
+// round from the piggybacked confirm bits, derives the same plan as the
+// server, reads the hashes, and searches fOld for candidates.
+func (c *ClientFile) AbsorbHashes(payload []byte) error {
+	r := bitio.NewReader(payload)
+	if err := c.finalizePending(r); err != nil {
+		return err
+	}
+	if c.done {
+		return fmt.Errorf("%w: hashes for a finished file", ErrProtocol)
+	}
+	c.plan = c.buildPlan()
+	hb := c.cfg.hashBits(c.n, c.b)
+
+	vals := make([]uint64, len(c.plan.entries))
+	cands := make([][]int32, len(c.plan.entries))
+	sizeCount := map[int]int{}
+	for i := range c.plan.entries {
+		e := &c.plan.entries[i]
+		raw, err := r.ReadBits(uint(e.bits))
+		if err != nil {
+			return fmt.Errorf("core: round hashes: %w", err)
+		}
+		var full uint64
+		var totalBits uint
+		switch e.kind {
+		case kTopUp:
+			bl := &c.blocks[e.blockIdx]
+			eff := uint(hb) - uint(e.bits)
+			leftVal := vals[e.siblingIdx]
+			low := c.fam.DeriveRight(bl.parentVal, eff, leftVal, e.size)
+			full = raw<<eff | low
+			totalBits = uint(hb)
+		default:
+			full = raw
+			totalBits = uint(e.bits)
+		}
+		vals[i] = full
+		if e.kind != kProbe {
+			bl := &c.blocks[e.blockIdx]
+			bl.hashBits = uint8(totalBits)
+			bl.hashVal = full
+		}
+		switch e.kind {
+		case kProbe:
+			cands[i] = c.probeCandidates(e, full)
+		case kLocal:
+			cands[i] = c.localCandidates(e, full)
+		default:
+			if e.size > 0 && e.size <= len(c.fOld) {
+				sizeCount[e.size]++
+			}
+		}
+	}
+
+	// Global/top-up entries: one old-file scan per window size against a
+	// small set of this round's hash values.
+	if len(sizeCount) > 0 {
+		sets := make(map[int]*searchSet, len(sizeCount))
+		for size, n := range sizeCount {
+			sets[size] = newSearchSet(n)
+		}
+		for i := range c.plan.entries {
+			e := &c.plan.entries[i]
+			if e.kind == kProbe || e.kind == kLocal || e.size <= 0 || e.size > len(c.fOld) {
+				continue
+			}
+			sets[e.size].add(rolling.Truncate(vals[i], uint(hb)), int32(i))
+		}
+		for size, set := range sets {
+			c.scanOld(size, uint(hb), set, cands)
+		}
+	}
+
+	c.candEntries = c.candEntries[:0]
+	c.candOff = c.candOff[:0]
+	c.candAlts = c.candAlts[:0]
+	for i := range c.plan.entries {
+		if len(cands[i]) > 0 {
+			c.candEntries = append(c.candEntries, i)
+			c.candOff = append(c.candOff, int(cands[i][0]))
+			c.candAlts = append(c.candAlts, cands[i])
+		}
+	}
+	c.altNext = make([]int, len(c.candEntries))
+	return nil
+}
+
+// scanOld slides a window of the given size across the old file, probing
+// the round's hash set at every alignment and recording candidate source
+// positions (at most MaxAlternates per entry).
+func (c *ClientFile) scanOld(size int, bits uint, set *searchSet, cands [][]int32) {
+	maxAlt := c.cfg.MaxAlternates
+	if maxAlt < 1 {
+		maxAlt = 1
+	}
+	roller := c.fam.Roller(size)
+	roller.Init(c.fOld)
+	for pos := 0; ; pos++ {
+		key := rolling.Truncate(roller.Sum(), bits)
+		if first, extras, ok := set.lookup(key); ok {
+			if len(cands[first]) < maxAlt {
+				cands[first] = append(cands[first], int32(pos))
+			}
+			for _, ei := range extras {
+				if len(cands[ei]) < maxAlt {
+					cands[ei] = append(cands[ei], int32(pos))
+				}
+			}
+		}
+		if pos+size >= len(c.fOld) {
+			break
+		}
+		roller.Roll(c.fOld[pos], c.fOld[pos+size])
+	}
+}
+
+// probeCandidates checks the (at most two) predicted positions for a
+// continuation probe.
+func (c *ClientFile) probeCandidates(e *entry, val uint64) []int32 {
+	var out []int32
+	check := func(mi int) {
+		if mi < 0 {
+			return
+		}
+		m := c.matches[mi]
+		pred := m.clientOff + (e.off - m.serverOff)
+		if pred < 0 || pred+e.size > len(c.fOld) {
+			return
+		}
+		h := rolling.Truncate(c.fam.Hash(c.fOld[pred:pred+e.size]), uint(e.bits))
+		if h == val {
+			for _, p := range out {
+				if int(p) == pred {
+					return
+				}
+			}
+			out = append(out, int32(pred))
+		}
+	}
+	check(e.matchIdx)
+	check(e.matchIdx2)
+	return out
+}
+
+// localCandidates scans a neighborhood of the predicted position.
+func (c *ClientFile) localCandidates(e *entry, val uint64) []int32 {
+	m := c.matches[e.matchIdx]
+	pred := m.clientOff + (e.off - m.serverOff)
+	lo := pred - c.cfg.LocalRadius
+	hi := pred + c.cfg.LocalRadius
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(c.fOld)-e.size {
+		hi = len(c.fOld) - e.size
+	}
+	if hi < lo || e.size == 0 || e.size > len(c.fOld) {
+		return nil
+	}
+	maxAlt := c.cfg.MaxAlternates
+	if maxAlt < 1 {
+		maxAlt = 1
+	}
+	var out []int32
+	roller := c.fam.Roller(e.size)
+	roller.Init(c.fOld[lo:])
+	for pos := lo; ; pos++ {
+		if rolling.Truncate(roller.Sum(), uint(e.bits)) == val {
+			out = append(out, int32(pos))
+			if len(out) >= maxAlt {
+				break
+			}
+		}
+		if pos >= hi || pos+e.size >= len(c.fOld) {
+			break
+		}
+		roller.Roll(c.fOld[pos], c.fOld[pos+e.size])
+	}
+	return out
+}
+
+// EmitReply writes the candidate bitmap and the first verification batch.
+func (c *ClientFile) EmitReply() []byte {
+	w := bitio.NewWriter(64)
+	ci := 0
+	for i := range c.plan.entries {
+		isCand := ci < len(c.candEntries) && c.candEntries[ci] == i
+		w.WriteBit(isCand)
+		if isCand {
+			ci++
+		}
+	}
+	c.noteReplyBitmap()
+	c.vplan = gtest.NewPlan(c.candidateClasses(), c.cfg.Verify)
+	c.emitBatchHashes(w)
+	return w.Bytes()
+}
+
+// emitBatchHashes writes the current batch's test hashes.
+func (c *ClientFile) emitBatchHashes(w *bitio.Writer) {
+	groups := c.vplan.Groups()
+	for _, g := range groups {
+		parts := make([][]byte, len(g.Members))
+		for mi, cand := range g.Members {
+			e := &c.plan.entries[c.candEntries[cand]]
+			off := c.candOff[cand]
+			parts[mi] = c.fOld[off : off+e.size]
+		}
+		w.WriteBits(verifyHash(c.cfg.VerifyBits, parts...), c.cfg.VerifyBits)
+	}
+	if len(groups) == 0 {
+		// Zero-candidate round: the verification plan is already complete.
+		if c.vplan.Absorb(nil) {
+			panic("core: empty verification plan demanded another batch")
+		}
+		c.finalizeRound()
+		return
+	}
+	c.awaitConfirm = true
+}
+
+// AbsorbConfirm processes an intermediate confirm bitmap; the round is NOT
+// final (the server will keep the final bitmap for piggybacking). It
+// prepares retry candidates and returns true when the client must emit
+// another batch.
+func (c *ClientFile) AbsorbConfirm(payload []byte) (bool, error) {
+	if !c.awaitConfirm {
+		return false, fmt.Errorf("%w: unexpected confirm bitmap", ErrProtocol)
+	}
+	r := bitio.NewReader(payload)
+	groups := c.vplan.Groups()
+	results := make([]bool, len(groups))
+	for i := range results {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return false, fmt.Errorf("core: confirm bitmap: %w", err)
+		}
+		results[i] = bit
+	}
+	c.noteBatch(len(groups))
+	more := c.vplan.Absorb(results)
+	if !more {
+		// Shouldn't happen: intermediate confirms imply more batches.
+		c.finalizeRound()
+		c.awaitConfirm = false
+		return false, nil
+	}
+	// Switch retry candidates to their next alternative source offset.
+	for _, g := range c.vplan.Groups() {
+		if !g.Retry {
+			continue
+		}
+		cand := g.Members[0]
+		alts := c.candAlts[cand]
+		c.altNext[cand]++
+		if c.altNext[cand] < len(alts) {
+			c.candOff[cand] = int(alts[c.altNext[cand]])
+		}
+	}
+	return true, nil
+}
+
+// EmitBatch writes the next verification batch.
+func (c *ClientFile) EmitBatch() []byte {
+	w := bitio.NewWriter(16)
+	c.emitBatchHashes(w)
+	return w.Bytes()
+}
+
+// ApplyDelta consumes the final delta section and reconstructs the current
+// file. On ErrVerifyFailed the caller should arrange a full transfer.
+func (c *ClientFile) ApplyDelta(payload []byte) ([]byte, error) {
+	r := bitio.NewReader(payload)
+	if err := c.finalizePending(r); err != nil {
+		return nil, err
+	}
+	r.Align()
+	wantSum, err := r.ReadBytes(md4.Size)
+	if err != nil {
+		return nil, fmt.Errorf("core: delta header: %w", err)
+	}
+	enc, err := r.ReadBytes(r.BitsRemaining() / 8)
+	if err != nil {
+		return nil, fmt.Errorf("core: delta payload: %w", err)
+	}
+
+	out := make([]byte, c.n)
+	// Materialize known regions from the old file.
+	for _, m := range c.matches {
+		copy(out[m.serverOff:m.serverOff+m.length], c.fOld[m.clientOff:m.clientOff+m.length])
+	}
+	var ref []byte
+	for _, iv := range c.coverIntervals() {
+		ref = append(ref, out[iv.start:iv.end]...)
+	}
+	target, err := delta.Decode(ref, enc)
+	if err != nil {
+		return nil, fmt.Errorf("core: delta decode: %w", err)
+	}
+	pos := 0
+	for _, g := range c.gaps() {
+		gl := g.end - g.start
+		if pos+gl > len(target) {
+			return nil, fmt.Errorf("core: delta target too short")
+		}
+		copy(out[g.start:g.end], target[pos:pos+gl])
+		pos += gl
+	}
+	if pos != len(target) {
+		return nil, fmt.Errorf("core: delta target length mismatch")
+	}
+	got := md4.Sum(out)
+	if string(got[:]) != string(wantSum) {
+		return nil, ErrVerifyFailed
+	}
+	return out, nil
+}

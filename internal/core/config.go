@@ -1,0 +1,231 @@
+// Package core implements the paper's primary contribution: the two-phase
+// file synchronization framework (map construction + delta compression) with
+// recursive block splitting, optimized group-testing match verification,
+// continuation and local hashes, and decomposable hash functions.
+//
+// The package exposes two per-file protocol engines, ServerFile (holds the
+// current version) and ClientFile (holds the outdated version and wants the
+// current one). The engines are message-level state machines: a driver — the
+// collection layer for real connections, SyncLocal for experiments — moves
+// byte sections between them in lockstep. Everything both sides must agree
+// on (round plans, block splits, verification group structure) is derived
+// from *shared* state by identical code paths in state.go, so the wire
+// carries almost nothing but hash bits and bitmaps.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"msync/internal/gtest"
+	"msync/internal/rolling"
+)
+
+// Config tunes the synchronization protocol. The zero value is not valid;
+// start from DefaultConfig or BasicConfig.
+type Config struct {
+	// MaxBlockSize is the initial (largest) block size; a power of two.
+	MaxBlockSize int
+	// MinBlockSize is the smallest block size for which global hashes are
+	// sent; a power of two.
+	MinBlockSize int
+	// ContMinBlock is the smallest continuation (extension) probe size;
+	// 0 disables continuation hashes. Probes keep halving after global
+	// recursion stops, down to this size.
+	ContMinBlock int
+	// ContBits is the width of a continuation hash in bits.
+	ContBits uint
+	// SlackBits is added to the 2*log2(n/b) global-hash width (paper §5.3).
+	SlackBits uint
+	// MinHashBits/MaxHashBits clamp the global hash width.
+	MinHashBits, MaxHashBits uint
+	// VerifyBits is the width of a verification hash (truncated MD5).
+	VerifyBits uint
+	// Verify configures the group-testing verification strategy.
+	Verify gtest.Config
+	// Decomposable suppresses transmission of hash bits derivable from
+	// parent and sibling hashes.
+	Decomposable bool
+	// TwoPhaseRounds splits each global round in two (paper §5.4): first a
+	// roundtrip of continuation probes alone, then the global hashes —
+	// omitting blocks probed in the first phase and blocks whose sibling
+	// was confirmed by it. Costs one extra roundtrip per round for a
+	// moderate byte saving.
+	TwoPhaseRounds bool
+	// EnableLocal turns on local hashes: blocks near (but not adjacent to)
+	// confirmed regions are matched only within a neighborhood of the
+	// predicted position, with fewer bits.
+	EnableLocal bool
+	// LocalRadius is the neighborhood half-width for local hashes, and
+	// LocalRange the maximum server-space distance from a confirmed region
+	// for a block to qualify.
+	LocalRadius, LocalRange int
+	// LocalSlack is added to log2(2*LocalRadius) for the local hash width.
+	LocalSlack uint
+	// MaxAlternates bounds how many alternative source offsets the client
+	// remembers per candidate (for retry-on-failed-verification).
+	MaxAlternates int
+	// HashFamily selects the rolling/decomposable hash construction:
+	// "poly" (default, Karp-Rabin style) or "adler" (the paper's modified
+	// Adler checksum).
+	HashFamily string
+	// Adaptive enables the early-stopping heuristic (paper §7 future work):
+	// once block sizes reach AdaptiveMinBlock, a file stops recursing when a
+	// round's map-phase bits exceed AdaptiveFactor × 8 × newly covered bytes.
+	Adaptive         bool
+	AdaptiveMinBlock int
+	AdaptiveFactor   float64
+}
+
+// DefaultConfig enables all the paper's techniques with its best practical
+// settings: continuation hashes down to 16 bytes, two verification batches
+// with growing groups, decomposable hashes.
+func DefaultConfig() Config {
+	return Config{
+		MaxBlockSize: 2048,
+		MinBlockSize: 128,
+		ContMinBlock: 16,
+		ContBits:     8,
+		SlackBits:    6,
+		MinHashBits:  10,
+		MaxHashBits:  40,
+		VerifyBits:   20,
+		Verify:       gtest.DefaultConfig(),
+		Decomposable: true,
+
+		MaxAlternates: 4,
+		LocalRadius:   256,
+		LocalRange:    4096,
+		LocalSlack:    5,
+	}
+}
+
+// BasicConfig is the paper's "basic protocol" (Figures 6.1/6.2): recursive
+// halving, decomposable hashes, and a separate verification hash per
+// candidate — continuation/local hashes and group testing disabled.
+func BasicConfig() Config {
+	c := DefaultConfig()
+	c.ContMinBlock = 0
+	c.EnableLocal = false
+	c.Verify = gtest.TrivialConfig()
+	c.VerifyBits = 16
+	return c
+}
+
+// OneShotConfig is a single-roundtrip variant (paper §7): one round at a
+// fixed block size with wider hashes, trivial verification folded into the
+// same exchange.
+func OneShotConfig(blockSize int) Config {
+	c := BasicConfig()
+	c.MaxBlockSize = blockSize
+	c.MinBlockSize = blockSize
+	c.SlackBits = 12
+	return c
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.MaxBlockSize <= 0 || c.MaxBlockSize&(c.MaxBlockSize-1) != 0 {
+		return fmt.Errorf("core: MaxBlockSize %d must be a positive power of two", c.MaxBlockSize)
+	}
+	if c.MinBlockSize <= 0 || c.MinBlockSize&(c.MinBlockSize-1) != 0 {
+		return fmt.Errorf("core: MinBlockSize %d must be a positive power of two", c.MinBlockSize)
+	}
+	if c.MinBlockSize > c.MaxBlockSize {
+		return fmt.Errorf("core: MinBlockSize %d > MaxBlockSize %d", c.MinBlockSize, c.MaxBlockSize)
+	}
+	if c.ContMinBlock < 0 {
+		return fmt.Errorf("core: ContMinBlock %d negative", c.ContMinBlock)
+	}
+	if c.ContMinBlock > 0 {
+		if c.ContMinBlock&(c.ContMinBlock-1) != 0 {
+			return fmt.Errorf("core: ContMinBlock %d must be a power of two", c.ContMinBlock)
+		}
+		if c.ContBits == 0 || c.ContBits > 32 {
+			return fmt.Errorf("core: ContBits %d out of range", c.ContBits)
+		}
+	}
+	if c.VerifyBits == 0 || c.VerifyBits > 64 {
+		return fmt.Errorf("core: VerifyBits %d out of range (1..64)", c.VerifyBits)
+	}
+	if c.MaxHashBits == 0 || c.MaxHashBits > 56 {
+		return fmt.Errorf("core: MaxHashBits %d out of range (1..56)", c.MaxHashBits)
+	}
+	if c.MinHashBits == 0 || c.MinHashBits > c.MaxHashBits {
+		return fmt.Errorf("core: MinHashBits %d out of range", c.MinHashBits)
+	}
+	if c.EnableLocal && (c.LocalRadius <= 0 || c.LocalRange <= 0) {
+		return fmt.Errorf("core: local hashes enabled with non-positive radius/range")
+	}
+	if c.Adaptive && c.AdaptiveFactor <= 0 {
+		return fmt.Errorf("core: Adaptive enabled with AdaptiveFactor %v", c.AdaptiveFactor)
+	}
+	if _, err := rolling.FamilyByName(c.HashFamily); err != nil {
+		return err
+	}
+	return nil
+}
+
+// hashFamily resolves the configured hash family (validated configs only).
+func (c *Config) hashFamily() rolling.Family {
+	f, err := rolling.FamilyByName(c.HashFamily)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// hashBits returns the width of a global hash for block size b in a file of
+// length n (paper §5.3: 2*log2(n/b) plus slack, clamped).
+func (c *Config) hashBits(n, b int) uint {
+	if n < 2 {
+		n = 2
+	}
+	if b < 1 {
+		b = 1
+	}
+	ratio := n / b
+	if ratio < 2 {
+		ratio = 2
+	}
+	h := 2*uint(bits.Len(uint(ratio-1))) + c.SlackBits
+	if h < c.MinHashBits {
+		h = c.MinHashBits
+	}
+	if h > c.MaxHashBits {
+		h = c.MaxHashBits
+	}
+	return h
+}
+
+// localBits returns the width of a local hash: enough to discriminate within
+// a 2*LocalRadius+1 neighborhood plus slack.
+func (c *Config) localBits() uint {
+	h := uint(bits.Len(uint(2*c.LocalRadius))) + c.LocalSlack
+	if h < 4 {
+		h = 4
+	}
+	if h > c.MaxHashBits {
+		h = c.MaxHashBits
+	}
+	return h
+}
+
+// initialBlockSize picks the starting block size for a file of length n:
+// MaxBlockSize, halved until it is at most n/2 (but never below
+// MinBlockSize).
+func (c *Config) initialBlockSize(n int) int {
+	b := c.MaxBlockSize
+	for b > c.MinBlockSize && b > n/2 {
+		b /= 2
+	}
+	return b
+}
+
+// minScheduleBlock is the smallest block size any round uses.
+func (c *Config) minScheduleBlock() int {
+	if c.ContMinBlock > 0 && c.ContMinBlock < c.MinBlockSize {
+		return c.ContMinBlock
+	}
+	return c.MinBlockSize
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"msync/internal/bitio"
+	"msync/internal/delta"
+	"msync/internal/inplace"
+	"msync/internal/md4"
+)
+
+// ApplyDeltaInPlace is ApplyDelta reconstructing the current file inside the
+// old file's buffer (in the manner of Rasch/Burns in-place rsync, which the
+// paper cites): confirmed matches become in-place copy operations, decoded
+// gaps become literals, and the planner in internal/inplace orders them so
+// no copy's source is clobbered early. The old buffer is consumed; the
+// returned slice may alias it. Stats report the planner's extra space.
+func (c *ClientFile) ApplyDeltaInPlace(payload []byte) ([]byte, inplace.Stats, error) {
+	var st inplace.Stats
+	r := bitio.NewReader(payload)
+	if err := c.finalizePending(r); err != nil {
+		return nil, st, err
+	}
+	r.Align()
+	wantSum, err := r.ReadBytes(md4.Size)
+	if err != nil {
+		return nil, st, fmt.Errorf("core: delta header: %w", err)
+	}
+	enc, err := r.ReadBytes(r.BitsRemaining() / 8)
+	if err != nil {
+		return nil, st, fmt.Errorf("core: delta payload: %w", err)
+	}
+
+	// The reference must be assembled from the old file BEFORE any in-place
+	// write happens.
+	cover := c.coverIntervals()
+	sorted := append([]match(nil), c.matches...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].serverOff < sorted[j].serverOff })
+
+	// materialize yields (writeOff, readOff, len) pieces tiling [s, e).
+	pieces := func(s, e int, emit func(w, rd, l int)) error {
+		pos := s
+		mi := sort.Search(len(sorted), func(i int) bool {
+			return sorted[i].serverOff+sorted[i].length > pos
+		})
+		for pos < e {
+			for mi < len(sorted) && sorted[mi].serverOff+sorted[mi].length <= pos {
+				mi++
+			}
+			if mi >= len(sorted) || sorted[mi].serverOff > pos {
+				return fmt.Errorf("core: cover gap at %d (internal error)", pos)
+			}
+			m := sorted[mi]
+			l := m.serverOff + m.length - pos
+			if pos+l > e {
+				l = e - pos
+			}
+			emit(pos, m.clientOff+(pos-m.serverOff), l)
+			pos += l
+		}
+		return nil
+	}
+
+	var ref []byte
+	for _, iv := range cover {
+		if err := pieces(iv.start, iv.end, func(_, rd, l int) {
+			ref = append(ref, c.fOld[rd:rd+l]...)
+		}); err != nil {
+			return nil, st, err
+		}
+	}
+	target, err := delta.Decode(ref, enc)
+	if err != nil {
+		return nil, st, fmt.Errorf("core: delta decode: %w", err)
+	}
+
+	// Build the in-place patch: copies for covered pieces, literals for gaps.
+	var ops []inplace.Op
+	for _, iv := range cover {
+		if err := pieces(iv.start, iv.end, func(w, rd, l int) {
+			ops = append(ops, inplace.Op{WriteOff: w, ReadOff: rd, Len: l})
+		}); err != nil {
+			return nil, st, err
+		}
+	}
+	pos := 0
+	for _, g := range c.gaps() {
+		gl := g.end - g.start
+		if pos+gl > len(target) {
+			return nil, st, fmt.Errorf("core: delta target too short")
+		}
+		ops = append(ops, inplace.Op{WriteOff: g.start, Data: target[pos : pos+gl]})
+		pos += gl
+	}
+	if pos != len(target) {
+		return nil, st, fmt.Errorf("core: delta target length mismatch")
+	}
+
+	out, st, err := inplace.Apply(c.fOld, ops, c.n)
+	if err != nil {
+		return nil, st, err
+	}
+	c.fOld = nil // consumed
+	got := md4.Sum(out)
+	if string(got[:]) != string(wantSum) {
+		return nil, st, ErrVerifyFailed
+	}
+	return out, st, nil
+}

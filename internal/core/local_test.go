@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"msync/internal/stats"
+)
+
+// mutate applies nEdits clustered random edits (insert/delete/replace) to a
+// copy of data, the change model the paper's workloads exhibit.
+func mutate(data []byte, nEdits, maxEdit int, rng *rand.Rand) []byte {
+	out := append([]byte(nil), data...)
+	for i := 0; i < nEdits; i++ {
+		if len(out) == 0 {
+			out = append(out, randBytes(rng, maxEdit)...)
+			continue
+		}
+		pos := rng.Intn(len(out))
+		l := 1 + rng.Intn(maxEdit)
+		switch rng.Intn(3) {
+		case 0: // insert
+			ins := randBytes(rng, l)
+			out = append(out[:pos], append(ins, out[pos:]...)...)
+		case 1: // delete
+			end := pos + l
+			if end > len(out) {
+				end = len(out)
+			}
+			out = append(out[:pos], out[end:]...)
+		default: // replace
+			end := pos + l
+			if end > len(out) {
+				end = len(out)
+			}
+			repl := randBytes(rng, end-pos)
+			copy(out[pos:end], repl)
+		}
+	}
+	return out
+}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return b
+}
+
+// textLike produces compressible, structured data reminiscent of source code.
+func textLike(rng *rand.Rand, n int) []byte {
+	words := []string{"func", "return", "if", "err", "nil", "for", "range", "int",
+		"string", "byte", "struct", "package", "import", "var", "const", "type"}
+	var buf bytes.Buffer
+	for buf.Len() < n {
+		buf.WriteString(words[rng.Intn(len(words))])
+		if rng.Intn(8) == 0 {
+			buf.WriteByte('\n')
+		} else {
+			buf.WriteByte(' ')
+		}
+	}
+	return buf.Bytes()[:n]
+}
+
+func TestSyncLocalBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	old := textLike(rng, 100_000)
+	cur := mutate(old, 20, 50, rng)
+
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"default", DefaultConfig()},
+		{"basic", BasicConfig()},
+		{"oneshot", OneShotConfig(256)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := SyncLocal(old, cur, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(res.Output, cur) {
+				t.Fatalf("reconstruction mismatch")
+			}
+			total := res.Costs.Total()
+			t.Logf("%s: %d bytes total (%.1f%% of file), %d roundtrips, harvest %.2f",
+				tc.name, total, 100*float64(total)/float64(len(cur)),
+				res.Costs.Roundtrips, res.Costs.HarvestRate())
+			if total >= int64(len(cur)) {
+				t.Errorf("sync cost %d not below file size %d", total, len(cur))
+			}
+		})
+	}
+}
+
+func TestSyncLocalIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := textLike(rng, 50_000)
+	res, err := SyncLocal(data, data, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Output, data) {
+		t.Fatal("mismatch")
+	}
+	if res.Costs.Total() > 2000 {
+		t.Errorf("identical files cost %d bytes; want near-zero", res.Costs.Total())
+	}
+	t.Logf("identical: %d bytes, map s2c %d c2s %d", res.Costs.Total(),
+		res.Costs.Bytes(stats.S2C, stats.PhaseMap), res.Costs.Bytes(stats.C2S, stats.PhaseMap))
+}
+
+func TestSyncLocalEmptyAndTiny(t *testing.T) {
+	cases := [][2][]byte{
+		{nil, nil},
+		{nil, []byte("hello")},
+		{[]byte("hello"), nil},
+		{[]byte("hello"), []byte("world")},
+		{[]byte("abc"), bytes.Repeat([]byte("abc"), 1000)},
+		{bytes.Repeat([]byte("xyz"), 1000), []byte("xy")},
+	}
+	for i, c := range cases {
+		res, err := SyncLocal(c[0], c[1], DefaultConfig())
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(res.Output, c[1]) {
+			t.Fatalf("case %d: mismatch", i)
+		}
+	}
+}

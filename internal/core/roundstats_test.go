@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"msync/internal/corpus"
+)
+
+// TestRoundStatsConsistency: per-round diagnostics must be identical on
+// both sides and internally coherent (coverage monotone, confirmations
+// bounded by candidates, bits positive whenever hashes flowed).
+func TestRoundStatsConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	old := corpus.SourceText(rng, 120_000)
+	em := corpus.EditModel{BurstsPer32KB: 3, BurstEdits: 4, EditSize: 60, BurstSpread: 300}
+	cur := em.Apply(rng, old)
+
+	cfg := DefaultConfig()
+	srv, err := NewServerFile(cur, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClientFile(old, len(cur), &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for srv.Active() {
+		if err := cli.AbsorbHashes(srv.EmitHashes()); err != nil {
+			t.Fatal(err)
+		}
+		more, err := srv.AbsorbReply(cli.EmitReply())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for more {
+			cliMore, err := cli.AbsorbConfirm(srv.EmitConfirm())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cliMore {
+				break
+			}
+			if more, err = srv.AbsorbBatch(cli.EmitBatch()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := cli.ApplyDelta(srv.EmitDelta()); err != nil {
+		t.Fatal(err)
+	}
+
+	sr, cr := srv.Rounds(), cli.Rounds()
+	if len(sr) == 0 {
+		t.Fatal("no round stats recorded")
+	}
+	if len(sr) != len(cr) {
+		t.Fatalf("round counts differ: %d vs %d", len(sr), len(cr))
+	}
+	prevCovered := 0
+	prevBlock := 1 << 30
+	for i := range sr {
+		if sr[i] != cr[i] {
+			t.Fatalf("round %d stats differ:\nserver %+v\nclient %+v", i, sr[i], cr[i])
+		}
+		r := sr[i]
+		if r.Round != i {
+			t.Fatalf("round index %d at position %d", r.Round, i)
+		}
+		if r.BlockSize >= prevBlock {
+			t.Fatalf("block size did not shrink: %d -> %d", prevBlock, r.BlockSize)
+		}
+		prevBlock = r.BlockSize
+		if r.Confirmed > r.Candidates {
+			t.Fatalf("round %d: %d confirmed > %d candidates", i, r.Confirmed, r.Candidates)
+		}
+		if r.CoveredBytes < prevCovered {
+			t.Fatalf("coverage shrank at round %d", i)
+		}
+		if r.CoveredBytes-prevCovered != r.NewBytes {
+			t.Fatalf("round %d: NewBytes %d inconsistent with coverage %d->%d",
+				i, r.NewBytes, prevCovered, r.CoveredBytes)
+		}
+		prevCovered = r.CoveredBytes
+		total := r.Globals + r.TopUps + r.Locals + r.Probes
+		if total > 0 && r.Bits <= 0 {
+			t.Fatalf("round %d: %d entries but %d bits", i, total, r.Bits)
+		}
+	}
+	// Decomposability must actually be in play: some top-up entries after
+	// round 0.
+	topUps := 0
+	for _, r := range sr[1:] {
+		topUps += r.TopUps
+	}
+	if topUps == 0 {
+		t.Fatal("no top-up entries recorded; decomposability inactive?")
+	}
+	t.Logf("rounds: %d; last: %+v", len(sr), sr[len(sr)-1])
+}
+
+// TestRoundDetailsExposedLocally: SyncLocal surfaces the records.
+func TestRoundDetailsExposedLocally(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	old := corpus.SourceText(rng, 40_000)
+	cur := corpus.EditModel{BurstsPer32KB: 3, BurstEdits: 3, EditSize: 40, BurstSpread: 200}.Apply(rng, old)
+	res, err := SyncLocal(old, cur, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RoundDetails) != res.Rounds {
+		t.Fatalf("RoundDetails %d != Rounds %d", len(res.RoundDetails), res.Rounds)
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"msync/internal/bitio"
+	"msync/internal/delta"
+	"msync/internal/gtest"
+	"msync/internal/md4"
+	"msync/internal/rolling"
+)
+
+// ErrProtocol reports a malformed or out-of-order message.
+var ErrProtocol = errors.New("core: protocol error")
+
+// ServerFile is the per-file engine on the side holding the current version.
+type ServerFile struct {
+	state
+	fNew []byte
+	fam  rolling.Family
+
+	// pendingConfirm holds the final batch's results, piggybacked onto the
+	// next round's hash message (or the delta message).
+	pendingConfirm []bool
+	// lastResults holds intermediate batch results for EmitConfirm.
+	lastResults []bool
+	morePending bool
+
+	// Counters for stats.
+	HashesSent       int64
+	CandidatesSeen   int64
+	MatchesConfirmed int64
+}
+
+// NewServerFile starts the server engine for one file.
+func NewServerFile(fNew []byte, cfg *Config) (*ServerFile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &ServerFile{fNew: fNew, fam: cfg.hashFamily()}
+	s.initState(cfg, len(fNew))
+	return s, nil
+}
+
+// Active reports whether this file still participates in map rounds.
+func (s *ServerFile) Active() bool { return !s.done }
+
+// EmitHashes builds the round plan and writes the round's hash section:
+// pending confirm bits followed by one hash per planned entry.
+func (s *ServerFile) EmitHashes() []byte {
+	w := bitio.NewWriter(64)
+	for _, r := range s.pendingConfirm {
+		w.WriteBit(r)
+	}
+	s.pendingConfirm = nil
+
+	s.plan = s.buildPlan()
+	hb := s.cfg.hashBits(s.n, s.b)
+	for i := range s.plan.entries {
+		e := &s.plan.entries[i]
+		full := s.fam.Hash(s.fNew[e.off : e.off+e.size])
+		switch e.kind {
+		case kTopUp:
+			eff := uint(hb) - uint(e.bits)
+			w.WriteBits(rolling.Truncate(full, uint(hb))>>eff, uint(e.bits))
+		default:
+			w.WriteBits(rolling.Truncate(full, uint(e.bits)), uint(e.bits))
+		}
+		if e.kind != kProbe {
+			// Record what the client now knows about this block.
+			bl := &s.blocks[e.blockIdx]
+			bl.hashBits = s.entryTotalBits(e)
+			bl.hashVal = full
+		}
+	}
+	s.HashesSent += int64(len(s.plan.entries))
+	return w.Bytes()
+}
+
+// AbsorbReply processes the client's candidate bitmap and first verification
+// batch. It returns true when more verification batches are pending.
+func (s *ServerFile) AbsorbReply(payload []byte) (more bool, err error) {
+	if s.plan == nil {
+		return false, fmt.Errorf("%w: reply without a round in flight", ErrProtocol)
+	}
+	r := bitio.NewReader(payload)
+	s.candEntries = s.candEntries[:0]
+	for i := range s.plan.entries {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return false, fmt.Errorf("core: candidate bitmap: %w", err)
+		}
+		if bit {
+			s.candEntries = append(s.candEntries, i)
+		}
+	}
+	s.noteReplyBitmap()
+	s.CandidatesSeen += int64(len(s.candEntries))
+	s.vplan = gtest.NewPlan(s.candidateClasses(), s.cfg.Verify)
+	return s.absorbBatchHashes(r)
+}
+
+// AbsorbBatch processes a subsequent verification batch.
+func (s *ServerFile) AbsorbBatch(payload []byte) (more bool, err error) {
+	if s.vplan == nil || !s.morePending {
+		return false, fmt.Errorf("%w: unexpected verification batch", ErrProtocol)
+	}
+	return s.absorbBatchHashes(bitio.NewReader(payload))
+}
+
+// absorbBatchHashes reads and checks the current batch's test hashes.
+func (s *ServerFile) absorbBatchHashes(r *bitio.Reader) (bool, error) {
+	groups := s.vplan.Groups()
+	results := make([]bool, len(groups))
+	for gi, g := range groups {
+		got, err := r.ReadBits(s.cfg.VerifyBits)
+		if err != nil {
+			return false, fmt.Errorf("core: verification hashes: %w", err)
+		}
+		parts := make([][]byte, len(g.Members))
+		for mi, ci := range g.Members {
+			e := &s.plan.entries[s.candEntries[ci]]
+			parts[mi] = s.fNew[e.off : e.off+e.size]
+		}
+		results[gi] = got == verifyHash(s.cfg.VerifyBits, parts...)
+	}
+	s.noteBatch(len(groups))
+	more := s.vplan.Absorb(results)
+	s.lastResults = results
+	s.morePending = more
+	if !more {
+		s.finalizeRound()
+	}
+	return more, nil
+}
+
+// EmitConfirm writes the intermediate confirm bitmap for the last batch.
+func (s *ServerFile) EmitConfirm() []byte {
+	w := bitio.NewWriter(8)
+	for _, r := range s.lastResults {
+		w.WriteBit(r)
+	}
+	return w.Bytes()
+}
+
+// finalizeRound applies verification outcomes and advances shared state.
+func (s *ServerFile) finalizeRound() {
+	confirmed := s.vplan.Confirmed()
+	offs := make([]int, len(confirmed)) // server never needs client offsets
+	n := 0
+	for _, c := range confirmed {
+		if c {
+			n++
+		}
+	}
+	s.MatchesConfirmed += int64(n)
+	s.pendingConfirm = s.lastResults
+	s.lastResults = nil
+	s.finishRound(confirmed, offs)
+}
+
+// EmitDelta produces the final per-file delta section: any pending confirm
+// bits, the whole-file strong hash, and the delta of the unknown gaps
+// encoded against the known (covered) bytes.
+func (s *ServerFile) EmitDelta() []byte {
+	w := bitio.NewWriter(256)
+	for _, r := range s.pendingConfirm {
+		w.WriteBit(r)
+	}
+	s.pendingConfirm = nil
+	w.Align()
+
+	var ref, target []byte
+	for _, iv := range s.coverIntervals() {
+		ref = append(ref, s.fNew[iv.start:iv.end]...)
+	}
+	for _, g := range s.gaps() {
+		target = append(target, s.fNew[g.start:g.end]...)
+	}
+	sum := md4.Sum(s.fNew)
+	w.WriteBytes(sum[:])
+	w.WriteBytes(delta.Encode(ref, target))
+	return w.Bytes()
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"msync/internal/corpus"
+)
+
+// TestTwoPhaseRoundStructure: with TwoPhaseRounds on, rounds alternate
+// probe-only and global halves at the same block size once matches exist.
+func TestTwoPhaseRoundStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	old := corpus.SourceText(rng, 80_000)
+	cur := corpus.EditModel{BurstsPer32KB: 3, BurstEdits: 4, EditSize: 50, BurstSpread: 300}.Apply(rng, old)
+
+	cfg := DefaultConfig()
+	cfg.TwoPhaseRounds = true
+	res, err := SyncLocal(old, cur, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Output, cur) {
+		t.Fatal("mismatch")
+	}
+
+	sawPair := false
+	for i := 0; i+1 < len(res.RoundDetails); i++ {
+		a, b := res.RoundDetails[i], res.RoundDetails[i+1]
+		if a.BlockSize == b.BlockSize {
+			// Must be a probe-half followed by a global-half.
+			if a.Globals+a.TopUps+a.Locals != 0 {
+				t.Fatalf("round %d holds block size but sent globals: %+v", i, a)
+			}
+			if a.Probes == 0 {
+				t.Fatalf("probe half without probes: %+v", a)
+			}
+			if b.Probes != 0 {
+				t.Fatalf("global half resent probes: %+v", b)
+			}
+			sawPair = true
+		}
+	}
+	if !sawPair {
+		t.Fatal("no two-phase round pair observed")
+	}
+}
+
+// TestTwoPhaseSavesOrMatchesBytes: the paper reports "moderate benefits";
+// we require the two-phase mode to cost at most a few percent more and to
+// send fewer global hashes.
+func TestTwoPhaseSavesOrMatchesBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	old := corpus.SourceText(rng, 200_000)
+	cur := corpus.EditModel{BurstsPer32KB: 2, BurstEdits: 4, EditSize: 50, BurstSpread: 300}.Apply(rng, old)
+
+	plain := DefaultConfig()
+	two := DefaultConfig()
+	two.TwoPhaseRounds = true
+
+	rp, err := SyncLocal(old, cur, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := SyncLocal(old, cur, two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rt.Output, cur) {
+		t.Fatal("mismatch")
+	}
+
+	globals := func(rs []RoundStats) (n int) {
+		for _, r := range rs {
+			n += r.Globals + r.TopUps
+		}
+		return
+	}
+	gp, gt := globals(rp.RoundDetails), globals(rt.RoundDetails)
+	if gt > gp {
+		t.Fatalf("two-phase sent MORE global hashes: %d vs %d", gt, gp)
+	}
+	if rt.Costs.Total() > rp.Costs.Total()*110/100 {
+		t.Fatalf("two-phase cost %d far above single-phase %d", rt.Costs.Total(), rp.Costs.Total())
+	}
+	if rt.Costs.Roundtrips <= rp.Costs.Roundtrips {
+		t.Fatalf("two-phase should use more roundtrips: %d vs %d",
+			rt.Costs.Roundtrips, rp.Costs.Roundtrips)
+	}
+	t.Logf("single-phase: %d bytes, %d globals, %d rtrips; two-phase: %d bytes, %d globals, %d rtrips",
+		rp.Costs.Total(), gp, rp.Costs.Roundtrips, rt.Costs.Total(), gt, rt.Costs.Roundtrips)
+}

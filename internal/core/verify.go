@@ -1,0 +1,34 @@
+package core
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+
+	"msync/internal/rolling"
+)
+
+// verifyHash computes a truncated-MD5 verification hash over the
+// concatenation of parts. Verification hashes do not need the rolling or
+// decomposable properties, so a strong conventional hash is used (the paper
+// uses MD5 here too).
+func verifyHash(bits uint, parts ...[]byte) uint64 {
+	h := md5.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	var sum [md5.Size]byte
+	v := binary.BigEndian.Uint64(h.Sum(sum[:0])[:8])
+	return rolling.Truncate(v, bits)
+}
+
+// noteReplyBitmap accounts the per-entry candidate bitmap in the shared
+// bit-spend tally; called once per round on each side.
+func (st *state) noteReplyBitmap() {
+	st.roundBits += int64(len(st.plan.entries))
+}
+
+// noteBatch accounts one verification batch: vbits per test client→server
+// plus one result bit per test server→client.
+func (st *state) noteBatch(numTests int) {
+	st.roundBits += int64(numTests) * int64(st.cfg.VerifyBits+1)
+}

@@ -1,0 +1,110 @@
+// Package dirio loads directory trees into the path-keyed maps the
+// synchronization API works on, and applies synchronized results back to
+// disk. It is the filesystem boundary of the msync CLI.
+package dirio
+
+import (
+	"bytes"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Load reads every regular file under root, keyed by slash-separated
+// relative path. Symlinks are skipped (following them could escape root).
+func Load(root string) (map[string][]byte, error) {
+	files := make(map[string][]byte)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !d.Type().IsRegular() {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		files[filepath.ToSlash(rel)] = data
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return files, nil
+}
+
+// Apply writes the synchronized file set to root: files present in after
+// are written when their content differs from before; files absent from
+// after are removed. Empty directories left behind are pruned.
+func Apply(root string, before, after map[string][]byte) error {
+	for rel, data := range after {
+		if err := checkPath(rel); err != nil {
+			return err
+		}
+		if old, ok := before[rel]; ok && bytes.Equal(old, data) {
+			continue
+		}
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+	}
+	for rel := range before {
+		if _, ok := after[rel]; ok {
+			continue
+		}
+		if err := checkPath(rel); err != nil {
+			return err
+		}
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		pruneEmptyParents(root, filepath.Dir(path))
+	}
+	return nil
+}
+
+// checkPath rejects path traversal and absolute paths from the wire.
+func checkPath(rel string) error {
+	if rel == "" || strings.HasPrefix(rel, "/") || strings.HasPrefix(rel, "\\") {
+		return fmt.Errorf("dirio: refusing path %q", rel)
+	}
+	for _, part := range strings.Split(rel, "/") {
+		if part == ".." || part == "" {
+			return fmt.Errorf("dirio: refusing path %q", rel)
+		}
+	}
+	if filepath.IsAbs(rel) || (len(rel) > 1 && rel[1] == ':') {
+		return fmt.Errorf("dirio: refusing path %q", rel)
+	}
+	return nil
+}
+
+// pruneEmptyParents removes now-empty directories up to (not including) root.
+func pruneEmptyParents(root, dir string) {
+	rootAbs, err := filepath.Abs(root)
+	if err != nil {
+		return
+	}
+	for {
+		dirAbs, err := filepath.Abs(dir)
+		if err != nil || dirAbs == rootAbs || !strings.HasPrefix(dirAbs, rootAbs+string(filepath.Separator)) {
+			return
+		}
+		if err := os.Remove(dir); err != nil {
+			return // not empty or gone
+		}
+		dir = filepath.Dir(dir)
+	}
+}

@@ -1,0 +1,142 @@
+package dirio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, root, rel, content string) {
+	t.Helper()
+	path := filepath.Join(root, filepath.FromSlash(rel))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadAndApplyRoundTrip(t *testing.T) {
+	src := t.TempDir()
+	write(t, src, "a.txt", "alpha")
+	write(t, src, "sub/dir/b.txt", "beta")
+	write(t, src, "sub/c.bin", string([]byte{0, 1, 2, 255}))
+
+	files, err := Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("loaded %d files", len(files))
+	}
+	if string(files["sub/dir/b.txt"]) != "beta" {
+		t.Fatalf("content: %q", files["sub/dir/b.txt"])
+	}
+
+	dst := t.TempDir()
+	if err := Apply(dst, map[string][]byte{}, files); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := Load(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reloaded) != len(files) {
+		t.Fatalf("reloaded %d files", len(reloaded))
+	}
+	for rel, data := range files {
+		if !bytes.Equal(reloaded[rel], data) {
+			t.Fatalf("mismatch for %s", rel)
+		}
+	}
+}
+
+func TestApplyUpdatesAndDeletes(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "keep.txt", "same")
+	write(t, root, "mod.txt", "old")
+	write(t, root, "gone/deep/dead.txt", "bye")
+
+	before, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := map[string][]byte{
+		"keep.txt": []byte("same"),
+		"mod.txt":  []byte("new content"),
+		"new.txt":  []byte("hello"),
+	}
+	if err := Apply(root, before, after); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d files: %v", len(got), keys(got))
+	}
+	if string(got["mod.txt"]) != "new content" || string(got["new.txt"]) != "hello" {
+		t.Fatal("update/create failed")
+	}
+	// The emptied directory chain is pruned.
+	if _, err := os.Stat(filepath.Join(root, "gone")); !os.IsNotExist(err) {
+		t.Fatal("empty directory not pruned")
+	}
+}
+
+func keys(m map[string][]byte) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestApplyRejectsTraversal(t *testing.T) {
+	root := t.TempDir()
+	for _, bad := range []string{"../escape", "a/../../b", "/abs", "a//b", ""} {
+		err := Apply(root, nil, map[string][]byte{bad: []byte("evil")})
+		if err == nil {
+			t.Errorf("path %q accepted", bad)
+		}
+	}
+}
+
+func TestApplyIdempotent(t *testing.T) {
+	root := t.TempDir()
+	files := map[string][]byte{"x/y.txt": []byte("data")}
+	if err := Apply(root, nil, files); err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(root, files, files); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := Load(root)
+	if string(got["x/y.txt"]) != "data" {
+		t.Fatal("content lost")
+	}
+}
+
+func TestLoadMissingRoot(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("missing root accepted")
+	}
+}
+
+func TestLoadSkipsSymlinks(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "real.txt", "content")
+	if err := os.Symlink("/etc", filepath.Join(root, "link")); err != nil {
+		t.Skipf("symlinks unavailable: %v", err)
+	}
+	files, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("symlink not skipped: %v", keys(files))
+	}
+}

@@ -1,0 +1,29 @@
+package huffman
+
+import (
+	"testing"
+
+	"msync/internal/bitio"
+)
+
+// FuzzReadTable: arbitrary table bytes must never panic; a decoder built
+// from a hostile table must still terminate on arbitrary streams.
+func FuzzReadTable(f *testing.F) {
+	code, _ := Build([]int64{5, 3, 2, 1, 1})
+	w := &bitio.Writer{}
+	code.WriteTable(w)
+	f.Add(w.Bytes(), []byte{0xAB, 0xCD})
+	f.Add([]byte{0, 3, 1, 2}, []byte{0xFF})
+	f.Fuzz(func(t *testing.T, table, stream []byte) {
+		dec, err := ReadTable(bitio.NewReader(table))
+		if err != nil {
+			return
+		}
+		r := bitio.NewReader(stream)
+		for i := 0; i < 100; i++ {
+			if _, err := dec.Decode(r); err != nil {
+				return
+			}
+		}
+	})
+}

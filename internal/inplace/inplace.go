@@ -1,0 +1,326 @@
+// Package inplace implements in-place file reconstruction in the style of
+// Rasch and Burns, "In-Place Rsync: File Synchronization for Mobile and
+// Wireless Devices" (USENIX ATC 2003), which the paper cites as the
+// contemporaneous space-optimization of rsync-style patching.
+//
+// A patch is a set of operations writing disjoint ranges of the new file:
+// copies (whose source is a range of the OLD file, which occupies the same
+// buffer) and literals. Executing copies naively can destroy sources that
+// later copies still need. This package orders the copies topologically on
+// the "Y's write clobbers X's source" relation and, when cycles make a safe
+// order impossible, buffers the cheapest remaining op's source bytes up
+// front — the algorithm's only extra space.
+package inplace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Op is one patch operation. Exactly one of (Data) / (ReadOff, Len) is
+// meaningful: a literal carries Data; a copy reads Len bytes at ReadOff of
+// the old file.
+type Op struct {
+	WriteOff int
+	// Copy fields.
+	ReadOff int
+	Len     int
+	// Literal data (nil for copies).
+	Data []byte
+}
+
+// IsCopy reports whether the op is a copy.
+func (o *Op) IsCopy() bool { return o.Data == nil }
+
+func (o *Op) writeLen() int {
+	if o.IsCopy() {
+		return o.Len
+	}
+	return len(o.Data)
+}
+
+// Stats reports what the planner had to do.
+type Stats struct {
+	// Copies and Literals count the input ops.
+	Copies, Literals int
+	// Buffered is the number of copies converted to buffered reads to break
+	// dependency cycles; ExtraBytes is the temporary space they cost.
+	Buffered   int
+	ExtraBytes int
+}
+
+// ErrBadPatch reports overlapping writes or out-of-range operations.
+var ErrBadPatch = errors.New("inplace: invalid patch")
+
+// Apply reconstructs the new file in the old file's buffer, returning the
+// (possibly re-sliced or grown) result. The ops' write ranges must tile
+// exactly [0, newLen) without overlap.
+func Apply(old []byte, ops []Op, newLen int) ([]byte, Stats, error) {
+	var st Stats
+	oldLen := len(old)
+
+	// Validate: writes tile [0, newLen); copies read within the old file.
+	sorted := make([]*Op, len(ops))
+	for i := range ops {
+		sorted[i] = &ops[i]
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].WriteOff < sorted[j].WriteOff })
+	pos := 0
+	for _, o := range sorted {
+		if o.WriteOff != pos {
+			return nil, st, fmt.Errorf("%w: write gap/overlap at %d (expected %d)", ErrBadPatch, o.WriteOff, pos)
+		}
+		pos += o.writeLen()
+		if o.IsCopy() {
+			st.Copies++
+			if o.ReadOff < 0 || o.Len < 0 || o.ReadOff+o.Len > oldLen {
+				return nil, st, fmt.Errorf("%w: copy source [%d,%d) outside old file", ErrBadPatch, o.ReadOff, o.ReadOff+o.Len)
+			}
+		} else {
+			st.Literals++
+		}
+	}
+	if pos != newLen {
+		return nil, st, fmt.Errorf("%w: writes cover %d bytes, want %d", ErrBadPatch, pos, newLen)
+	}
+
+	// Collect copies and order them.
+	var copies []*Op
+	for _, o := range sorted {
+		if o.IsCopy() && o.Len > 0 {
+			copies = append(copies, o)
+		}
+	}
+	order, buffered := planCopies(copies)
+
+	// Grow the buffer to max(oldLen, newLen).
+	buf := old
+	if newLen > len(buf) {
+		buf = append(buf, make([]byte, newLen-len(buf))...)
+	}
+
+	// Snapshot the sources of cycle-breaking ops before anything writes.
+	bufferedData := make(map[*Op][]byte, len(buffered))
+	for _, o := range buffered {
+		bufferedData[o] = append([]byte(nil), buf[o.ReadOff:o.ReadOff+o.Len]...)
+		st.Buffered++
+		st.ExtraBytes += o.Len
+	}
+
+	// Execute copies in dependency order (copy() is memmove-safe for the
+	// self-overlap case).
+	for _, o := range order {
+		if data, ok := bufferedData[o]; ok {
+			copy(buf[o.WriteOff:], data)
+			continue
+		}
+		copy(buf[o.WriteOff:o.WriteOff+o.Len], buf[o.ReadOff:o.ReadOff+o.Len])
+	}
+	// Literals last: their write ranges are disjoint from every copy's
+	// write range, and copies no longer read.
+	for _, o := range sorted {
+		if !o.IsCopy() {
+			copy(buf[o.WriteOff:], o.Data)
+		}
+	}
+	return buf[:newLen], st, nil
+}
+
+// planCopies orders copies so that no op's source is clobbered before it
+// runs, converting ops to buffered reads when cycles force it. Returns the
+// execution order and the set of buffered ops.
+func planCopies(copies []*Op) (order, buffered []*Op) {
+	n := len(copies)
+	if n == 0 {
+		return nil, nil
+	}
+	// Sort an index of write intervals for overlap queries.
+	byWrite := make([]int, n)
+	for i := range byWrite {
+		byWrite[i] = i
+	}
+	sort.Slice(byWrite, func(a, b int) bool {
+		return copies[byWrite[a]].WriteOff < copies[byWrite[b]].WriteOff
+	})
+	writeStarts := make([]int, n)
+	for i, idx := range byWrite {
+		writeStarts[i] = copies[idx].WriteOff
+	}
+
+	// succ[x] lists ops whose writes overlap x's read: x must precede them.
+	// indegree[y] counts ops that must precede y.
+	succ := make([][]int32, n)
+	indegree := make([]int, n)
+	for x := 0; x < n; x++ {
+		rs, re := copies[x].ReadOff, copies[x].ReadOff+copies[x].Len
+		// Find write intervals intersecting [rs, re).
+		i := sort.SearchInts(writeStarts, rs+1) - 1
+		if i < 0 {
+			i = 0
+		}
+		for ; i < n && writeStarts[i] < re; i++ {
+			y := byWrite[i]
+			o := copies[y]
+			if o.WriteOff+o.Len <= rs || y == x {
+				continue
+			}
+			succ[x] = append(succ[x], int32(y))
+			indegree[y]++
+		}
+	}
+
+	done := make([]bool, n)
+	isBuffered := make([]bool, n)
+	var queue []int
+	for y, d := range indegree {
+		if d == 0 {
+			queue = append(queue, y)
+		}
+	}
+	remaining := n
+	for remaining > 0 {
+		if len(queue) == 0 {
+			// Deadlock: every remaining op waits on another. Buffer the
+			// cheapest op that actually sits on a dependency cycle (found
+			// via SCC) — buffering nodes merely *behind* a cycle would waste
+			// space without unblocking anything.
+			best := cheapestOnCycle(copies, succ, done, isBuffered)
+			if best < 0 {
+				// No detectable cycle among unbuffered nodes (all remaining
+				// cycles pass through already-buffered ops whose indegree
+				// has not drained yet): fall back to the cheapest remaining.
+				for x := 0; x < n; x++ {
+					if !done[x] && !isBuffered[x] && (best < 0 || copies[x].Len < copies[best].Len) {
+						best = x
+					}
+				}
+			}
+			if best < 0 {
+				panic("inplace: planner stuck with no candidates")
+			}
+			isBuffered[best] = true
+			buffered = append(buffered, copies[best])
+			for _, y := range succ[best] {
+				indegree[y]--
+				if indegree[y] == 0 && !done[y] {
+					queue = append(queue, int(y))
+				}
+			}
+			succ[best] = nil
+			// A buffered op has no remaining read constraints of its own,
+			// but others may still need to precede it (they read what it
+			// writes), so it stays in the graph until its indegree drains.
+			if indegree[best] == 0 {
+				queue = append(queue, best)
+			}
+			continue
+		}
+		x := queue[0]
+		queue = queue[1:]
+		if done[x] {
+			continue
+		}
+		done[x] = true
+		remaining--
+		order = append(order, copies[x])
+		for _, y := range succ[x] {
+			indegree[y]--
+			if indegree[y] == 0 && !done[y] {
+				queue = append(queue, int(y))
+			}
+		}
+	}
+	return order, buffered
+}
+
+// cheapestOnCycle returns the index of the cheapest not-done, not-buffered
+// copy that lies on a dependency cycle, or -1. Cycles are the non-trivial
+// strongly connected components of the remaining constraint graph
+// (Tarjan's algorithm, iterative).
+func cheapestOnCycle(copies []*Op, succ [][]int32, done, isBuffered []bool) int {
+	n := len(copies)
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = -1
+	}
+	var stack []int
+	next := 0
+	nComp := 0
+	compSize := make(map[int]int)
+
+	type frame struct {
+		v  int
+		ei int // next successor index to examine
+	}
+	skip := func(v int) bool { return done[v] }
+
+	for start := 0; start < n; start++ {
+		if skip(start) || index[start] != unvisited {
+			continue
+		}
+		callStack := []frame{{start, 0}}
+		index[start], low[start] = next, next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.ei < len(succ[f.v]) {
+				w := int(succ[f.v][f.ei])
+				f.ei++
+				if skip(w) {
+					continue
+				}
+				if index[w] == unvisited {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Post-order: pop v.
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := &callStack[len(callStack)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					compSize[nComp]++
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+		}
+	}
+
+	best := -1
+	for x := 0; x < n; x++ {
+		if done[x] || isBuffered[x] || comp[x] < 0 || compSize[comp[x]] < 2 {
+			continue
+		}
+		if best < 0 || copies[x].Len < copies[best].Len {
+			best = x
+		}
+	}
+	return best
+}

@@ -1,0 +1,263 @@
+package inplace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// applyReference executes a patch the easy way, into a fresh buffer.
+func applyReference(old []byte, ops []Op, newLen int) []byte {
+	out := make([]byte, newLen)
+	for _, o := range ops {
+		if o.IsCopy() {
+			copy(out[o.WriteOff:], old[o.ReadOff:o.ReadOff+o.Len])
+		} else {
+			copy(out[o.WriteOff:], o.Data)
+		}
+	}
+	return out
+}
+
+func TestApplySimple(t *testing.T) {
+	old := []byte("AAAABBBBCCCC")
+	// New file: CCCC + literal "xy" + AAAA.
+	ops := []Op{
+		{WriteOff: 0, ReadOff: 8, Len: 4},
+		{WriteOff: 4, Data: []byte("xy")},
+		{WriteOff: 6, ReadOff: 0, Len: 4},
+	}
+	want := applyReference(old, ops, 10)
+	got, st, err := Apply(append([]byte(nil), old...), ops, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q want %q", got, want)
+	}
+	if st.Copies != 2 || st.Literals != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestSwapCycle: two copies exchanging places form a 2-cycle; exactly one
+// must be buffered.
+func TestSwapCycle(t *testing.T) {
+	old := []byte("AAAABBBB")
+	ops := []Op{
+		{WriteOff: 0, ReadOff: 4, Len: 4}, // BBBB first
+		{WriteOff: 4, ReadOff: 0, Len: 4}, // AAAA second
+	}
+	got, st, err := Apply(append([]byte(nil), old...), ops, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "BBBBAAAA" {
+		t.Fatalf("got %q", got)
+	}
+	if st.Buffered != 1 || st.ExtraBytes != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestShiftChainNoBuffer: a left shift (everyone reads ahead of their
+// write) needs no buffering at all when executed in the right order.
+func TestShiftChainNoBuffer(t *testing.T) {
+	old := []byte("0123456789")
+	// new = old[2:] + "XY": one big overlapping copy plus a literal.
+	ops := []Op{
+		{WriteOff: 0, ReadOff: 2, Len: 8},
+		{WriteOff: 8, Data: []byte("XY")},
+	}
+	got, st, err := Apply(append([]byte(nil), old...), ops, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "23456789XY" {
+		t.Fatalf("got %q", got)
+	}
+	if st.Buffered != 0 {
+		t.Fatalf("unnecessary buffering: %+v", st)
+	}
+}
+
+// TestRotation: a 3-cycle of block moves.
+func TestRotation(t *testing.T) {
+	old := []byte("AAAABBBBCCCC")
+	ops := []Op{
+		{WriteOff: 0, ReadOff: 4, Len: 4}, // B -> slot 0
+		{WriteOff: 4, ReadOff: 8, Len: 4}, // C -> slot 1
+		{WriteOff: 8, ReadOff: 0, Len: 4}, // A -> slot 2
+	}
+	got, st, err := Apply(append([]byte(nil), old...), ops, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "BBBBCCCCAAAA" {
+		t.Fatalf("got %q", got)
+	}
+	if st.Buffered != 1 {
+		t.Fatalf("a 3-rotation needs exactly one buffer, got %+v", st)
+	}
+}
+
+func TestGrowAndShrink(t *testing.T) {
+	old := []byte("ABCD")
+	// Grow: duplicate the content three times.
+	ops := []Op{
+		{WriteOff: 0, ReadOff: 0, Len: 4},
+		{WriteOff: 4, ReadOff: 0, Len: 4},
+		{WriteOff: 8, ReadOff: 0, Len: 4},
+	}
+	got, _, err := Apply(append([]byte(nil), old...), ops, 12)
+	if err != nil || string(got) != "ABCDABCDABCD" {
+		t.Fatalf("grow: %q err=%v", got, err)
+	}
+	// Shrink: keep the tail only.
+	got, _, err = Apply([]byte("ABCDEFGH"), []Op{{WriteOff: 0, ReadOff: 6, Len: 2}}, 2)
+	if err != nil || string(got) != "GH" {
+		t.Fatalf("shrink: %q err=%v", got, err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	old := []byte("ABCDEFGH")
+	cases := []struct {
+		ops    []Op
+		newLen int
+	}{
+		{[]Op{{WriteOff: 1, ReadOff: 0, Len: 4}}, 5},                                   // gap at 0
+		{[]Op{{WriteOff: 0, ReadOff: 0, Len: 4}, {WriteOff: 2, Data: []byte("x")}}, 5}, // overlap
+		{[]Op{{WriteOff: 0, ReadOff: 6, Len: 4}}, 4},                                   // read past end
+		{[]Op{{WriteOff: 0, ReadOff: 0, Len: 4}}, 7},                                   // short cover
+	}
+	for i, c := range cases {
+		if _, _, err := Apply(append([]byte(nil), old...), c.ops, c.newLen); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestQuickRandomPermutations: random block permutations with random
+// literals sprinkled in must always reconstruct exactly, whatever the cycle
+// structure.
+func TestQuickRandomPermutations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		blockLen := 1 + rng.Intn(16)
+		nBlocks := 1 + rng.Intn(20)
+		old := make([]byte, blockLen*nBlocks+rng.Intn(8))
+		rng.Read(old)
+
+		perm := rng.Perm(nBlocks)
+		var ops []Op
+		pos := 0
+		for _, b := range perm {
+			if rng.Intn(4) == 0 {
+				lit := make([]byte, rng.Intn(6))
+				rng.Read(lit)
+				ops = append(ops, Op{WriteOff: pos, Data: lit})
+				pos += len(lit)
+			}
+			ops = append(ops, Op{WriteOff: pos, ReadOff: b * blockLen, Len: blockLen})
+			pos += blockLen
+		}
+		want := applyReference(old, ops, pos)
+		got, _, err := Apply(append([]byte(nil), old...), ops, pos)
+		return err == nil && bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOverlappingReads: reads may overlap each other arbitrarily (many
+// ops copying from the same source region).
+func TestQuickOverlappingReads(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		old := make([]byte, 64+rng.Intn(200))
+		rng.Read(old)
+		var ops []Op
+		pos := 0
+		for i := 0; i < 1+rng.Intn(30); i++ {
+			l := 1 + rng.Intn(20)
+			off := rng.Intn(len(old) - l + 1)
+			ops = append(ops, Op{WriteOff: pos, ReadOff: off, Len: l})
+			pos += l
+		}
+		want := applyReference(old, ops, pos)
+		got, _, err := Apply(append([]byte(nil), old...), ops, pos)
+		return err == nil && bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyPatch(t *testing.T) {
+	got, st, err := Apply([]byte("anything"), nil, 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %q err=%v", got, err)
+	}
+	if st.Copies != 0 || st.Buffered != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestCycleTargetedBuffering: a node that merely depends on a cycle (but is
+// not on it) must never be the one buffered — the SCC-based selection should
+// break the 2-cycle itself, even when a bystander op is cheaper.
+func TestCycleTargetedBuffering(t *testing.T) {
+	// Old layout: [A:8][B:8][cc:2][pppppp:6]. A and B swap (a 2-cycle); a
+	// tiny 2-byte op reads from inside B's old range, so it must run before
+	// the cycle's write into [8,16) — it depends on the cycle without being
+	// on it, and is cheaper than either cycle member.
+	old := []byte("AAAAAAAABBBBBBBBccpppppp")
+	ops := []Op{
+		{WriteOff: 0, ReadOff: 8, Len: 8},  // B -> slot 0 (reads B's old range)
+		{WriteOff: 8, ReadOff: 0, Len: 8},  // A -> slot 1 (reads A's): 2-cycle
+		{WriteOff: 16, ReadOff: 9, Len: 2}, // bystander: reads inside old B
+		{WriteOff: 18, Data: []byte("zzzzzz")},
+	}
+	want := applyReference(old, ops, 24)
+	got, st, err := Apply(append([]byte(nil), old...), ops, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q want %q", got, want)
+	}
+	// Exactly one buffer, and it must be one of the two 8-byte cycle
+	// members — not the cheap 2-byte bystander.
+	if st.Buffered != 1 || st.ExtraBytes != 8 {
+		t.Fatalf("expected one 8-byte buffer on the cycle, got %+v", st)
+	}
+}
+
+// TestLongCycleChain: an N-rotation plus many bystanders still needs only
+// one buffered op.
+func TestLongCycleChain(t *testing.T) {
+	const blocks = 12
+	old := make([]byte, blocks*16)
+	for i := range old {
+		old[i] = byte('A' + i/16)
+	}
+	var ops []Op
+	// Rotate all blocks by one position: a single big cycle.
+	for i := 0; i < blocks; i++ {
+		ops = append(ops, Op{WriteOff: i * 16, ReadOff: ((i + 1) % blocks) * 16, Len: 16})
+	}
+	want := applyReference(old, ops, len(old))
+	got, st, err := Apply(append([]byte(nil), old...), ops, len(old))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("mismatch")
+	}
+	if st.Buffered != 1 {
+		t.Fatalf("a single rotation cycle needs one buffer, got %d", st.Buffered)
+	}
+}

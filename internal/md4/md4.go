@@ -1,0 +1,161 @@
+// Package md4 implements the MD4 hash algorithm as defined in RFC 1320.
+//
+// MD4 is cryptographically broken and is implemented here solely because the
+// rsync algorithm this repository reproduces as a baseline uses MD4 as its
+// strong block checksum (Tridgell/MacKerras), and MD4 is not available in the
+// Go standard library. Do not use it for security purposes.
+package md4
+
+import (
+	"encoding/binary"
+	"hash"
+)
+
+// Size is the size of an MD4 checksum in bytes.
+const Size = 16
+
+// BlockSize is the block size of MD4 in bytes.
+const BlockSize = 64
+
+const (
+	init0 = 0x67452301
+	init1 = 0xEFCDAB89
+	init2 = 0x98BADCFE
+	init3 = 0x10325476
+)
+
+type digest struct {
+	s   [4]uint32
+	x   [BlockSize]byte
+	nx  int
+	len uint64
+}
+
+// New returns a new hash.Hash computing the MD4 checksum.
+func New() hash.Hash {
+	d := new(digest)
+	d.Reset()
+	return d
+}
+
+func (d *digest) Reset() {
+	d.s[0], d.s[1], d.s[2], d.s[3] = init0, init1, init2, init3
+	d.nx = 0
+	d.len = 0
+}
+
+func (d *digest) Size() int { return Size }
+
+func (d *digest) BlockSize() int { return BlockSize }
+
+func (d *digest) Write(p []byte) (n int, err error) {
+	n = len(p)
+	d.len += uint64(n)
+	if d.nx > 0 {
+		c := copy(d.x[d.nx:], p)
+		d.nx += c
+		if d.nx == BlockSize {
+			block(d, d.x[:])
+			d.nx = 0
+		}
+		p = p[c:]
+	}
+	for len(p) >= BlockSize {
+		block(d, p[:BlockSize])
+		p = p[BlockSize:]
+	}
+	if len(p) > 0 {
+		d.nx = copy(d.x[:], p)
+	}
+	return n, nil
+}
+
+func (d *digest) Sum(in []byte) []byte {
+	// Make a copy so callers can keep writing.
+	d0 := *d
+	h := d0.checkSum()
+	return append(in, h[:]...)
+}
+
+func (d *digest) checkSum() [Size]byte {
+	// Padding: append 0x80, then zeros, then the bit length (little endian).
+	length := d.len
+	var tmp [64]byte
+	tmp[0] = 0x80
+	if length%64 < 56 {
+		d.Write(tmp[0 : 56-length%64])
+	} else {
+		d.Write(tmp[0 : 64+56-length%64])
+	}
+	length <<= 3
+	binary.LittleEndian.PutUint64(tmp[:8], length)
+	d.Write(tmp[:8])
+
+	if d.nx != 0 {
+		panic("md4: internal error: non-empty buffer after padding")
+	}
+
+	var out [Size]byte
+	for i, v := range d.s {
+		binary.LittleEndian.PutUint32(out[i*4:], v)
+	}
+	return out
+}
+
+// Sum returns the MD4 checksum of data.
+func Sum(data []byte) [Size]byte {
+	var d digest
+	d.Reset()
+	d.Write(data)
+	return d.checkSum()
+}
+
+var shift1 = [...]uint{3, 7, 11, 19}
+var shift2 = [...]uint{3, 5, 9, 13}
+var shift3 = [...]uint{3, 9, 11, 15}
+
+var xIndex2 = [...]uint{0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15}
+var xIndex3 = [...]uint{0, 8, 4, 12, 2, 10, 6, 14, 1, 9, 5, 13, 3, 11, 7, 15}
+
+func block(d *digest, p []byte) {
+	a, b, c, dd := d.s[0], d.s[1], d.s[2], d.s[3]
+	var x [16]uint32
+	for i := 0; i < 16; i++ {
+		x[i] = binary.LittleEndian.Uint32(p[i*4:])
+	}
+
+	// Round 1: F(x,y,z) = (x & y) | (~x & z)
+	for i := uint(0); i < 16; i++ {
+		xi := x[i]
+		s := shift1[i%4]
+		f := (b & c) | (^b & dd)
+		a += f + xi
+		a = a<<s | a>>(32-s)
+		a, b, c, dd = dd, a, b, c
+	}
+
+	// Round 2: G(x,y,z) = (x & y) | (x & z) | (y & z), +0x5A827999
+	for i := uint(0); i < 16; i++ {
+		xi := x[xIndex2[i]]
+		s := shift2[i%4]
+		g := (b & c) | (b & dd) | (c & dd)
+		a += g + xi + 0x5A827999
+		a = a<<s | a>>(32-s)
+		a, b, c, dd = dd, a, b, c
+	}
+
+	// Round 3: H(x,y,z) = x ^ y ^ z, +0x6ED9EBA1
+	for i := uint(0); i < 16; i++ {
+		xi := x[xIndex3[i]]
+		s := shift3[i%4]
+		h := b ^ c ^ dd
+		a += h + xi + 0x6ED9EBA1
+		a = a<<s | a>>(32-s)
+		a, b, c, dd = dd, a, b, c
+	}
+
+	d.s[0] += a
+	d.s[1] += b
+	d.s[2] += c
+	d.s[3] += dd
+}

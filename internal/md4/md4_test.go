@@ -1,0 +1,122 @@
+package md4
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 1320 appendix A.5 test suite.
+var rfcVectors = []struct {
+	in   string
+	want string
+}{
+	{"", "31d6cfe0d16ae931b73c59d7e0c089c0"},
+	{"a", "bde52cb31de33e46245e05fbdbd6fb24"},
+	{"abc", "a448017aaf21d8525fc10ae87aa6729d"},
+	{"message digest", "d9130a8164549fe818874806e1c7014b"},
+	{"abcdefghijklmnopqrstuvwxyz", "d79e1c308aa5bbcdeea8ed63df412da9"},
+	{"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+		"043f8582f241db351ce627e153e7f0e4"},
+	{"12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+		"e33b4ddc9c38f2199c3e7b164fcc0536"},
+}
+
+func TestRFCVectors(t *testing.T) {
+	for _, v := range rfcVectors {
+		got := Sum([]byte(v.in))
+		if hex.EncodeToString(got[:]) != v.want {
+			t.Errorf("MD4(%q) = %x, want %s", v.in, got, v.want)
+		}
+	}
+}
+
+// TestIncrementalEqualsOneShot: arbitrary write splits must not change the
+// digest.
+func TestIncrementalEqualsOneShot(t *testing.T) {
+	f := func(data []byte, cuts []uint8) bool {
+		h := New()
+		rest := data
+		for _, c := range cuts {
+			if len(rest) == 0 {
+				break
+			}
+			n := int(c) % (len(rest) + 1)
+			h.Write(rest[:n])
+			rest = rest[n:]
+		}
+		h.Write(rest)
+		want := Sum(data)
+		return bytes.Equal(h.Sum(nil), want[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumDoesNotFinalize(t *testing.T) {
+	h := New()
+	h.Write([]byte("hello "))
+	first := h.Sum(nil)
+	h.Write([]byte("world"))
+	full := h.Sum(nil)
+	want := Sum([]byte("hello world"))
+	if !bytes.Equal(full, want[:]) {
+		t.Fatal("Sum finalized the state")
+	}
+	wantFirst := Sum([]byte("hello "))
+	if !bytes.Equal(first, wantFirst[:]) {
+		t.Fatal("first Sum wrong")
+	}
+}
+
+func TestSumAppends(t *testing.T) {
+	h := New()
+	h.Write([]byte("x"))
+	prefix := []byte{1, 2, 3}
+	out := h.Sum(prefix)
+	if !bytes.Equal(out[:3], prefix) || len(out) != 3+Size {
+		t.Fatalf("Sum(prefix) = %x", out)
+	}
+}
+
+func TestInterface(t *testing.T) {
+	h := New()
+	if h.Size() != 16 || h.BlockSize() != 64 {
+		t.Fatal("Size/BlockSize")
+	}
+	h.Write([]byte("abc"))
+	h.Reset()
+	got := h.Sum(nil)
+	want := Sum(nil)
+	if !bytes.Equal(got, want[:]) {
+		t.Fatal("Reset did not restore initial state")
+	}
+}
+
+// TestBoundarySizes exercises padding around the 56/64-byte boundary.
+func TestBoundarySizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 50; n <= 70; n++ {
+		data := make([]byte, n)
+		rng.Read(data)
+		h := New()
+		h.Write(data)
+		got := h.Sum(nil)
+		want := Sum(data)
+		if !bytes.Equal(got, want[:]) {
+			t.Fatalf("size %d: hash mismatch", n)
+		}
+	}
+}
+
+func BenchmarkSum4K(b *testing.B) {
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		Sum(data)
+	}
+}

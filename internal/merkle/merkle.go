@@ -1,0 +1,375 @@
+// Package merkle implements hash-tree change detection for replicated file
+// collections: finding WHICH files differ with communication proportional
+// to the number of changes rather than the collection size.
+//
+// The paper uses a flat per-file fingerprint manifest and points to the
+// file-comparison literature (Metzner; Madej; Abdel-Ghaffar/El Abbadi) for
+// doing better when almost everything is unchanged. This package is that
+// substrate: both sides build a binary hash trie of fixed depth over the
+// MD4 of each path (so differing file SETS still align), with per-file
+// content fingerprints in the leaf buckets; a short multi-round exchange
+// then locates the differing buckets.
+//
+// Wire shape (driven by the collection layer):
+//
+//	initiator → responder: tree depth + root digest
+//	responder → initiator: "equal" | children digests of the root
+//	initiator → responder: IDs of nodes whose digests differ locally
+//	responder → initiator: children digests / leaf bucket contents
+//	...until no internal nodes remain in dispute.
+//
+// After the exchange the initiator knows, exactly: paths changed, paths
+// only at the responder, and paths only at itself.
+package merkle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"msync/internal/md4"
+	"msync/internal/wire"
+)
+
+// Entry is one file fingerprint: the path and a strong hash of content
+// (plus length, so the collection layer can size engine state).
+type Entry struct {
+	Path string
+	Len  int
+	Sum  [md4.Size]byte
+}
+
+// MaxDepth bounds the trie depth (2^MaxDepth leaf buckets).
+const MaxDepth = 20
+
+// Tree is a fixed-depth binary hash trie over path hashes.
+type Tree struct {
+	depth   int
+	buckets [][]Entry        // 2^depth buckets, entries sorted by path
+	nodes   [][md4.Size]byte // heap-ordered digests, 1-based; len 2^(depth+1)
+}
+
+// DepthFor picks a depth that yields small buckets (~4 entries).
+func DepthFor(n int) int {
+	d := 0
+	for (n>>d) > 4 && d < MaxDepth {
+		d++
+	}
+	return d
+}
+
+// bucketOf maps a path to its leaf index.
+func bucketOf(path string, depth int) int {
+	if depth == 0 {
+		return 0
+	}
+	h := md4.Sum([]byte(path))
+	v := binary.BigEndian.Uint32(h[:4])
+	return int(v >> (32 - uint(depth)))
+}
+
+// Build constructs the tree for a set of entries at the given depth.
+func Build(entries []Entry, depth int) *Tree {
+	if depth < 0 || depth > MaxDepth {
+		panic(fmt.Sprintf("merkle: depth %d out of range", depth))
+	}
+	t := &Tree{
+		depth:   depth,
+		buckets: make([][]Entry, 1<<depth),
+		nodes:   make([][md4.Size]byte, 2<<depth),
+	}
+	for _, e := range entries {
+		b := bucketOf(e.Path, depth)
+		t.buckets[b] = append(t.buckets[b], e)
+	}
+	for i := range t.buckets {
+		sort.Slice(t.buckets[i], func(a, b int) bool {
+			return t.buckets[i][a].Path < t.buckets[i][b].Path
+		})
+		t.nodes[(1<<depth)+i] = bucketDigest(t.buckets[i])
+	}
+	for i := (1 << depth) - 1; i >= 1; i-- {
+		h := md4.New()
+		h.Write(t.nodes[2*i][:])
+		h.Write(t.nodes[2*i+1][:])
+		copy(t.nodes[i][:], h.Sum(nil))
+	}
+	return t
+}
+
+func bucketDigest(entries []Entry) [md4.Size]byte {
+	h := md4.New()
+	var lenBuf [binary.MaxVarintLen64]byte
+	for _, e := range entries {
+		h.Write([]byte(e.Path))
+		h.Write([]byte{0})
+		n := binary.PutUvarint(lenBuf[:], uint64(e.Len))
+		h.Write(lenBuf[:n])
+		h.Write(e.Sum[:])
+	}
+	var out [md4.Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Depth reports the tree depth.
+func (t *Tree) Depth() int { return t.depth }
+
+// Root returns the root digest.
+func (t *Tree) Root() [md4.Size]byte { return t.nodes[1] }
+
+// Diff reports the exact difference between the initiator's entries and the
+// responder's, as discovered by a completed reconciliation.
+type Diff struct {
+	// Changed lists responder entries whose path exists on both sides with
+	// different content (length or hash).
+	Changed []Entry
+	// OnlyRemote lists responder entries whose path the initiator lacks.
+	OnlyRemote []Entry
+	// OnlyLocal lists initiator paths the responder lacks.
+	OnlyLocal []string
+}
+
+// Total reports the number of differing paths.
+func (d *Diff) Total() int { return len(d.Changed) + len(d.OnlyRemote) + len(d.OnlyLocal) }
+
+// Initiator drives reconciliation against a remote Responder.
+type Initiator struct {
+	t        *Tree
+	frontier []int32 // node IDs whose subtrees are in dispute, awaiting expansion
+	started  bool
+	done     bool
+	diff     Diff
+}
+
+// NewInitiator starts a reconciliation for the local tree.
+func NewInitiator(t *Tree) *Initiator { return &Initiator{t: t} }
+
+// Done reports whether reconciliation has finished.
+func (ini *Initiator) Done() bool { return ini.done }
+
+// Diff returns the discovered difference (valid once Done).
+func (ini *Initiator) Diff() *Diff { return &ini.diff }
+
+// Next builds the next initiator→responder message.
+func (ini *Initiator) Next() []byte {
+	b := wire.NewBuffer(64)
+	if !ini.started {
+		ini.started = true
+		b.Uvarint(uint64(ini.t.depth))
+		root := ini.t.Root()
+		b.Raw(root[:])
+		return b.Build()
+	}
+	b.Uvarint(uint64(len(ini.frontier)))
+	for _, id := range ini.frontier {
+		b.Uvarint(uint64(id))
+	}
+	return b.Build()
+}
+
+// Absorb processes a responder→initiator message. The responder answers the
+// previous message's nodes in order: for the first message the single root,
+// afterwards each requested node. Internal nodes come back as two child
+// digests; leaves as full bucket contents.
+func (ini *Initiator) Absorb(payload []byte) error {
+	p := wire.NewParser(payload)
+	var asked []int32
+	if len(ini.frontier) == 0 {
+		// Response to the root announcement.
+		eq, err := p.Bool()
+		if err != nil {
+			return err
+		}
+		if eq {
+			ini.done = true
+			return nil
+		}
+		asked = []int32{1}
+	} else {
+		asked = ini.frontier
+	}
+	ini.frontier = nil
+	for _, id := range asked {
+		if err := ini.absorbNode(p, int(id)); err != nil {
+			return err
+		}
+	}
+	if len(ini.frontier) == 0 {
+		ini.done = true
+	}
+	return nil
+}
+
+// absorbNode processes the responder's answer for one disputed node.
+func (ini *Initiator) absorbNode(p *wire.Parser, id int) error {
+	if id >= 1<<ini.t.depth { // leaf: bucket contents follow
+		remote, err := decodeBucket(p)
+		if err != nil {
+			return err
+		}
+		ini.compareBucket(id-(1<<ini.t.depth), remote)
+		return nil
+	}
+	var remote [2][md4.Size]byte
+	for c := 0; c < 2; c++ {
+		raw, err := p.Raw(md4.Size)
+		if err != nil {
+			return err
+		}
+		copy(remote[c][:], raw)
+	}
+	for c := 0; c < 2; c++ {
+		child := 2*id + c
+		if ini.t.nodes[child] != remote[c] {
+			ini.frontier = append(ini.frontier, int32(child))
+		}
+	}
+	return nil
+}
+
+// compareBucket merges a remote bucket against the local one.
+func (ini *Initiator) compareBucket(bucket int, remote []Entry) {
+	local := ini.t.buckets[bucket]
+	i, j := 0, 0
+	for i < len(local) || j < len(remote) {
+		switch {
+		case j >= len(remote) || (i < len(local) && local[i].Path < remote[j].Path):
+			ini.diff.OnlyLocal = append(ini.diff.OnlyLocal, local[i].Path)
+			i++
+		case i >= len(local) || local[i].Path > remote[j].Path:
+			ini.diff.OnlyRemote = append(ini.diff.OnlyRemote, remote[j])
+			j++
+		default:
+			if local[i].Len != remote[j].Len || local[i].Sum != remote[j].Sum {
+				ini.diff.Changed = append(ini.diff.Changed, remote[j])
+			}
+			i++
+			j++
+		}
+	}
+}
+
+// Responder answers reconciliation queries from its local tree.
+type Responder struct {
+	t       *Tree
+	entries []Entry
+	started bool
+}
+
+// NewResponder creates a responder over the given entries. The tree is
+// built lazily at the announced depth so both sides always agree.
+func NewResponder(entries []Entry) *Responder {
+	return &Responder{entries: entries}
+}
+
+// Respond handles one initiator message.
+func (r *Responder) Respond(payload []byte) ([]byte, error) {
+	p := wire.NewParser(payload)
+	out := wire.NewBuffer(256)
+	if !r.started {
+		r.started = true
+		depth, err := p.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if depth > MaxDepth {
+			return nil, fmt.Errorf("merkle: depth %d too large", depth)
+		}
+		raw, err := p.Raw(md4.Size)
+		if err != nil {
+			return nil, err
+		}
+		r.t = Build(r.entries, int(depth))
+		var root [md4.Size]byte
+		copy(root[:], raw)
+		if root == r.t.Root() {
+			out.Bool(true)
+			return out.Build(), nil
+		}
+		out.Bool(false)
+		r.answerNode(out, 1)
+		return out.Build(), nil
+	}
+	n, err := p.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for k := uint64(0); k < n; k++ {
+		id, err := p.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if id < 1 || id >= uint64(len(r.t.nodes)) {
+			return nil, fmt.Errorf("merkle: node id %d out of range", id)
+		}
+		r.answerNode(out, int(id))
+	}
+	return out.Build(), nil
+}
+
+// answerNode writes either child digests or, at a leaf, the bucket.
+func (r *Responder) answerNode(out *wire.Buffer, id int) {
+	if id >= 1<<r.t.depth {
+		encodeBucket(out, r.t.buckets[id-(1<<r.t.depth)])
+		return
+	}
+	out.Raw(r.t.nodes[2*id][:])
+	out.Raw(r.t.nodes[2*id+1][:])
+}
+
+func encodeBucket(out *wire.Buffer, entries []Entry) {
+	out.Uvarint(uint64(len(entries)))
+	for _, e := range entries {
+		out.String(e.Path)
+		out.Uvarint(uint64(e.Len))
+		out.Raw(e.Sum[:])
+	}
+}
+
+func decodeBucket(p *wire.Parser) ([]Entry, error) {
+	n, err := p.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Entry, 0, n)
+	for k := uint64(0); k < n; k++ {
+		var e Entry
+		if e.Path, err = p.String(); err != nil {
+			return nil, err
+		}
+		l, err := p.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		e.Len = int(l)
+		raw, err := p.Raw(md4.Size)
+		if err != nil {
+			return nil, err
+		}
+		copy(e.Sum[:], raw)
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Reconcile runs a full reconciliation locally (for tests and library use
+// without a connection), returning the diff and total bytes exchanged.
+func Reconcile(local, remote []Entry) (*Diff, int, error) {
+	ini := NewInitiator(Build(local, DepthFor(len(local)+len(remote))))
+	resp := NewResponder(remote)
+	bytes := 0
+	for !ini.Done() {
+		msg := ini.Next()
+		bytes += len(msg)
+		reply, err := resp.Respond(msg)
+		if err != nil {
+			return nil, bytes, err
+		}
+		bytes += len(reply)
+		if err := ini.Absorb(reply); err != nil {
+			return nil, bytes, err
+		}
+	}
+	return ini.Diff(), bytes, nil
+}

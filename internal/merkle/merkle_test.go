@@ -1,0 +1,221 @@
+package merkle
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"msync/internal/md4"
+)
+
+func entry(path, content string) Entry {
+	return Entry{Path: path, Len: len(content), Sum: md4.Sum([]byte(content))}
+}
+
+func makeEntries(rng *rand.Rand, n int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		out[i] = entry(fmt.Sprintf("dir%d/file_%04d.txt", i%7, i), fmt.Sprintf("content-%d-%d", i, rng.Int()))
+	}
+	return out
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	entries := makeEntries(rng, 100)
+	a := Build(entries, 5)
+	// Shuffled input produces the identical tree.
+	shuffled := append([]Entry(nil), entries...)
+	rand.New(rand.NewSource(2)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	b := Build(shuffled, 5)
+	if a.Root() != b.Root() {
+		t.Fatal("tree depends on input order")
+	}
+}
+
+func TestIdenticalSetsOneRound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	entries := makeEntries(rng, 200)
+	diff, bytes, err := Reconcile(entries, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Total() != 0 {
+		t.Fatalf("diff on identical sets: %+v", diff)
+	}
+	// Root exchange only: depth+digest one way, a bool back.
+	if bytes > 64 {
+		t.Fatalf("identical sets cost %d bytes", bytes)
+	}
+}
+
+func TestDetectsSingleChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	local := makeEntries(rng, 500)
+	remote := append([]Entry(nil), local...)
+	remote[123] = entry(remote[123].Path, "EDITED")
+	diff, bytes, err := Reconcile(local, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff.Changed) != 1 || diff.Changed[0].Path != local[123].Path {
+		t.Fatalf("diff = %+v", diff)
+	}
+	if len(diff.OnlyLocal) != 0 || len(diff.OnlyRemote) != 0 {
+		t.Fatalf("spurious adds/deletes: %+v", diff)
+	}
+	// Sublinear: far below a full 500-entry manifest (~18 KB).
+	if bytes > 3000 {
+		t.Fatalf("single change cost %d bytes", bytes)
+	}
+	t.Logf("1 change among 500 files found with %d bytes", bytes)
+}
+
+// TestQuickReconcileExact: reconciliation must discover the exact
+// symmetric difference for arbitrary set mutations.
+func TestQuickReconcileExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		local := makeEntries(rng, n)
+		remote := append([]Entry(nil), local...)
+
+		wantChanged := map[string]bool{}
+		wantOnlyLocal := map[string]bool{}
+		wantOnlyRemote := map[string]bool{}
+
+		// Mutate: change some, delete some from remote, add some to remote.
+		for i := 0; i < len(remote); i++ {
+			switch rng.Intn(10) {
+			case 0:
+				remote[i] = entry(remote[i].Path, fmt.Sprintf("changed-%d", rng.Int()))
+				wantChanged[remote[i].Path] = true
+			case 1:
+				wantOnlyLocal[remote[i].Path] = true
+				remote = append(remote[:i], remote[i+1:]...)
+				i--
+			}
+		}
+		for i := 0; i < rng.Intn(10); i++ {
+			e := entry(fmt.Sprintf("new/added_%d", i), "fresh")
+			remote = append(remote, e)
+			wantOnlyRemote[e.Path] = true
+		}
+
+		diff, _, err := Reconcile(local, remote)
+		if err != nil {
+			return false
+		}
+		if len(diff.Changed) != len(wantChanged) ||
+			len(diff.OnlyLocal) != len(wantOnlyLocal) ||
+			len(diff.OnlyRemote) != len(wantOnlyRemote) {
+			return false
+		}
+		for _, e := range diff.Changed {
+			if !wantChanged[e.Path] {
+				return false
+			}
+		}
+		for _, p := range diff.OnlyLocal {
+			if !wantOnlyLocal[p] {
+				return false
+			}
+		}
+		for _, e := range diff.OnlyRemote {
+			if !wantOnlyRemote[e.Path] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSublinearScaling: cost grows with changes, not collection size.
+func TestSublinearScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	costs := map[int]int{}
+	for _, n := range []int{200, 2000} {
+		local := makeEntries(rng, n)
+		remote := append([]Entry(nil), local...)
+		for i := 0; i < 3; i++ {
+			k := rng.Intn(len(remote))
+			remote[k] = entry(remote[k].Path, fmt.Sprintf("v2-%d", i))
+		}
+		_, bytes, err := Reconcile(local, remote)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs[n] = bytes
+	}
+	// 10x the files should cost well under 10x the bytes for the same
+	// number of changes (log factor only).
+	if costs[2000] > costs[200]*4 {
+		t.Fatalf("scaling looks linear: %v", costs)
+	}
+	t.Logf("3 changes: %d bytes among 200 files, %d among 2000", costs[200], costs[2000])
+}
+
+func TestDepthFor(t *testing.T) {
+	if DepthFor(0) != 0 || DepthFor(4) != 0 {
+		t.Fatal("small sets need depth 0")
+	}
+	if d := DepthFor(1 << 30); d != MaxDepth {
+		t.Fatalf("huge set depth %d", d)
+	}
+	if DepthFor(100) < 3 {
+		t.Fatalf("100 entries got depth %d", DepthFor(100))
+	}
+}
+
+func TestBucketStability(t *testing.T) {
+	// Paths land in deterministic buckets.
+	if bucketOf("some/path", 8) != bucketOf("some/path", 8) {
+		t.Fatal("non-deterministic bucket")
+	}
+	// Distribution sanity over many paths.
+	counts := make([]int, 1<<6)
+	for i := 0; i < 6400; i++ {
+		counts[bucketOf(fmt.Sprintf("p/%d", i), 6)]++
+	}
+	sort.Ints(counts)
+	if counts[len(counts)-1] > 100*3 {
+		t.Fatalf("worst bucket %d of 6400/64", counts[len(counts)-1])
+	}
+}
+
+func TestResponderErrors(t *testing.T) {
+	r := NewResponder(nil)
+	if _, err := r.Respond([]byte{}); err == nil {
+		t.Fatal("empty first message accepted")
+	}
+	r2 := NewResponder(nil)
+	// Excessive depth.
+	msg := append([]byte{MaxDepth + 1}, make([]byte, md4.Size)...)
+	if _, err := r2.Respond(msg); err == nil {
+		t.Fatal("excessive depth accepted")
+	}
+}
+
+func TestEmptySides(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	entries := makeEntries(rng, 50)
+	diff, _, err := Reconcile(nil, entries)
+	if err != nil || len(diff.OnlyRemote) != 50 {
+		t.Fatalf("err=%v onlyRemote=%d", err, len(diff.OnlyRemote))
+	}
+	diff, _, err = Reconcile(entries, nil)
+	if err != nil || len(diff.OnlyLocal) != 50 {
+		t.Fatalf("err=%v onlyLocal=%d", err, len(diff.OnlyLocal))
+	}
+	diff, _, err = Reconcile(nil, nil)
+	if err != nil || diff.Total() != 0 {
+		t.Fatalf("empty/empty: %+v err=%v", diff, err)
+	}
+}

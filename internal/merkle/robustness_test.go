@@ -1,0 +1,102 @@
+package merkle
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInitiatorAbsorbTruncation: truncated responder messages must error,
+// not panic or silently complete.
+func TestInitiatorAbsorbTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	local := makeEntries(rng, 64)
+	remote := append([]Entry(nil), local...)
+	remote[5] = entry(remote[5].Path, "changed")
+
+	ini := NewInitiator(Build(local, 4))
+	resp := NewResponder(remote)
+	msg := ini.Next()
+	reply, err := resp.Respond(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(reply); cut++ {
+		ini2 := NewInitiator(Build(local, 4))
+		ini2.Next()
+		if err := ini2.Absorb(reply[:cut]); err == nil && !ini2.Done() {
+			// Either an error or a clean (equal-root) completion is fine;
+			// silent partial progress is not.
+			t.Fatalf("cut %d: truncated reply absorbed without error", cut)
+		}
+	}
+}
+
+// TestResponderGarbageAfterStart: node ids out of range are rejected.
+func TestResponderGarbageAfterStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	remote := makeEntries(rng, 32)
+	resp := NewResponder(remote)
+	ini := NewInitiator(Build(makeEntries(rng, 32), 3))
+	if _, err := resp.Respond(ini.Next()); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-crafted follow-up with an absurd node id.
+	bad := []byte{1, 0xFF, 0xFF, 0x7F}
+	if _, err := resp.Respond(bad); err == nil {
+		t.Fatal("out-of-range node id accepted")
+	}
+}
+
+// TestFuzzReconcileMessages: random corruption of the message stream must
+// never panic either side.
+func TestFuzzReconcileMessages(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	local := makeEntries(rng, 100)
+	remote := append([]Entry(nil), local...)
+	for i := 0; i < 10; i++ {
+		remote[rng.Intn(len(remote))] = entry(remote[i].Path, "mutated")
+	}
+	for trial := 0; trial < 100; trial++ {
+		ini := NewInitiator(Build(local, DepthFor(len(local))))
+		resp := NewResponder(remote)
+		for step := 0; !ini.Done() && step < 20; step++ {
+			msg := ini.Next()
+			if rng.Intn(3) == 0 && len(msg) > 0 {
+				msg = append([]byte(nil), msg...)
+				msg[rng.Intn(len(msg))] ^= 1 << uint(rng.Intn(8))
+			}
+			reply, err := resp.Respond(msg)
+			if err != nil {
+				break
+			}
+			if rng.Intn(3) == 0 && len(reply) > 0 {
+				reply = append([]byte(nil), reply...)
+				reply[rng.Intn(len(reply))] ^= 1 << uint(rng.Intn(8))
+			}
+			if err := ini.Absorb(reply); err != nil {
+				break
+			}
+		}
+	}
+}
+
+// TestDepthZeroReconcile: degenerate single-bucket trees still work.
+func TestDepthZeroReconcile(t *testing.T) {
+	a := []Entry{entry("x", "1"), entry("y", "2")}
+	b := []Entry{entry("x", "1"), entry("y", "CHANGED"), entry("z", "3")}
+	ini := NewInitiator(Build(a, 0))
+	resp := NewResponder(b)
+	for !ini.Done() {
+		reply, err := resp.Respond(ini.Next())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ini.Absorb(reply); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := ini.Diff()
+	if len(d.Changed) != 1 || len(d.OnlyRemote) != 1 || len(d.OnlyLocal) != 0 {
+		t.Fatalf("diff = %+v", d)
+	}
+}

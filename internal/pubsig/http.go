@@ -1,0 +1,110 @@
+package pubsig
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// SigSuffix is appended to a resource's path to address its signature.
+const SigSuffix = ".msig"
+
+// Handler serves a named resource and its signature over HTTP — what a
+// sync-friendly web server needs to publish (paper §1.1, application 3):
+//
+//	GET /<name>        the content (stdlib Range support included)
+//	GET /<name>.msig   the published signature
+//
+// The signature is computed once at construction; the server does no
+// per-client synchronization work at all.
+func Handler(name string, content []byte, blockSize int) http.Handler {
+	sig := Build(content, blockSize)
+	modTime := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/"+name, func(w http.ResponseWriter, r *http.Request) {
+		http.ServeContent(w, r, name, modTime, strings.NewReader(string(content)))
+	})
+	mux.HandleFunc("/"+name+SigSuffix, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(sig)
+	})
+	return mux
+}
+
+// HTTPFetcher returns a Fetcher that retrieves byte ranges of url with HTTP
+// Range requests.
+func HTTPFetcher(client *http.Client, url string) Fetcher {
+	return func(off, length int) ([]byte, error) {
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", off, off+length-1))
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusPartialContent:
+			data, err := io.ReadAll(io.LimitReader(resp.Body, int64(length)+1))
+			if err != nil {
+				return nil, err
+			}
+			if len(data) != length {
+				return nil, fmt.Errorf("pubsig: got %d bytes, want %d", len(data), length)
+			}
+			return data, nil
+		case http.StatusOK:
+			// Server ignored the Range header; slice the full body.
+			data, err := io.ReadAll(io.LimitReader(resp.Body, int64(off+length)+1))
+			if err != nil {
+				return nil, err
+			}
+			if off+length > len(data) {
+				return nil, fmt.Errorf("pubsig: short full response")
+			}
+			return data[off : off+length], nil
+		default:
+			return nil, fmt.Errorf("pubsig: range request: %s", resp.Status)
+		}
+	}
+}
+
+// SyncHTTP updates old to the current version of baseURL/name using the
+// published signature and range requests, returning the new content and the
+// total bytes downloaded (signature + ranges).
+func SyncHTTP(client *http.Client, baseURL, name string, old []byte) ([]byte, int, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(baseURL + "/" + name + SigSuffix)
+	if err != nil {
+		return nil, 0, err
+	}
+	sig, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("pubsig: signature fetch: %s", resp.Status)
+	}
+	plan, err := NewPlan(old, sig)
+	if err != nil {
+		return nil, len(sig), err
+	}
+	down := len(sig)
+	fetch := HTTPFetcher(client, baseURL+"/"+name)
+	out, err := plan.Reconstruct(old, func(off, length int) ([]byte, error) {
+		data, err := fetch(off, length)
+		down += len(data)
+		return data, err
+	})
+	if err != nil {
+		return nil, down, err
+	}
+	return out, down, nil
+}

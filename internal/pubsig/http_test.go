@@ -1,0 +1,92 @@
+package pubsig
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"msync/internal/corpus"
+)
+
+func TestSyncHTTPEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cur := corpus.SourceText(rng, 200_000)
+	old := append([]byte(nil), cur...)
+	copy(old[120_000:], []byte("this region was different yesterday"))
+
+	srv := httptest.NewServer(Handler("page.html", cur, DefaultBlockSize))
+	defer srv.Close()
+
+	got, down, err := SyncHTTP(srv.Client(), srv.URL, "page.html", old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, cur) {
+		t.Fatal("mismatch")
+	}
+	if down >= len(cur)/4 {
+		t.Fatalf("downloaded %d bytes for a one-region change in %d", down, len(cur))
+	}
+	t.Logf("HTTP sync: %d bytes for a %d-byte resource (%.1f%%)",
+		down, len(cur), 100*float64(down)/float64(len(cur)))
+}
+
+func TestSyncHTTPFromScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	cur := corpus.SourceText(rng, 30_000)
+	srv := httptest.NewServer(Handler("doc", cur, 512))
+	defer srv.Close()
+
+	got, down, err := SyncHTTP(srv.Client(), srv.URL, "doc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, cur) {
+		t.Fatal("mismatch")
+	}
+	// No old copy: everything is fetched, plus the signature.
+	if down < len(cur) {
+		t.Fatalf("downloaded %d < resource size %d", down, len(cur))
+	}
+}
+
+func TestSyncHTTPMissingResource(t *testing.T) {
+	srv := httptest.NewServer(Handler("exists", []byte("x"), 512))
+	defer srv.Close()
+	if _, _, err := SyncHTTP(srv.Client(), srv.URL, "absent", nil); err == nil {
+		t.Fatal("missing resource accepted")
+	}
+}
+
+// TestHTTPFetcherAgainstNonRangeServer: servers that ignore Range must
+// still work (the fetcher slices the full body).
+func TestHTTPFetcherAgainstNonRangeServer(t *testing.T) {
+	content := []byte("0123456789abcdef")
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(content) // 200, no Range handling
+	}))
+	defer srv.Close()
+	fetch := HTTPFetcher(srv.Client(), srv.URL)
+	got, err := fetch(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "456789" {
+		t.Fatalf("got %q", got)
+	}
+	if _, err := fetch(10, 100); err == nil {
+		t.Fatal("over-long range accepted")
+	}
+}
+
+func TestHTTPFetcherServerError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusForbidden)
+	}))
+	defer srv.Close()
+	if _, err := HTTPFetcher(srv.Client(), srv.URL)(0, 4); err == nil {
+		t.Fatal("403 accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package rolling
+
+// Adler is the rsync-style rolling checksum (Tridgell/MacKerras): two 16-bit
+// sums packed into a uint32. It is fast and rolls in constant time but is
+// weak, which is exactly why rsync pairs it with a strong checksum — and why
+// the msync protocol replaces it with the polynomial hash.
+type Adler struct {
+	a, b   uint32
+	window uint32
+}
+
+// NewAdler returns a rolling checksum for windows of the given size.
+func NewAdler(window int) *Adler {
+	if window <= 0 {
+		panic("rolling: window must be positive")
+	}
+	return &Adler{window: uint32(window)}
+}
+
+// AdlerSum computes the checksum of p in one pass.
+func AdlerSum(p []byte) uint32 {
+	var a, b uint32
+	n := uint32(len(p))
+	for i, c := range p {
+		a += uint32(c)
+		b += (n - uint32(i)) * uint32(c)
+	}
+	return a&0xffff | b<<16
+}
+
+// Init computes the checksum of the first window of data.
+func (ad *Adler) Init(data []byte) {
+	ad.a, ad.b = 0, 0
+	n := ad.window
+	for i := uint32(0); i < n; i++ {
+		c := uint32(data[i])
+		ad.a += c
+		ad.b += (n - i) * c
+	}
+}
+
+// Roll slides the window one byte.
+func (ad *Adler) Roll(out, in byte) {
+	ad.a += uint32(in) - uint32(out)
+	ad.b += ad.a - ad.window*uint32(out)
+}
+
+// Sum returns the current checksum.
+func (ad *Adler) Sum() uint32 {
+	return ad.a&0xffff | ad.b<<16
+}

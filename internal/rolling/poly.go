@@ -1,0 +1,179 @@
+// Package rolling implements the hash substrate of the synchronization
+// framework: a polynomial (Karp–Rabin style) hash over Z/2^64 that is
+// simultaneously rolling, composable, decomposable, and bit-prefix
+// decomposable, plus the classic rsync rolling checksum.
+//
+// The four properties (paper, Section 5.5) are:
+//
+//   - rolling:      H(s[i+1 : i+m+1]) is computable in O(1) from H(s[i : i+m])
+//   - composable:   H(XY) is computable from H(X), H(Y), |Y|
+//   - decomposable: H(Y) (and H(X)) is computable from H(XY) and the sibling
+//   - bit-prefix:   all of the above hold for the low k bits alone, for any k
+//
+// Bit-prefix decomposability is what lets the protocol transmit only
+// truncated hashes and still suppress one sibling hash per pair: arithmetic
+// mod 2^64 (addition, subtraction, multiplication by an odd constant and its
+// inverse) never propagates information from high bits to low bits, so the
+// low k bits of a derived hash depend only on the low k bits of its inputs.
+//
+// The paper built a modified Adler checksum with these properties; we use the
+// cleaner polynomial construction (see DESIGN.md, substitutions table). Byte
+// values are diffused through a fixed 256-entry random table before entering
+// the polynomial so that truncations to few bits remain well distributed.
+package rolling
+
+// DefaultBase is the default polynomial base. It must be odd so that powers
+// of the base are invertible mod 2^64.
+const DefaultBase uint64 = 0x9E3779B97F4A7C55
+
+// DefaultSeed seeds the byte-diffusion table. Client and server must agree on
+// (base, seed); the protocol pins them in the HELLO exchange.
+const DefaultSeed uint64 = 0x1D8AF066D5F8FD4F
+
+// Poly is a polynomial hash family H(s) = sum T[s[i]] * base^(m-1-i) mod 2^64.
+type Poly struct {
+	base    uint64
+	invBase uint64
+	table   [256]uint64
+}
+
+// NewPoly returns a Poly with the given base (must be odd) and diffusion
+// table derived from seed.
+func NewPoly(base, seed uint64) *Poly {
+	if base%2 == 0 {
+		panic("rolling: base must be odd")
+	}
+	p := &Poly{base: base, invBase: invMod64(base)}
+	// SplitMix64 fills the diffusion table deterministically from the seed.
+	x := seed
+	for i := range p.table {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		// Force odd so even heavily truncated table entries differ.
+		p.table[i] = z | 1
+	}
+	return p
+}
+
+// Default returns the process-wide default Poly.
+func Default() *Poly { return defaultPoly }
+
+var defaultPoly = NewPoly(DefaultBase, DefaultSeed)
+
+// Base returns the polynomial base.
+func (p *Poly) Base() uint64 { return p.base }
+
+// Hash computes the full 64-bit hash of data.
+func (p *Poly) Hash(data []byte) uint64 {
+	var h uint64
+	for _, b := range data {
+		h = h*p.base + p.table[b]
+	}
+	return h
+}
+
+// Pow returns base^n mod 2^64.
+func (p *Poly) Pow(n int) uint64 {
+	if n < 0 {
+		panic("rolling: negative exponent")
+	}
+	result := uint64(1)
+	b := p.base
+	for e := uint(n); e > 0; e >>= 1 {
+		if e&1 == 1 {
+			result *= b
+		}
+		b *= b
+	}
+	return result
+}
+
+// InvPow returns base^-n mod 2^64.
+func (p *Poly) InvPow(n int) uint64 {
+	if n < 0 {
+		panic("rolling: negative exponent")
+	}
+	result := uint64(1)
+	b := p.invBase
+	for e := uint(n); e > 0; e >>= 1 {
+		if e&1 == 1 {
+			result *= b
+		}
+		b *= b
+	}
+	return result
+}
+
+// Compose returns H(XY) given hx = H(X), hy = H(Y) and |Y|.
+func (p *Poly) Compose(hx, hy uint64, lenY int) uint64 {
+	return hx*p.Pow(lenY) + hy
+}
+
+// DecomposeRight returns H(Y) given hxy = H(XY), hx = H(X) and |Y|.
+func (p *Poly) DecomposeRight(hxy, hx uint64, lenY int) uint64 {
+	return hxy - hx*p.Pow(lenY)
+}
+
+// DecomposeLeft returns H(X) given hxy = H(XY), hy = H(Y) and |Y|.
+func (p *Poly) DecomposeLeft(hxy, hy uint64, lenY int) uint64 {
+	return (hxy - hy) * p.InvPow(lenY)
+}
+
+// Truncate keeps the low bits of h. bits must be in [1, 64].
+func Truncate(h uint64, bits uint) uint64 {
+	if bits >= 64 {
+		return h
+	}
+	return h & ((1 << bits) - 1)
+}
+
+// invMod64 returns the multiplicative inverse of odd a modulo 2^64 using
+// Newton iteration (each step doubles the number of correct low bits).
+func invMod64(a uint64) uint64 {
+	x := a // 3 correct bits for odd a (a*a ≡ 1 mod 8, so x=a works: a*a mod 8 = 1)
+	for i := 0; i < 6; i++ {
+		x *= 2 - a*x
+	}
+	return x
+}
+
+// Roller computes the hash of a sliding fixed-size window in O(1) per step.
+type Roller struct {
+	p      *Poly
+	window int
+	powTop uint64 // base^(window-1)
+	h      uint64
+}
+
+// NewRoller returns a Roller for windows of the given size.
+func (p *Poly) NewRoller(window int) *Roller {
+	if window <= 0 {
+		panic("rolling: window must be positive")
+	}
+	return &Roller{p: p, window: window, powTop: p.Pow(window - 1)}
+}
+
+// Window reports the window size.
+func (r *Roller) Window() int { return r.window }
+
+// Init computes the hash of the first window. data must have length >= window.
+func (r *Roller) Init(data []byte) {
+	r.h = r.p.Hash(data[:r.window])
+}
+
+// Roll slides the window one byte: out leaves on the left, in enters on the
+// right.
+func (r *Roller) Roll(out, in byte) {
+	r.h = (r.h-r.p.table[out]*r.powTop)*r.p.base + r.p.table[in]
+}
+
+// Sum returns the hash of the current window.
+func (r *Roller) Sum() uint64 { return r.h }
+
+// HashBits is a convenience wrapper: the low `bits` of Hash(data).
+func (p *Poly) HashBits(data []byte, bits uint) uint64 {
+	return Truncate(p.Hash(data), bits)
+}

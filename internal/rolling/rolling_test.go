@@ -1,0 +1,221 @@
+package rolling
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// TestRollEqualsRecompute: sliding the window must equal hashing from
+// scratch at every position.
+func TestRollEqualsRecompute(t *testing.T) {
+	p := Default()
+	f := func(seed int64, wRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		window := int(wRaw%60) + 1
+		data := randBytes(rng, window+200)
+		roller := p.NewRoller(window)
+		roller.Init(data)
+		for i := 0; i+window < len(data); i++ {
+			if roller.Sum() != p.Hash(data[i:i+window]) {
+				return false
+			}
+			roller.Roll(data[i], data[i+window])
+		}
+		return roller.Sum() == p.Hash(data[len(data)-window:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestComposeDecompose: H(XY) from H(X), H(Y); and both inverses.
+func TestComposeDecompose(t *testing.T) {
+	p := Default()
+	f := func(x, y []byte) bool {
+		hx, hy := p.Hash(x), p.Hash(y)
+		hxy := p.Hash(append(append([]byte{}, x...), y...))
+		if p.Compose(hx, hy, len(y)) != hxy {
+			return false
+		}
+		if p.DecomposeRight(hxy, hx, len(y)) != hy {
+			return false
+		}
+		return p.DecomposeLeft(hxy, hy, len(y)) == hx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBitPrefixDecomposability: the low k bits of a decomposed hash must be
+// derivable from the low k bits of the inputs — the property that lets the
+// protocol ship truncated sibling hashes.
+func TestBitPrefixDecomposability(t *testing.T) {
+	p := Default()
+	f := func(x, y []byte, kRaw uint8) bool {
+		k := uint(kRaw%64) + 1
+		hx, hy := p.Hash(x), p.Hash(y)
+		hxy := p.Compose(hx, hy, len(y))
+		// Derive low-k of H(Y) using ONLY low-k inputs.
+		gotRight := Truncate(Truncate(hxy, k)-Truncate(hx, k)*p.Pow(len(y)), k)
+		if gotRight != Truncate(hy, k) {
+			return false
+		}
+		gotLeft := Truncate((Truncate(hxy, k)-Truncate(hy, k))*p.InvPow(len(y)), k)
+		return gotLeft == Truncate(hx, k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvPow(t *testing.T) {
+	p := Default()
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		if p.Pow(n)*p.InvPow(n) != 1 {
+			t.Fatalf("Pow(%d)*InvPow(%d) != 1", n, n)
+		}
+	}
+}
+
+func TestInvMod64(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		a := rng.Uint64() | 1
+		if a*invMod64(a) != 1 {
+			t.Fatalf("invMod64(%x) wrong", a)
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if Truncate(0xFFFFFFFFFFFFFFFF, 4) != 0xF {
+		t.Fatal("4-bit")
+	}
+	if Truncate(0x123, 64) != 0x123 {
+		t.Fatal("64-bit identity")
+	}
+	if Truncate(0xFF, 70) != 0xFF {
+		t.Fatal("over-64 clamps to identity")
+	}
+}
+
+// TestLowBitDistribution: truncated hashes over structured input must not
+// collide catastrophically (this is why the byte-diffusion table exists).
+func TestLowBitDistribution(t *testing.T) {
+	p := Default()
+	const bits = 12
+	counts := make(map[uint64]int)
+	data := make([]byte, 64)
+	for i := 0; i < 4096; i++ {
+		for j := range data {
+			data[j] = byte((i + j) % 7) // highly structured
+		}
+		data[i%64] = byte(i)
+		counts[p.HashBits(data, bits)]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// 4096 samples in 4096 buckets: worst bucket should stay small.
+	if max > 24 {
+		t.Fatalf("worst 12-bit bucket has %d entries (poor distribution)", max)
+	}
+}
+
+func TestNewPolyRequiresOddBase(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("even base accepted")
+		}
+	}()
+	NewPoly(2, 1)
+}
+
+func TestRollerWindowValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero window accepted")
+		}
+	}()
+	Default().NewRoller(0)
+}
+
+// TestAdlerRollEqualsSum mirrors the rsync checksum's rolling property.
+func TestAdlerRollEqualsSum(t *testing.T) {
+	f := func(seed int64, wRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		window := int(wRaw%100) + 1
+		data := randBytes(rng, window+150)
+		ad := NewAdler(window)
+		ad.Init(data)
+		for i := 0; i+window < len(data); i++ {
+			if ad.Sum() != AdlerSum(data[i:i+window]) {
+				return false
+			}
+			ad.Roll(data[i], data[i+window])
+		}
+		return ad.Sum() == AdlerSum(data[len(data)-window:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdlerDetectsChanges(t *testing.T) {
+	a := []byte("the quick brown fox jumps over the lazy dog")
+	b := append([]byte(nil), a...)
+	b[10] ^= 1
+	if AdlerSum(a) == AdlerSum(b) {
+		t.Fatal("single-bit flip not detected")
+	}
+	// Permutation weakness is expected of Adler (paper §5.4 mentions it):
+	// the 'a' component is order-independent, the 'b' component is not.
+	c := []byte("ab")
+	d := []byte("ba")
+	if AdlerSum(c) == AdlerSum(d) {
+		t.Fatal("adjacent swap collided in both components")
+	}
+}
+
+func BenchmarkPolyHash4K(b *testing.B) {
+	p := Default()
+	data := randBytes(rand.New(rand.NewSource(1)), 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		_ = p.Hash(data)
+	}
+}
+
+func BenchmarkPolyRoll(b *testing.B) {
+	p := Default()
+	data := randBytes(rand.New(rand.NewSource(1)), 1<<16)
+	r := p.NewRoller(512)
+	r.Init(data)
+	b.SetBytes(1)
+	for i := 0; i < b.N; i++ {
+		j := i % (len(data) - 513)
+		r.Roll(data[j], data[j+512])
+	}
+}
+
+func BenchmarkAdlerRoll(b *testing.B) {
+	data := randBytes(rand.New(rand.NewSource(1)), 1<<16)
+	ad := NewAdler(512)
+	ad.Init(data)
+	b.SetBytes(1)
+	for i := 0; i < b.N; i++ {
+		j := i % (len(data) - 513)
+		ad.Roll(data[j], data[j+512])
+	}
+}

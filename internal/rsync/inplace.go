@@ -1,0 +1,53 @@
+package rsync
+
+import (
+	"encoding/binary"
+
+	"msync/internal/inplace"
+)
+
+// PatchInPlace reconstructs the current file inside the old file's buffer
+// (in the manner of Rasch/Burns in-place rsync), returning the result and
+// the planner's extra-space statistics. The returned slice may alias old's
+// storage; the caller must treat old as consumed.
+func PatchInPlace(old []byte, sig *Signature, tokens []byte) ([]byte, inplace.Stats, error) {
+	var ops []inplace.Op
+	bs := sig.BlockSize
+	pos := 0
+	for len(tokens) > 0 {
+		v, n := binary.Uvarint(tokens)
+		if n <= 0 {
+			return nil, inplace.Stats{}, ErrCorrupt
+		}
+		tokens = tokens[n:]
+		switch {
+		case v == opLiterals:
+			l, n := binary.Uvarint(tokens)
+			if n <= 0 || uint64(len(tokens)-n) < l {
+				return nil, inplace.Stats{}, ErrCorrupt
+			}
+			tokens = tokens[n:]
+			// Literal data must be copied: the token buffer does not
+			// survive, and in-place execution defers literal writes.
+			data := append([]byte(nil), tokens[:l]...)
+			tokens = tokens[l:]
+			ops = append(ops, inplace.Op{WriteOff: pos, Data: data})
+			pos += int(l)
+		case v == tailRef+1:
+			if sig.TailLen == 0 {
+				return nil, inplace.Stats{}, ErrCorrupt
+			}
+			start := len(sig.Weak) * bs
+			ops = append(ops, inplace.Op{WriteOff: pos, ReadOff: start, Len: sig.TailLen})
+			pos += sig.TailLen
+		default:
+			bi := int(v - 1)
+			if bi < 0 || bi >= len(sig.Weak) {
+				return nil, inplace.Stats{}, ErrCorrupt
+			}
+			ops = append(ops, inplace.Op{WriteOff: pos, ReadOff: bi * bs, Len: bs})
+			pos += bs
+		}
+	}
+	return inplace.Apply(old, ops, pos)
+}

@@ -1,0 +1,265 @@
+// Package rsync implements the rsync file synchronization algorithm of
+// Tridgell and MacKerras, the paper's primary baseline.
+//
+// The client (holder of the outdated file) computes per-block signatures —
+// a 32-bit rolling checksum plus a truncated MD4 strong checksum — and sends
+// them to the server. The server slides a window over the current file,
+// looking the rolling checksum up at every alignment, verifies candidates
+// with the strong checksum, and emits a stream of literals and block
+// references which is then compressed (rsync uses a gzip-like coder; we use
+// the self-referential mode of internal/delta). A whole-file strong checksum
+// detects the rare double-collision failure, in which case the file is
+// transferred in full.
+package rsync
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"msync/internal/delta"
+	"msync/internal/md4"
+	"msync/internal/rolling"
+)
+
+// DefaultBlockSize is rsync's traditional default block size in bytes
+// (the paper quotes ~700).
+const DefaultBlockSize = 700
+
+// DefaultStrongLen is the number of MD4 bytes per block signature. The paper
+// notes two bytes provide sufficient power when backed by a whole-file check.
+const DefaultStrongLen = 2
+
+// ErrCorrupt reports a malformed token stream.
+var ErrCorrupt = errors.New("rsync: corrupt token stream")
+
+// Signature is the client-side per-block summary of the outdated file.
+type Signature struct {
+	BlockSize int
+	StrongLen int
+	FileLen   int
+	Weak      []uint32 // rolling checksum per full block
+	Strong    [][]byte // truncated MD4 per full block
+	// Tail is the final short block (possibly empty).
+	TailLen    int
+	TailWeak   uint32
+	TailStrong []byte
+}
+
+// Sign computes the signature of old with the given block size.
+func Sign(old []byte, blockSize, strongLen int) *Signature {
+	if blockSize <= 0 {
+		panic("rsync: block size must be positive")
+	}
+	if strongLen <= 0 || strongLen > md4.Size {
+		panic(fmt.Sprintf("rsync: strong length %d out of range", strongLen))
+	}
+	s := &Signature{BlockSize: blockSize, StrongLen: strongLen, FileLen: len(old)}
+	n := len(old) / blockSize
+	s.Weak = make([]uint32, n)
+	s.Strong = make([][]byte, n)
+	for i := 0; i < n; i++ {
+		b := old[i*blockSize : (i+1)*blockSize]
+		s.Weak[i] = rolling.AdlerSum(b)
+		sum := md4.Sum(b)
+		s.Strong[i] = append([]byte(nil), sum[:strongLen]...)
+	}
+	if tail := old[n*blockSize:]; len(tail) > 0 {
+		s.TailLen = len(tail)
+		s.TailWeak = rolling.AdlerSum(tail)
+		sum := md4.Sum(tail)
+		s.TailStrong = append([]byte(nil), sum[:strongLen]...)
+	}
+	return s
+}
+
+// WireSize reports the client→server cost of this signature in bytes:
+// 4 weak + StrongLen strong per block, plus a small header.
+func (s *Signature) WireSize() int {
+	const header = 10 // file length, block size, block count as varints
+	n := len(s.Weak) * (4 + s.StrongLen)
+	if s.TailLen > 0 {
+		n += 4 + s.StrongLen
+	}
+	return header + n
+}
+
+// Token stream opcodes (pre-compression).
+const (
+	opLiterals = 0 // followed by uvarint length + raw bytes
+	// values >= 1 reference block (value-1); value == ^0 marks the tail block.
+)
+
+const tailRef = ^uint64(0) >> 1 // large sentinel for the tail block reference
+
+// GenerateTokens runs the server-side matching pass and returns the
+// uncompressed token stream encoding cur relative to the signature.
+func GenerateTokens(sig *Signature, cur []byte) []byte {
+	var out []byte
+	bs := sig.BlockSize
+
+	weakIndex := make(map[uint32][]int, len(sig.Weak))
+	for i, w := range sig.Weak {
+		weakIndex[w] = append(weakIndex[w], i)
+	}
+
+	litStart := 0
+	flushLit := func(end int) {
+		for litStart < end {
+			run := end - litStart
+			out = binary.AppendUvarint(out, uint64(opLiterals))
+			out = binary.AppendUvarint(out, uint64(run))
+			out = append(out, cur[litStart:litStart+run]...)
+			litStart = end
+		}
+	}
+
+	if len(cur) >= bs && len(sig.Weak) > 0 {
+		ad := rolling.NewAdler(bs)
+		ad.Init(cur)
+		i := 0
+		for {
+			if blocks, ok := weakIndex[ad.Sum()]; ok {
+				matched := -1
+				var strong []byte
+				for _, bi := range blocks {
+					if strong == nil {
+						sum := md4.Sum(cur[i : i+bs])
+						strong = sum[:sig.StrongLen]
+					}
+					if bytes.Equal(strong, sig.Strong[bi]) {
+						matched = bi
+						break
+					}
+				}
+				if matched >= 0 {
+					flushLit(i)
+					out = binary.AppendUvarint(out, uint64(matched)+1)
+					litStart = i + bs
+					i += bs
+					if i+bs > len(cur) {
+						break
+					}
+					ad.Init(cur[i:])
+					continue
+				}
+			}
+			if i+bs >= len(cur) {
+				break
+			}
+			ad.Roll(cur[i], cur[i+bs])
+			i++
+		}
+	}
+
+	// Tail block: match only at the very end of cur.
+	if sig.TailLen > 0 && len(cur)-litStart >= sig.TailLen {
+		start := len(cur) - sig.TailLen
+		if start >= litStart && rolling.AdlerSum(cur[start:]) == sig.TailWeak {
+			sum := md4.Sum(cur[start:])
+			if bytes.Equal(sum[:sig.StrongLen], sig.TailStrong) {
+				flushLit(start)
+				out = binary.AppendUvarint(out, tailRef+1)
+				litStart = len(cur)
+			}
+		}
+	}
+	flushLit(len(cur))
+	return out
+}
+
+// Patch reconstructs the current file from the outdated file and a token
+// stream produced by GenerateTokens.
+func Patch(old []byte, sig *Signature, tokens []byte) ([]byte, error) {
+	var out []byte
+	bs := sig.BlockSize
+	for len(tokens) > 0 {
+		v, n := binary.Uvarint(tokens)
+		if n <= 0 {
+			return nil, ErrCorrupt
+		}
+		tokens = tokens[n:]
+		switch {
+		case v == opLiterals:
+			l, n := binary.Uvarint(tokens)
+			if n <= 0 || uint64(len(tokens)-n) < l {
+				return nil, ErrCorrupt
+			}
+			tokens = tokens[n:]
+			out = append(out, tokens[:l]...)
+			tokens = tokens[l:]
+		case v == tailRef+1:
+			if sig.TailLen == 0 {
+				return nil, ErrCorrupt
+			}
+			start := len(sig.Weak) * bs
+			out = append(out, old[start:start+sig.TailLen]...)
+		default:
+			bi := int(v - 1)
+			if bi < 0 || bi >= len(sig.Weak) {
+				return nil, ErrCorrupt
+			}
+			out = append(out, old[bi*bs:(bi+1)*bs]...)
+		}
+	}
+	return out, nil
+}
+
+// Result summarizes one rsync file transfer.
+type Result struct {
+	// C2S is the client→server byte cost (the signature).
+	C2S int
+	// S2C is the server→client byte cost (compressed tokens, plus the file
+	// itself on fallback).
+	S2C int
+	// Output is the reconstructed file.
+	Output []byte
+	// FellBack reports that the whole-file check failed and the file was
+	// retransmitted in full.
+	FellBack bool
+}
+
+// Sync runs the full rsync exchange for one file with both sides simulated
+// locally, returning exact wire costs.
+func Sync(old, cur []byte, blockSize, strongLen int) Result {
+	sig := Sign(old, blockSize, strongLen)
+	tokens := GenerateTokens(sig, cur)
+	compressed := delta.Compress(tokens)
+
+	res := Result{C2S: sig.WireSize(), S2C: len(compressed) + md4.Size}
+	decompressed, err := delta.Decompress(compressed)
+	if err == nil {
+		if out, perr := Patch(old, sig, decompressed); perr == nil {
+			if md4.Sum(out) == md4.Sum(cur) {
+				res.Output = out
+				return res
+			}
+		}
+	}
+	// Double-collision (or corruption): fall back to a full compressed copy,
+	// as the paper prescribes.
+	full := delta.Compress(cur)
+	res.S2C += len(full)
+	res.Output = append([]byte(nil), cur...)
+	res.FellBack = true
+	return res
+}
+
+// CandidateBlockSizes is the sweep used by the idealized "rsync with optimal
+// block size" baseline.
+var CandidateBlockSizes = []int{128, 256, 512, 700, 1024, 2048, 4096, 8192}
+
+// SyncBest runs Sync for every candidate block size and returns the cheapest
+// outcome — the paper's idealized rsync oracle.
+func SyncBest(old, cur []byte, strongLen int) (Result, int) {
+	var best Result
+	bestBS := 0
+	for _, bs := range CandidateBlockSizes {
+		r := Sync(old, cur, bs, strongLen)
+		if bestBS == 0 || r.C2S+r.S2C < best.C2S+best.S2C {
+			best, bestBS = r, bs
+		}
+	}
+	return best, bestBS
+}

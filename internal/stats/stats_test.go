@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAddAndTotals(t *testing.T) {
+	var c Costs
+	c.Add(C2S, PhaseControl, 100)
+	c.Add(S2C, PhaseMap, 200)
+	c.Add(S2C, PhaseDelta, 300)
+	c.Add(C2S, PhaseMap, 50)
+
+	if c.Bytes(C2S, PhaseControl) != 100 {
+		t.Fatal("Bytes")
+	}
+	if c.DirTotal(C2S) != 150 || c.DirTotal(S2C) != 500 {
+		t.Fatal("DirTotal")
+	}
+	if c.PhaseTotal(PhaseMap) != 250 {
+		t.Fatal("PhaseTotal")
+	}
+	if c.Total() != 650 {
+		t.Fatal("Total")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Costs
+	a.Add(C2S, PhaseMap, 10)
+	a.Roundtrips = 3
+	a.FilesSynced = 1
+	a.HashesSent = 100
+	a.MatchesConfirmed = 40
+	b.Add(C2S, PhaseMap, 5)
+	b.Add(S2C, PhaseFull, 7)
+	b.Roundtrips = 2
+	b.FilesUnchanged = 4
+	b.HashesSent = 50
+	b.MatchesConfirmed = 50
+
+	a.Merge(&b)
+	if a.Bytes(C2S, PhaseMap) != 15 || a.Bytes(S2C, PhaseFull) != 7 {
+		t.Fatal("bytes")
+	}
+	if a.Roundtrips != 5 || a.FilesSynced != 1 || a.FilesUnchanged != 4 {
+		t.Fatal("counters")
+	}
+	if a.HarvestRate() != float64(90)/150 {
+		t.Fatalf("harvest = %v", a.HarvestRate())
+	}
+}
+
+func TestHarvestRateZero(t *testing.T) {
+	var c Costs
+	if c.HarvestRate() != 0 {
+		t.Fatal("zero hashes should give zero harvest")
+	}
+}
+
+func TestString(t *testing.T) {
+	var c Costs
+	c.Add(S2C, PhaseDelta, 2048)
+	c.Roundtrips = 4
+	c.FilesSynced = 2
+	s := c.String()
+	for _, want := range []string{"2.0KB", "4 roundtrips", "delta", "2 synced"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{1536, "1.5KB"},
+		{20 << 20, "20.0MB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.n); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestKB(t *testing.T) {
+	if KB(2048) != 2.0 {
+		t.Fatal("KB")
+	}
+}
+
+func TestDirectionPhaseStrings(t *testing.T) {
+	if C2S.String() != "c2s" || S2C.String() != "s2c" {
+		t.Fatal("direction names")
+	}
+	if PhaseControl.String() != "control" || PhaseFull.String() != "full" {
+		t.Fatal("phase names")
+	}
+	if !strings.Contains(Direction(9).String(), "9") {
+		t.Fatal("unknown direction")
+	}
+	if !strings.Contains(Phase(9).String(), "9") {
+		t.Fatal("unknown phase")
+	}
+}
+
+func TestLinkModel(t *testing.T) {
+	var c Costs
+	c.Add(S2C, PhaseDelta, 125_000) // 1s at 125 kB/s
+	c.Add(C2S, PhaseMap, 32_000)    // 1s at 32 kB/s
+	c.Roundtrips = 10               // 10 * 100ms = 1s
+
+	l := LinkModel{DownBps: 125_000, UpBps: 32_000, RTT: 100 * time.Millisecond}
+	got := l.Duration(&c)
+	want := 3 * time.Second
+	if got < want-10*time.Millisecond || got > want+10*time.Millisecond {
+		t.Fatalf("Duration = %v, want ~%v", got, want)
+	}
+	// Degenerate link reports zero rather than dividing by zero.
+	if (LinkModel{}).Duration(&c) != 0 {
+		t.Fatal("zero link should report 0")
+	}
+}
+
+func TestMarshalJSON(t *testing.T) {
+	var c Costs
+	c.Add(S2C, PhaseDelta, 100)
+	c.Add(C2S, PhaseMap, 7)
+	c.Roundtrips = 3
+	c.FilesSynced = 2
+	out, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]int64
+	if err := json.Unmarshal(out, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["s2c_delta_bytes"] != 100 || m["c2s_map_bytes"] != 7 {
+		t.Fatalf("byte fields wrong: %v", m)
+	}
+	if m["roundtrips"] != 3 || m["files_synced"] != 2 || m["total_bytes"] != 107 {
+		t.Fatalf("counter fields wrong: %v", m)
+	}
+}

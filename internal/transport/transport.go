@@ -1,0 +1,172 @@
+// Package transport provides the connections the protocol engines run over:
+// an unbounded in-memory duplex pipe (for tests, benchmarks and examples) and
+// byte-metering wrappers that feed the stats package.
+package transport
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+
+	"msync/internal/stats"
+)
+
+// ErrClosed is returned by operations on a closed pipe end.
+var ErrClosed = errors.New("transport: pipe closed")
+
+// buffer is an unbounded FIFO byte queue with blocking reads.
+type buffer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	data   []byte
+	closed bool
+}
+
+func newBuffer() *buffer {
+	b := &buffer{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *buffer) write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, ErrClosed
+	}
+	b.data = append(b.data, p...)
+	b.cond.Broadcast()
+	return len(p), nil
+}
+
+func (b *buffer) read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.data) == 0 && !b.closed {
+		b.cond.Wait()
+	}
+	if len(b.data) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data)
+	b.data = b.data[n:]
+	if len(b.data) == 0 {
+		b.data = nil // release the backing array
+	}
+	return n, nil
+}
+
+func (b *buffer) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// PipeEnd is one end of an in-memory duplex pipe.
+type PipeEnd struct {
+	r, w *buffer
+}
+
+// Pipe returns two connected in-memory pipe ends. Unlike net.Pipe, writes
+// never block, which removes any deadlock concern for half-duplex protocols
+// driven from a single goroutine per side.
+func Pipe() (a, b *PipeEnd) {
+	ab := newBuffer()
+	ba := newBuffer()
+	return &PipeEnd{r: ba, w: ab}, &PipeEnd{r: ab, w: ba}
+}
+
+// Read implements io.Reader.
+func (p *PipeEnd) Read(buf []byte) (int, error) { return p.r.read(buf) }
+
+// Write implements io.Writer.
+func (p *PipeEnd) Write(buf []byte) (int, error) { return p.w.write(buf) }
+
+// Close closes both directions of this end. The peer's reads drain any
+// buffered data and then see io.EOF.
+func (p *PipeEnd) Close() error {
+	p.w.close()
+	p.r.close()
+	return nil
+}
+
+// FaultyEnd wraps a PipeEnd and fails after a byte budget, for failure
+// injection tests.
+type FaultyEnd struct {
+	*PipeEnd
+	mu        sync.Mutex
+	remaining int
+	err       error
+}
+
+// NewFaultyEnd returns an end whose writes fail with err after writing
+// allowBytes bytes.
+func NewFaultyEnd(p *PipeEnd, allowBytes int, err error) *FaultyEnd {
+	return &FaultyEnd{PipeEnd: p, remaining: allowBytes, err: err}
+}
+
+// Write implements io.Writer, failing once the budget is exhausted.
+func (f *FaultyEnd) Write(buf []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.remaining <= 0 {
+		return 0, f.err
+	}
+	n := len(buf)
+	if n > f.remaining {
+		n = f.remaining
+	}
+	f.remaining -= n
+	m, err := f.PipeEnd.Write(buf[:n])
+	if err != nil {
+		return m, err
+	}
+	if m < len(buf) {
+		return m, f.err
+	}
+	return m, nil
+}
+
+// Meter wraps an io.ReadWriter and records transferred payload bytes into a
+// stats.Costs. Direction and phase are set by the protocol engine as it moves
+// through the session (the engine is single-threaded per session).
+type Meter struct {
+	rw    io.ReadWriter
+	costs *stats.Costs
+	// writeDir is the direction of Write calls from this endpoint's view.
+	writeDir stats.Direction
+	phase    stats.Phase
+}
+
+// NewMeter wraps rw. writeDir is the stats direction of local writes (e.g.
+// stats.S2C when metering the server side).
+func NewMeter(rw io.ReadWriter, costs *stats.Costs, writeDir stats.Direction) *Meter {
+	return &Meter{rw: rw, costs: costs, writeDir: writeDir}
+}
+
+// SetPhase switches the phase attributed to subsequent traffic.
+func (m *Meter) SetPhase(p stats.Phase) { m.phase = p }
+
+// Phase reports the current phase.
+func (m *Meter) Phase() stats.Phase { return m.phase }
+
+// Read implements io.Reader. Reads are not metered: each payload byte is
+// counted once, by the writer.
+func (m *Meter) Read(p []byte) (int, error) { return m.rw.Read(p) }
+
+// Write implements io.Writer, metering payload bytes.
+func (m *Meter) Write(p []byte) (int, error) {
+	n, err := m.rw.Write(p)
+	if m.costs != nil {
+		m.costs.Add(m.writeDir, m.phase, n)
+	}
+	return n, err
+}
+
+// Dial connects to a TCP msync server.
+func Dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// Listen starts a TCP listener for a msync server.
+func Listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }

@@ -1,0 +1,164 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+
+	"msync/internal/stats"
+)
+
+func TestPipeBasic(t *testing.T) {
+	a, b := Pipe()
+	msg := []byte("hello across the pipe")
+	if _, err := a.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatal("mismatch")
+	}
+	// And the reverse direction.
+	if _, err := b.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	buf = make([]byte, 4)
+	if _, err := io.ReadFull(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "pong" {
+		t.Fatal("reverse mismatch")
+	}
+}
+
+// TestPipeNeverBlocksOnWrite: unlike net.Pipe, large writes with no reader
+// must complete (this is what makes single-goroutine protocol tests safe).
+func TestPipeNeverBlocksOnWrite(t *testing.T) {
+	a, b := Pipe()
+	big := make([]byte, 1<<20)
+	done := make(chan struct{})
+	go func() {
+		a.Write(big)
+		a.Write(big)
+		close(done)
+	}()
+	<-done // would deadlock with a synchronous pipe
+	buf := make([]byte, 2<<20)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipeBlockingRead(t *testing.T) {
+	a, b := Pipe()
+	var got []byte
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 5)
+		io.ReadFull(b, buf)
+		got = buf
+	}()
+	a.Write([]byte("delay"))
+	wg.Wait()
+	if string(got) != "delay" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPipeCloseDrainsThenEOF(t *testing.T) {
+	a, b := Pipe()
+	a.Write([]byte("leftover"))
+	a.Close()
+	buf := make([]byte, 8)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatalf("buffered data lost: %v", err)
+	}
+	if _, err := b.Read(buf); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	// Writing to the closed end errors.
+	if _, err := a.Write([]byte("x")); err != ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestPipeConcurrentTraffic(t *testing.T) {
+	a, b := Pipe()
+	const n = 1000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			a.Write([]byte{byte(i)})
+		}
+	}()
+	var count int
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 64)
+		for count < n {
+			m, err := b.Read(buf)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			count += m
+		}
+	}()
+	wg.Wait()
+	if count != n {
+		t.Fatalf("read %d bytes, want %d", count, n)
+	}
+}
+
+func TestFaultyEnd(t *testing.T) {
+	a, b := Pipe()
+	boom := errors.New("link died")
+	f := NewFaultyEnd(a, 10, boom)
+	if _, err := f.Write(make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	// Second write exceeds the budget: partial write then error.
+	if _, err := f.Write(make([]byte, 8)); err != boom {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if _, err := f.Write([]byte("x")); err != boom {
+		t.Fatalf("budget exhausted should keep failing, got %v", err)
+	}
+	buf := make([]byte, 10)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatalf("the 10 allowed bytes should be readable: %v", err)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	a, b := Pipe()
+	var costs stats.Costs
+	m := NewMeter(a, &costs, stats.S2C)
+	m.SetPhase(stats.PhaseMap)
+	m.Write([]byte("12345"))
+	m.SetPhase(stats.PhaseDelta)
+	m.Write([]byte("123"))
+	if m.Phase() != stats.PhaseDelta {
+		t.Fatal("phase")
+	}
+	if costs.Bytes(stats.S2C, stats.PhaseMap) != 5 || costs.Bytes(stats.S2C, stats.PhaseDelta) != 3 {
+		t.Fatalf("metering wrong: %+v", costs)
+	}
+	// Reads are not metered.
+	buf := make([]byte, 8)
+	io.ReadFull(b, buf)
+	b.Write([]byte("xy"))
+	io.ReadFull(m, buf[:2])
+	if costs.Total() != 8 {
+		t.Fatalf("reads were metered: total %d", costs.Total())
+	}
+}

@@ -1,0 +1,38 @@
+package vcdiff
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode: arbitrary inputs must never panic or over-allocate.
+func FuzzDecode(f *testing.F) {
+	src := []byte("source bytes for the fuzzing corpus, with repetition repetition")
+	f.Add(src, Encode(src, []byte("target derived from the source bytes, with repetition")))
+	f.Add([]byte{}, []byte{0xD6, 0xC3, 0xC4, 0x00, 0x00})
+	f.Add(src, []byte("garbage"))
+	f.Fuzz(func(t *testing.T, source, enc []byte) {
+		out, err := Decode(source, enc)
+		if err == nil && len(out) > 1<<24 {
+			t.Fatalf("implausible output size %d", len(out))
+		}
+	})
+}
+
+// FuzzEncodeDecode: every pair must round-trip through the RFC 3284 format.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add([]byte("src"), []byte("target text"))
+	f.Add([]byte{}, []byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, source, target []byte) {
+		if len(source) > 1<<16 || len(target) > 1<<16 {
+			t.Skip()
+		}
+		got, err := Decode(source, Encode(source, target))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !bytes.Equal(got, target) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,449 @@
+// Package vcdiff implements the VCDIFF generic differencing format of
+// RFC 3284 (Korn/Vo), the second delta-compression baseline the paper
+// evaluates against. The encoder reuses the LZ parse from internal/delta
+// and emits a single standard window per file; the decoder accepts any
+// single-source-window VCDIFF stream using the default code table.
+package vcdiff
+
+import (
+	"errors"
+	"fmt"
+
+	"msync/internal/delta"
+)
+
+// Header magic per RFC 3284 §4.1: 'V'|0x80, 'C'|0x80, 'D'|0x80, version 0.
+var magic = []byte{0xD6, 0xC3, 0xC4, 0x00}
+
+// Window indicator bits.
+const (
+	vcdSource = 0x01
+	vcdTarget = 0x02
+)
+
+// Instruction types.
+const (
+	typNoop = iota
+	typAdd
+	typRun
+	typCopy
+)
+
+// Address cache geometry of the default code table.
+const (
+	sNear = 4
+	sSame = 3
+)
+
+// codeEntry is one (or a pair of) instruction(s) from the code table.
+type codeEntry struct {
+	type1, size1, mode1 byte
+	type2, size2, mode2 byte
+}
+
+// defaultTable is the RFC 3284 §5.6 default instruction code table.
+var defaultTable = buildDefaultTable()
+
+func buildDefaultTable() [256]codeEntry {
+	var t [256]codeEntry
+	i := 0
+	add := func(e codeEntry) {
+		t[i] = e
+		i++
+	}
+	// 1. RUN 0.
+	add(codeEntry{type1: typRun})
+	// 2. ADD sizes 0 (explicit), 1..17.
+	for s := 0; s <= 17; s++ {
+		add(codeEntry{type1: typAdd, size1: byte(s)})
+	}
+	// 3. COPY sizes 0 (explicit), 4..18 for each of the 9 modes.
+	for m := 0; m < sNear+sSame+2; m++ {
+		add(codeEntry{type1: typCopy, mode1: byte(m)})
+		for s := 4; s <= 18; s++ {
+			add(codeEntry{type1: typCopy, size1: byte(s), mode1: byte(m)})
+		}
+	}
+	// 4. ADD 1..4 + COPY 4..6, modes 0..5.
+	for as := 1; as <= 4; as++ {
+		for m := 0; m < 6; m++ {
+			for cs := 4; cs <= 6; cs++ {
+				add(codeEntry{type1: typAdd, size1: byte(as), type2: typCopy, size2: byte(cs), mode2: byte(m)})
+			}
+		}
+	}
+	// 5. ADD 1..4 + COPY 4, modes 6..8.
+	for as := 1; as <= 4; as++ {
+		for m := 6; m < 9; m++ {
+			add(codeEntry{type1: typAdd, size1: byte(as), type2: typCopy, size2: 4, mode2: byte(m)})
+		}
+	}
+	// 6. COPY 4, modes 0..8 + ADD 1.
+	for m := 0; m < 9; m++ {
+		add(codeEntry{type1: typCopy, size1: 4, mode1: byte(m), type2: typAdd, size2: 1})
+	}
+	if i != 256 {
+		panic(fmt.Sprintf("vcdiff: default table has %d entries", i))
+	}
+	return t
+}
+
+// singleIndex maps (type, size, mode) of single-instruction entries to their
+// table index, for the encoder.
+var singleIndex = buildSingleIndex()
+
+func buildSingleIndex() map[[3]byte]byte {
+	m := make(map[[3]byte]byte)
+	for i := 255; i >= 0; i-- {
+		e := defaultTable[i]
+		if e.type2 == typNoop && e.type1 != typNoop {
+			m[[3]byte{e.type1, e.size1, e.mode1}] = byte(i)
+		}
+	}
+	return m
+}
+
+// appendVarint appends the RFC 3284 big-endian base-128 integer encoding
+// (NOT the little-endian varint of encoding/binary).
+func appendVarint(b []byte, v uint64) []byte {
+	var tmp [10]byte
+	n := len(tmp)
+	tmp[n-1] = byte(v & 0x7F)
+	v >>= 7
+	for v > 0 {
+		n--
+		tmp[n-1] = byte(v&0x7F) | 0x80
+		v >>= 7
+	}
+	return append(b, tmp[n-1:]...)
+}
+
+// readVarint consumes an RFC 3284 integer.
+func readVarint(b []byte) (uint64, []byte, error) {
+	var v uint64
+	for i := 0; i < len(b); i++ {
+		if i >= 9 {
+			return 0, nil, ErrCorrupt
+		}
+		v = v<<7 | uint64(b[i]&0x7F)
+		if b[i]&0x80 == 0 {
+			return v, b[i+1:], nil
+		}
+	}
+	return 0, nil, ErrCorrupt
+}
+
+// ErrCorrupt reports a malformed VCDIFF stream.
+var ErrCorrupt = errors.New("vcdiff: corrupt stream")
+
+// addrCache implements the RFC 3284 §5.1 near/same caches.
+type addrCache struct {
+	near     [sNear]int
+	same     [sSame * 256]int
+	nextNear int
+}
+
+func (c *addrCache) update(addr int) {
+	c.near[c.nextNear] = addr
+	c.nextNear = (c.nextNear + 1) % sNear
+	c.same[addr%(sSame*256)] = addr
+}
+
+// encodeAddr picks the cheapest mode for addr (here = current position in
+// the combined address space) and returns (mode, value, isSameMode).
+func (c *addrCache) encodeAddr(addr, here int) (mode byte, value int, same bool) {
+	// VCD_SELF.
+	bestMode, bestVal := byte(0), addr
+	// VCD_HERE.
+	if v := here - addr; varintLen(uint64(v)) < varintLen(uint64(bestVal)) {
+		bestMode, bestVal = 1, v
+	}
+	for i := 0; i < sNear; i++ {
+		if v := addr - c.near[i]; v >= 0 && varintLen(uint64(v)) < varintLen(uint64(bestVal)) {
+			bestMode, bestVal = byte(2+i), v
+		}
+	}
+	if c.same[addr%(sSame*256)] == addr {
+		return byte(2 + sNear + addr/256%sSame), addr % 256, true
+	}
+	return bestMode, bestVal, false
+}
+
+// decodeAddr reverses encodeAddr given the mode.
+func (c *addrCache) decodeAddr(mode byte, here int, addrSection []byte) (addr int, rest []byte, err error) {
+	switch {
+	case mode == 0: // SELF
+		v, rest, err := readVarint(addrSection)
+		return int(v), rest, err
+	case mode == 1: // HERE
+		v, rest, err := readVarint(addrSection)
+		return here - int(v), rest, err
+	case int(mode) < 2+sNear: // near
+		v, rest, err := readVarint(addrSection)
+		return c.near[mode-2] + int(v), rest, err
+	default: // same
+		if len(addrSection) == 0 {
+			return 0, nil, ErrCorrupt
+		}
+		b := int(addrSection[0])
+		return c.same[int(mode-2-sNear)*256+b], addrSection[1:], nil
+	}
+}
+
+func varintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		n++
+		v >>= 7
+	}
+	return n
+}
+
+// Encode produces a VCDIFF delta of target relative to source.
+func Encode(source, target []byte) []byte {
+	ops := delta.Parse(source, target)
+
+	var data, inst, addrs []byte
+	cache := &addrCache{}
+	pos := 0 // position in target
+
+	emitCopy := func(length, addr int) {
+		here := len(source) + pos
+		mode, val, same := cache.encodeAddr(addr, here)
+		// Table sizes 4..18 inline; otherwise size 0 + explicit size.
+		if length >= 4 && length <= 18 {
+			inst = append(inst, singleIndex[[3]byte{typCopy, byte(length), mode}])
+		} else {
+			inst = append(inst, singleIndex[[3]byte{typCopy, 0, mode}])
+			inst = appendVarint(inst, uint64(length))
+		}
+		if same {
+			addrs = append(addrs, byte(val))
+		} else {
+			addrs = appendVarint(addrs, uint64(val))
+		}
+		cache.update(addr)
+	}
+	emitAdd := func(lit []byte) {
+		for len(lit) > 0 {
+			n := len(lit)
+			if n <= 17 {
+				inst = append(inst, singleIndex[[3]byte{typAdd, byte(n), 0}])
+			} else {
+				inst = append(inst, singleIndex[[3]byte{typAdd, 0, 0}])
+				inst = appendVarint(inst, uint64(n))
+			}
+			data = append(data, lit[:n]...)
+			lit = lit[n:]
+		}
+	}
+
+	for _, o := range ops {
+		if o.Literal != nil {
+			emitAdd(o.Literal)
+			pos += len(o.Literal)
+			continue
+		}
+		var addr int
+		if o.FromRef {
+			addr = o.RefPos
+		} else {
+			addr = len(source) + (pos - o.Dist)
+		}
+		// RFC 3284 forbids a copy from reading at or past "here"; our
+		// parser's self-copies can overlap (addr+len > here), which VCDIFF
+		// explicitly permits (§5.3 example) as long as addr < here.
+		emitCopy(o.Length, addr)
+		pos += o.Length
+	}
+
+	// Assemble: header + one window.
+	out := append([]byte(nil), magic...)
+	out = append(out, 0) // hdr_indicator: no secondary compression, no app data
+	var win []byte
+	win = append(win, vcdSource)
+	win = appendVarint(win, uint64(len(source))) // source segment length
+	win = appendVarint(win, 0)                   // source segment position
+	var body []byte
+	body = appendVarint(body, uint64(len(target)))
+	body = append(body, 0) // delta_indicator
+	body = appendVarint(body, uint64(len(data)))
+	body = appendVarint(body, uint64(len(inst)))
+	body = appendVarint(body, uint64(len(addrs)))
+	body = append(body, data...)
+	body = append(body, inst...)
+	body = append(body, addrs...)
+	win = appendVarint(win, uint64(len(body)))
+	win = append(win, body...)
+	return append(out, win...)
+}
+
+// Decode applies a VCDIFF delta produced by Encode (or any conforming
+// single-window encoder using the default code table) to source.
+func Decode(source, enc []byte) ([]byte, error) {
+	if len(enc) < 5 || enc[0] != magic[0] || enc[1] != magic[1] || enc[2] != magic[2] {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if enc[3] != 0 {
+		return nil, fmt.Errorf("vcdiff: unsupported version %d", enc[3])
+	}
+	hdrIndicator := enc[4]
+	if hdrIndicator != 0 {
+		return nil, fmt.Errorf("vcdiff: unsupported header features 0x%x", hdrIndicator)
+	}
+	rest := enc[5:]
+
+	var out []byte
+	for len(rest) > 0 {
+		if len(rest) < 1 {
+			return nil, ErrCorrupt
+		}
+		winIndicator := rest[0]
+		rest = rest[1:]
+		src := source
+		if winIndicator&vcdSource != 0 {
+			segLen, r, err := readVarint(rest)
+			if err != nil {
+				return nil, err
+			}
+			segPos, r, err := readVarint(r)
+			if err != nil {
+				return nil, err
+			}
+			rest = r
+			if segPos+segLen > uint64(len(source)) {
+				return nil, fmt.Errorf("%w: source segment out of range", ErrCorrupt)
+			}
+			src = source[segPos : segPos+segLen]
+		} else if winIndicator&vcdTarget != 0 {
+			return nil, errors.New("vcdiff: VCD_TARGET windows not supported")
+		} else {
+			src = nil
+		}
+		deltaLen, r, err := readVarint(rest)
+		if err != nil {
+			return nil, err
+		}
+		if deltaLen > uint64(len(r)) {
+			return nil, ErrCorrupt
+		}
+		rest = r[deltaLen:]
+		win, err := decodeWindow(src, r[:deltaLen])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, win...)
+	}
+	return out, nil
+}
+
+// decodeWindow decodes one window body.
+func decodeWindow(src, body []byte) ([]byte, error) {
+	targetLen, body, err := readVarint(body)
+	if err != nil {
+		return nil, err
+	}
+	if targetLen > 1<<32 {
+		return nil, fmt.Errorf("%w: implausible window size", ErrCorrupt)
+	}
+	if len(body) < 1 || body[0] != 0 {
+		return nil, fmt.Errorf("vcdiff: unsupported delta_indicator")
+	}
+	body = body[1:]
+	dataLen, body, err := readVarint(body)
+	if err != nil {
+		return nil, err
+	}
+	instLen, body, err := readVarint(body)
+	if err != nil {
+		return nil, err
+	}
+	addrLen, body, err := readVarint(body)
+	if err != nil {
+		return nil, err
+	}
+	if dataLen+instLen+addrLen != uint64(len(body)) {
+		return nil, fmt.Errorf("%w: section lengths", ErrCorrupt)
+	}
+	data := body[:dataLen]
+	inst := body[dataLen : dataLen+instLen]
+	addrs := body[dataLen+instLen:]
+
+	out := make([]byte, 0, targetLen)
+	cache := &addrCache{}
+
+	apply := func(typ, size, mode byte) error {
+		var length int
+		if size == 0 && typ != typNoop {
+			v, r, err := readVarint(inst)
+			if err != nil {
+				return err
+			}
+			inst = r
+			length = int(v)
+		} else {
+			length = int(size)
+		}
+		switch typ {
+		case typNoop:
+			return nil
+		case typAdd:
+			if length > len(data) {
+				return ErrCorrupt
+			}
+			out = append(out, data[:length]...)
+			data = data[length:]
+		case typRun:
+			if len(data) < 1 {
+				return ErrCorrupt
+			}
+			b := data[0]
+			data = data[1:]
+			for i := 0; i < length; i++ {
+				out = append(out, b)
+			}
+		case typCopy:
+			here := len(src) + len(out)
+			addr, r, err := cache.decodeAddr(mode, here, addrs)
+			if err != nil {
+				return err
+			}
+			addrs = r
+			if addr < 0 || addr >= here || length < 0 {
+				return fmt.Errorf("%w: copy address %d (here %d)", ErrCorrupt, addr, here)
+			}
+			cache.update(addr)
+			for i := 0; i < length; i++ {
+				p := addr + i
+				if p < len(src) {
+					out = append(out, src[p])
+				} else if p-len(src) < len(out) {
+					out = append(out, out[p-len(src)])
+				} else {
+					return fmt.Errorf("%w: copy beyond produced data", ErrCorrupt)
+				}
+			}
+		}
+		return nil
+	}
+
+	for len(inst) > 0 {
+		e := defaultTable[inst[0]]
+		inst = inst[1:]
+		if err := apply(e.type1, e.size1, e.mode1); err != nil {
+			return nil, err
+		}
+		if err := apply(e.type2, e.size2, e.mode2); err != nil {
+			return nil, err
+		}
+	}
+	if uint64(len(out)) != targetLen {
+		return nil, fmt.Errorf("%w: produced %d bytes, want %d", ErrCorrupt, len(out), targetLen)
+	}
+	return out, nil
+}
+
+// CompressedSize reports the VCDIFF delta size of target against source.
+func CompressedSize(source, target []byte) int {
+	return len(Encode(source, target))
+}

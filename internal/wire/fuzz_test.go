@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzFrameReader: arbitrary byte streams must never panic the frame layer
+// or allocate absurd buffers.
+func FuzzFrameReader(f *testing.F) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	fw.WriteFrame(FrameHello, []byte("hi"))
+	fw.WriteFrame(FrameDelta, bytes.Repeat([]byte("x"), 300))
+	fw.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{FrameRoundHashes, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data))
+		for {
+			_, payload, err := fr.ReadFrame()
+			if err != nil {
+				if err != io.EOF && err != io.ErrUnexpectedEOF && err != ErrFrameTooLarge {
+					// Any other error type is fine too; just never panic.
+					_ = err
+				}
+				return
+			}
+			if len(payload) > MaxFrameSize {
+				t.Fatal("oversized frame accepted")
+			}
+		}
+	})
+}
+
+// FuzzParser: parser accessors on arbitrary bytes.
+func FuzzParser(f *testing.F) {
+	b := NewBuffer(32)
+	b.Uvarint(7)
+	b.String("hello")
+	b.Bytes([]byte{1, 2, 3})
+	f.Add(b.Build())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := NewParser(data)
+		p.Uvarint()
+		p.Varint()
+		p.Byte()
+		p.Bool()
+		p.Bytes()
+		p.String()
+		p.Raw(4)
+	})
+}

@@ -1,0 +1,214 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"msync/internal/bitio"
+)
+
+func TestBufferParserRoundTrip(t *testing.T) {
+	b := NewBuffer(64)
+	b.Uvarint(0)
+	b.Uvarint(1 << 40)
+	b.Varint(-12345)
+	b.Byte(0xAB)
+	b.Bool(true)
+	b.Bool(false)
+	b.Bytes([]byte("payload"))
+	b.String("path/to/file")
+	b.Raw([]byte{9, 9})
+
+	p := NewParser(b.Build())
+	if v, _ := p.Uvarint(); v != 0 {
+		t.Fatal("uvarint 0")
+	}
+	if v, _ := p.Uvarint(); v != 1<<40 {
+		t.Fatal("uvarint big")
+	}
+	if v, _ := p.Varint(); v != -12345 {
+		t.Fatal("varint")
+	}
+	if v, _ := p.Byte(); v != 0xAB {
+		t.Fatal("byte")
+	}
+	if v, _ := p.Bool(); !v {
+		t.Fatal("bool true")
+	}
+	if v, _ := p.Bool(); v {
+		t.Fatal("bool false")
+	}
+	if v, _ := p.Bytes(); string(v) != "payload" {
+		t.Fatal("bytes")
+	}
+	if v, _ := p.String(); v != "path/to/file" {
+		t.Fatal("string")
+	}
+	if v, _ := p.Raw(2); !bytes.Equal(v, []byte{9, 9}) {
+		t.Fatal("raw")
+	}
+	if p.Remaining() != 0 {
+		t.Fatalf("remaining %d", p.Remaining())
+	}
+}
+
+func TestQuickVarints(t *testing.T) {
+	f := func(u uint64, s int64) bool {
+		b := NewBuffer(20)
+		b.Uvarint(u)
+		b.Varint(s)
+		p := NewParser(b.Build())
+		gu, err1 := p.Uvarint()
+		gs, err2 := p.Varint()
+		return err1 == nil && err2 == nil && gu == u && gs == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParserTruncation(t *testing.T) {
+	b := NewBuffer(8)
+	b.Bytes([]byte("hello"))
+	raw := b.Build()
+	for cut := 0; cut < len(raw); cut++ {
+		p := NewParser(raw[:cut])
+		if _, err := p.Bytes(); err == nil {
+			t.Fatalf("cut=%d: no error", cut)
+		}
+	}
+}
+
+func TestParserEmptyReads(t *testing.T) {
+	p := NewParser(nil)
+	if _, err := p.Uvarint(); err == nil {
+		t.Fatal("uvarint on empty")
+	}
+	if _, err := p.Byte(); err == nil {
+		t.Fatal("byte on empty")
+	}
+	if _, err := p.Raw(1); err == nil {
+		t.Fatal("raw on empty")
+	}
+	if _, err := p.Raw(-1); err == nil {
+		t.Fatal("negative raw")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	payloads := [][]byte{nil, []byte("a"), bytes.Repeat([]byte("xyz"), 10000)}
+	types := []byte{FrameHello, FrameDelta, FrameRoundHashes}
+	for i, p := range payloads {
+		if err := fw.WriteFrame(types[i], p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&buf)
+	for i, p := range payloads {
+		ft, got, err := fr.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ft != types[i] || !bytes.Equal(got, p) {
+			t.Fatalf("frame %d mismatch", i)
+		}
+	}
+	if _, _, err := fr.ReadFrame(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestExpectFrame(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	fw.WriteFrame(FrameAck, []byte("ok"))
+	fw.WriteFrame(FrameError, []byte("boom"))
+	fw.WriteFrame(FrameDone, nil)
+	fw.Flush()
+	fr := NewFrameReader(&buf)
+	if p, err := fr.ExpectFrame(FrameAck); err != nil || string(p) != "ok" {
+		t.Fatalf("p=%q err=%v", p, err)
+	}
+	// An error frame surfaces the remote message.
+	if _, err := fr.ExpectFrame(FrameAck); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+	// A wrong type is reported with both names.
+	if _, err := fr.ExpectFrame(FrameDelta); err == nil || !strings.Contains(err.Error(), "DONE") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	// Craft a header declaring an absurd size.
+	var buf bytes.Buffer
+	buf.WriteByte(FrameDelta)
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	fr := NewFrameReader(&buf)
+	if _, _, err := fr.ReadFrame(); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFrameTruncatedPayload(t *testing.T) {
+	var full bytes.Buffer
+	fw := NewFrameWriter(&full)
+	fw.WriteFrame(FrameDelta, []byte("0123456789"))
+	fw.Flush()
+	raw := full.Bytes()
+	fr := NewFrameReader(bytes.NewReader(raw[:len(raw)-3]))
+	if _, _, err := fr.ReadFrame(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFrameNames(t *testing.T) {
+	for ft := byte(1); ft <= FrameAck; ft++ {
+		if strings.HasPrefix(FrameName(ft), "UNKNOWN") {
+			t.Errorf("frame %d has no name", ft)
+		}
+	}
+	if !strings.HasPrefix(FrameName(200), "UNKNOWN") {
+		t.Error("unknown frame should say so")
+	}
+}
+
+func TestBitmapRoundTrip(t *testing.T) {
+	f := func(bits []bool) bool {
+		bm := NewBitmap(len(bits))
+		for i, v := range bits {
+			bm.Set(i, v)
+		}
+		w := &bitio.Writer{}
+		bm.Encode(w)
+		r := bitio.NewReader(w.Bytes())
+		got, err := DecodeBitmap(r, len(bits))
+		if err != nil {
+			return false
+		}
+		for i, v := range bits {
+			if got.Get(i) != v {
+				return false
+			}
+		}
+		return got.Count() == bm.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitmapDecodeShort(t *testing.T) {
+	r := bitio.NewReader([]byte{0xFF})
+	if _, err := DecodeBitmap(r, 9); err == nil {
+		t.Fatal("no error for short input")
+	}
+}

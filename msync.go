@@ -1,0 +1,234 @@
+// Package msync is a bandwidth-efficient file synchronization library for
+// maintaining large replicated collections over slow networks, reproducing
+// Suel, Noel and Trendafilov, "Improved File Synchronization Techniques for
+// Maintaining Large Replicated Collections over Slow Networks" (ICDE 2004).
+//
+// # Model
+//
+// A server holds the current version of a collection of files; a client
+// holds an outdated copy and wants to update it with minimum communication.
+// Synchronization runs in two phases per changed file:
+//
+//  1. Map construction: a multi-round protocol in which the client builds an
+//     approximate map of the server's file — regions it already holds
+//     (found via recursively halved block hashes, continuation hashes that
+//     extend confirmed matches, and group-testing verification) and regions
+//     it does not.
+//  2. Delta compression: the server encodes the unknown regions relative to
+//     the known ones and ships the delta.
+//
+// All changed files share each protocol roundtrip, so latency stays flat as
+// collections grow.
+//
+// # Quick start
+//
+//	a, b := msync.Pipe()
+//	srv, _ := msync.NewServer(currentFiles, msync.DefaultConfig())
+//	go srv.Serve(a)
+//	res, err := msync.NewClient(outdatedFiles).Sync(b)
+//	// res.Files now equals currentFiles; res.Costs says what it cost.
+//
+// For single files, SyncFile runs both sides in process and reports exact
+// wire costs; see the examples directory for networked usage.
+package msync
+
+import (
+	"io"
+	"net"
+
+	"msync/internal/collection"
+	"msync/internal/core"
+	"msync/internal/stats"
+	"msync/internal/transport"
+)
+
+// Config tunes the synchronization protocol; see the field documentation in
+// internal/core. Build one with DefaultConfig, BasicConfig or OneShotConfig
+// and adjust fields as needed.
+type Config = core.Config
+
+// Costs is the per-session cost accounting: bytes by direction and phase,
+// roundtrips, and per-technique counters.
+type Costs = stats.Costs
+
+// DefaultConfig enables all of the paper's techniques with its best
+// practical settings.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// BasicConfig is the paper's "basic protocol": recursive halving and
+// decomposable hashes with trivial per-candidate verification.
+func BasicConfig() Config { return core.BasicConfig() }
+
+// OneShotConfig is a single-roundtrip variant for small files or
+// latency-bound links.
+func OneShotConfig(blockSize int) Config { return core.OneShotConfig(blockSize) }
+
+// FileResult reports a single-file synchronization.
+type FileResult struct {
+	// Data is the reconstructed current version.
+	Data []byte
+	// Costs is the exact wire cost (payload bytes, by direction and phase).
+	Costs Costs
+	// Rounds is the number of map-construction rounds used.
+	Rounds int
+}
+
+// SyncFile synchronizes one file with both endpoints in process: old is the
+// outdated copy, current the up-to-date one. It returns the reconstructed
+// file (always equal to current) along with the exact number of bytes a
+// networked run would have transferred. Use it to measure synchronization
+// cost or as a reference for driving the engines manually.
+func SyncFile(old, current []byte, cfg Config) (*FileResult, error) {
+	res, err := core.SyncLocal(old, current, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &FileResult{Data: res.Output, Costs: res.Costs, Rounds: res.Rounds}, nil
+}
+
+// BroadcastResult reports a one-to-many file synchronization.
+type BroadcastResult = core.BroadcastResult
+
+// BroadcastFile synchronizes one current file to many clients holding
+// different outdated versions, transmitting the hash payload once for all
+// of them (the paper's server-broadcast scenario). Requires a one-shot
+// configuration — see OneShotConfig — because only a single-round hash
+// stream is independent of client feedback.
+func BroadcastFile(current []byte, olds [][]byte, cfg Config) (*BroadcastResult, error) {
+	return core.BroadcastSync(current, olds, cfg)
+}
+
+// Server serves the current version of a collection to synchronizing
+// clients.
+type Server struct {
+	inner *collection.Server
+}
+
+// NewServer creates a Server over a path-keyed collection.
+func NewServer(files map[string][]byte, cfg Config) (*Server, error) {
+	inner, err := collection.NewServer(files, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{inner: inner}, nil
+}
+
+// Serve runs one synchronization session over conn and returns its costs.
+func (s *Server) Serve(conn io.ReadWriter) (*Costs, error) {
+	return s.inner.Serve(conn)
+}
+
+// ListenAndServe accepts TCP connections on addr and serves each one.
+// It runs until the listener fails.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	return s.ServeListener(l)
+}
+
+// ServeListener serves sessions from an existing listener.
+func (s *Server) ServeListener(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			_, _ = s.inner.Serve(c)
+		}(conn)
+	}
+}
+
+// EnablePush allows clients to push newer collections into this server.
+// onUpdate (optional) receives the adopted collection after each push.
+func (s *Server) EnablePush(onUpdate func(map[string][]byte)) {
+	s.inner.AllowPush = true
+	s.inner.OnUpdate = onUpdate
+}
+
+// SetTreeManifest selects merkle-tree change detection for this server's
+// outgoing pushes (see Client.SetTreeManifest).
+func (s *Server) SetTreeManifest(on bool) *Server {
+	s.inner.TreeManifest = on
+	return s
+}
+
+// Push updates a remote replica with this server's newer collection — the
+// reverse transfer direction, for replicas that cannot dial out. The remote
+// must have called EnablePush.
+func (s *Server) Push(conn io.ReadWriter) (*Costs, error) {
+	return s.inner.Push(conn)
+}
+
+// PushTCP dials addr and pushes over TCP.
+func (s *Server) PushTCP(addr string) (*Costs, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	return s.inner.Push(conn)
+}
+
+// Client synchronizes a local collection copy against a Server.
+type Client struct {
+	inner *collection.Client
+}
+
+// NewClient creates a Client over the local path-keyed collection.
+func NewClient(files map[string][]byte) *Client {
+	return &Client{inner: collection.NewClient(files)}
+}
+
+// SetTreeManifest switches change detection from the flat per-file
+// fingerprint manifest to merkle-tree reconciliation. With n files of which
+// c changed, the manifest costs O(n) bytes while the tree costs
+// O(c·log n) — prefer it for large, mostly-unchanged collections.
+func (c *Client) SetTreeManifest(on bool) *Client {
+	c.inner.TreeManifest = on
+	return c
+}
+
+// Result is the outcome of a collection synchronization.
+type Result struct {
+	// Files is the updated collection.
+	Files map[string][]byte
+	// Costs is the session cost accounting.
+	Costs *Costs
+	// PerFile attributes payload bytes to individual synchronized files.
+	PerFile map[string]int64
+}
+
+// Sync runs one session over conn.
+func (c *Client) Sync(conn io.ReadWriter) (*Result, error) {
+	res, err := c.inner.Sync(conn)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Files: res.Files, Costs: res.Costs, PerFile: res.PerFile}, nil
+}
+
+// SyncTCP dials addr and synchronizes over TCP.
+func (c *Client) SyncTCP(addr string) (*Result, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	return c.Sync(conn)
+}
+
+// Pipe returns two connected in-memory endpoints, for in-process
+// server/client pairs (tests, examples, benchmarks).
+func Pipe() (serverEnd, clientEnd io.ReadWriteCloser) {
+	a, b := transport.Pipe()
+	return a, b
+}
+
+// LinkModel estimates wall-clock transfer time for given costs on a
+// bandwidth/latency-constrained link.
+type LinkModel = stats.LinkModel

@@ -1,0 +1,13 @@
+package msync_test
+
+import (
+	"net"
+	"testing"
+)
+
+// listenLoopback opens a loopback TCP listener, skipping environments where
+// networking is unavailable.
+func listenLoopback(t *testing.T) (net.Listener, error) {
+	t.Helper()
+	return net.Listen("tcp", "127.0.0.1:0")
+}

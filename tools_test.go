@@ -1,0 +1,155 @@
+package msync_test
+
+// Exec-level smoke tests for the auxiliary binaries and every example:
+// they must build, run, and produce their expected outputs.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"msync/internal/dirio"
+)
+
+func goRun(t *testing.T, timeout time.Duration, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Env = os.Environ()
+	var buf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &buf, &buf
+	done := make(chan error, 1)
+	if err := cmd.Start(); err != nil {
+		t.Skipf("cannot exec go: %v", err)
+	}
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("go run %v: %v\n%s", args, err, buf.String())
+		}
+	case <-time.After(timeout):
+		cmd.Process.Kill()
+		t.Fatalf("go run %v timed out\n%s", args, buf.String())
+	}
+	return buf.String()
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs the examples")
+	}
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"./examples/quickstart"}, "transferred"},
+		{[]string{"./examples/webmirror", "-pages", "60", "-nights", "2"}, "total over 2 nights"},
+		{[]string{"./examples/backup"}, "msync saves"},
+		{[]string{"./examples/adaptive"}, "200-file collection"},
+		{[]string{"./examples/crawler"}, "signature-based total"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.args[0], func(t *testing.T) {
+			t.Parallel()
+			out := goRun(t, 3*time.Minute, c.args...)
+			if !strings.Contains(out, c.want) {
+				t.Fatalf("output missing %q:\n%s", c.want, out)
+			}
+		})
+	}
+}
+
+func TestMkcorpusWritesLoadableTrees(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs mkcorpus")
+	}
+	dir := t.TempDir()
+	out := goRun(t, 2*time.Minute, "./cmd/mkcorpus", "-profile", "gcc", "-scale", "0.05", "-out", dir)
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("unexpected output: %s", out)
+	}
+	v1, err := dirio.Load(filepath.Join(dir, "v1"))
+	if err != nil || len(v1) == 0 {
+		t.Fatalf("v1 unloadable: %v", err)
+	}
+	v2, err := dirio.Load(filepath.Join(dir, "v2"))
+	if err != nil || len(v2) == 0 {
+		t.Fatalf("v2 unloadable: %v", err)
+	}
+	// Web profile, two nights.
+	webDir := t.TempDir()
+	goRun(t, 2*time.Minute, "./cmd/mkcorpus", "-profile", "web", "-scale", "0.02", "-days", "0,1", "-out", webDir)
+	n0, err := dirio.Load(filepath.Join(webDir, "night00"))
+	if err != nil || len(n0) == 0 {
+		t.Fatalf("night00 unloadable: %v", err)
+	}
+}
+
+func TestMsbenchListAndCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs msbench")
+	}
+	out := goRun(t, 2*time.Minute, "./cmd/msbench", "-list")
+	for _, id := range []string{"fig6.1", "table6.2", "ablate.decomp"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("-list missing %s:\n%s", id, out)
+		}
+	}
+	csv := goRun(t, 3*time.Minute, "./cmd/msbench", "-exp", "ablate.decomp", "-scale", "0.1", "-csv")
+	if !strings.Contains(csv, "decomposable on,") {
+		t.Fatalf("CSV output unexpected:\n%s", csv)
+	}
+}
+
+func TestCLIJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs the CLI")
+	}
+	bin := buildCLI(t)
+	serverDir, clientDir := t.TempDir(), t.TempDir()
+	if err := dirio.Apply(serverDir, nil, map[string][]byte{"a": bytes.Repeat([]byte("data "), 500)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dirio.Apply(clientDir, nil, map[string][]byte{"a": bytes.Repeat([]byte("data "), 499)}); err != nil {
+		t.Fatal(err)
+	}
+	addr := freePort(t)
+	server := exec.Command(bin, "-serve", addr, "-dir", serverDir)
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		server.Process.Kill()
+		server.Wait()
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never listened")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	out, err := exec.Command(bin, "-connect", addr, "-dir", clientDir, "-dry", "-json").Output()
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	var m map[string]int64
+	if err := json.Unmarshal(out, &m); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, out)
+	}
+	if m["total_bytes"] <= 0 || m["roundtrips"] <= 0 {
+		t.Fatalf("implausible costs: %v", m)
+	}
+}
