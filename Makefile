@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full suite — including the transport fault-injection tests
+# (internal/transport), the collection-level stall/sever/cancellation tests
+# (internal/collection) and the session-layer shutdown/retry acceptance
+# tests (session_test.go) — under the race detector.
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+clean:
+	$(GO) clean ./...

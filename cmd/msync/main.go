@@ -9,15 +9,22 @@
 //
 //	msync -connect host:9440 -dir /data/replica
 //	msync -connect host:9440 -dir /data/replica -dry   # report cost only
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting
+// dials, drains in-flight sessions for -grace, then force-closes stragglers.
+// Clients bound each protocol round with -round-timeout and retry transient
+// dial/handshake failures -retry times with exponential backoff.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"msync"
@@ -33,7 +40,10 @@ func main() {
 		basic     = flag.Bool("basic", false, "use the basic protocol (no continuation/group testing)")
 		minB      = flag.Int("bmin", 0, "override minimum block size (power of two)")
 		tree      = flag.Bool("tree", false, "use merkle-tree change detection instead of a flat manifest")
-		timeout   = flag.Duration("timeout", 0, "client: overall session deadline (0 = none)")
+		timeout   = flag.Duration("timeout", 0, "overall session deadline (0 = none)")
+		roundTO   = flag.Duration("round-timeout", 2*time.Minute, "per-round I/O deadline; stalled peers fail fast (0 = none)")
+		retries   = flag.Int("retry", 3, "client: attempts for dial/handshake failures (1 = no retry)")
+		grace     = flag.Duration("grace", 30*time.Second, "server: drain period for in-flight sessions on shutdown")
 		jsonOut   = flag.Bool("json", false, "client: print costs as JSON")
 		push      = flag.Bool("push", false, "client: push local (newer) data to the server instead of pulling")
 		allowPush = flag.Bool("allow-push", false, "server: accept pushes and update -dir")
@@ -44,11 +54,11 @@ func main() {
 	case *serve != "" && *connect != "":
 		log.Fatal("msync: -serve and -connect are mutually exclusive")
 	case *serve != "":
-		runServer(*serve, *dir, buildConfig(*basic, *minB), *allowPush)
+		runServer(*serve, *dir, buildConfig(*basic, *minB), *allowPush, *timeout, *roundTO, *grace)
 	case *connect != "" && *push:
-		runPush(*connect, *dir, buildConfig(*basic, *minB), *tree, *timeout)
+		runPush(*connect, *dir, buildConfig(*basic, *minB), *tree, *timeout, *roundTO)
 	case *connect != "":
-		runClient(*connect, *dir, *dry, *tree, *timeout, *jsonOut)
+		runClient(*connect, *dir, *dry, *tree, *timeout, *roundTO, *retries, *jsonOut)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -66,7 +76,7 @@ func buildConfig(basic bool, minBlock int) msync.Config {
 	return cfg
 }
 
-func runServer(addr, dir string, cfg msync.Config, allowPush bool) {
+func runServer(addr, dir string, cfg msync.Config, allowPush bool, timeout, roundTO, grace time.Duration) {
 	files, err := dirio.Load(dir)
 	if err != nil {
 		log.Fatalf("msync: loading %s: %v", dir, err)
@@ -75,41 +85,75 @@ func runServer(addr, dir string, cfg msync.Config, allowPush bool) {
 	for _, d := range files {
 		total += len(d)
 	}
-	srv, err := msync.NewServer(files, cfg)
-	if err != nil {
-		log.Fatal(err)
+	opts := []msync.Option{
+		msync.WithTimeout(timeout),
+		msync.WithRoundTimeout(roundTO),
+		msync.WithSessionHook(func(ev msync.SessionEvent) {
+			if ev.Err != nil {
+				log.Printf("msync: session %s failed after %v: %v", ev.RemoteAddr, ev.Duration.Round(time.Millisecond), ev.Err)
+				return
+			}
+			log.Printf("msync: session %s: %d bytes in %v", ev.RemoteAddr, ev.Costs.Total(), ev.Duration.Round(time.Millisecond))
+		}),
 	}
 	if allowPush {
 		before := files
-		srv.EnablePush(func(updated map[string][]byte) {
+		opts = append(opts, msync.WithPush(func(updated map[string][]byte) {
 			if err := dirio.Apply(dir, before, updated); err != nil {
 				log.Printf("msync: persisting push: %v", err)
 				return
 			}
 			before = updated
 			log.Printf("msync: adopted pushed update (%d files)", len(updated))
-		})
+		}))
 	}
+	srv, err := msync.NewServer(files, cfg, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// SIGINT/SIGTERM trigger a graceful drain bounded by -grace. The
+	// accept loop returns ErrServerClosed as soon as the drain begins, so
+	// main must wait for the drain itself before exiting.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	drained := make(chan int, 1)
+	go func() {
+		sig := <-sigc
+		log.Printf("msync: %v: draining sessions (grace %v)", sig, grace)
+		ctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("msync: forced shutdown: %v", err)
+			drained <- 1
+			return
+		}
+		log.Print("msync: drained cleanly")
+		drained <- 0
+	}()
+
 	log.Printf("msync: serving %d files (%d bytes) from %s on %s", len(files), total, dir, addr)
-	log.Fatal(srv.ListenAndServe(addr))
+	err = srv.ListenAndServe(addr)
+	if err != nil && err != msync.ErrServerClosed {
+		log.Fatal(err)
+	}
+	os.Exit(<-drained)
 }
 
-func runPush(addr, dir string, cfg msync.Config, tree bool, timeout time.Duration) {
+func runPush(addr, dir string, cfg msync.Config, tree bool, timeout, roundTO time.Duration) {
 	files, err := dirio.Load(dir)
 	if err != nil {
 		log.Fatalf("msync: loading %s: %v", dir, err)
 	}
-	srv, err := msync.NewServer(files, cfg)
+	opts := []msync.Option{msync.WithTimeout(timeout), msync.WithRoundTimeout(roundTO)}
+	if tree {
+		opts = append(opts, msync.WithTreeManifest())
+	}
+	srv, err := msync.NewServer(files, cfg, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv.SetTreeManifest(tree)
-	conn, err := dial(addr, timeout)
-	if err != nil {
-		log.Fatalf("msync: dial: %v", err)
-	}
-	defer conn.Close()
-	costs, err := srv.Push(conn)
+	costs, err := srv.PushTCP(addr)
 	if err != nil {
 		log.Fatalf("msync: push: %v", err)
 	}
@@ -117,34 +161,23 @@ func runPush(addr, dir string, cfg msync.Config, tree bool, timeout time.Duratio
 	log.Printf("msync: pushed %d files to %s", len(files), addr)
 }
 
-// dial connects to addr; a non-zero timeout bounds both the dial and the
-// whole session (an absolute connection deadline).
-func dial(addr string, timeout time.Duration) (net.Conn, error) {
-	d := net.Dialer{Timeout: timeout}
-	conn, err := d.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	if timeout > 0 {
-		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-			conn.Close()
-			return nil, err
-		}
-	}
-	return conn, nil
-}
-
-func runClient(addr, dir string, dry, tree bool, timeout time.Duration, jsonOut bool) {
+func runClient(addr, dir string, dry, tree bool, timeout, roundTO time.Duration, retries int, jsonOut bool) {
 	files, err := dirio.Load(dir)
 	if err != nil {
 		log.Fatalf("msync: loading %s: %v", dir, err)
 	}
-	conn, err := dial(addr, timeout)
-	if err != nil {
-		log.Fatalf("msync: dial: %v", err)
+	retry := msync.DefaultRetryPolicy()
+	retry.MaxAttempts = retries
+	opts := []msync.Option{
+		msync.WithTimeout(timeout),
+		msync.WithRoundTimeout(roundTO),
+		msync.WithDialTimeout(timeout),
+		msync.WithRetry(retry),
 	}
-	defer conn.Close()
-	res, err := msync.NewClient(files).SetTreeManifest(tree).Sync(conn)
+	if tree {
+		opts = append(opts, msync.WithTreeManifest())
+	}
+	res, err := msync.NewClient(files, opts...).SyncTCP(addr)
 	if err != nil {
 		log.Fatalf("msync: sync: %v", err)
 	}

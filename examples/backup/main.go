@@ -1,13 +1,17 @@
 // Backup: incremental backup of a source tree over real TCP, comparing the
 // msync protocol's cost against the rsync baseline for the same update.
+// Shows the server lifecycle (session hook, graceful Shutdown drain) and
+// client-side retry with backoff.
 //
 //	go run ./examples/backup
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"msync"
 	"msync/internal/corpus"
@@ -24,20 +28,31 @@ func main() {
 		size += len(d)
 	}
 
-	// Serve today's tree over loopback TCP.
+	// Serve today's tree over loopback TCP. The session hook observes every
+	// session's outcome; round timeouts drop stalled peers.
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatalf("backup: listen: %v", err)
 	}
-	defer l.Close()
-	srv, err := msync.NewServer(today, msync.DefaultConfig())
+	srv, err := msync.NewServer(today, msync.DefaultConfig(),
+		msync.WithRoundTimeout(30*time.Second),
+		msync.WithSessionHook(func(ev msync.SessionEvent) {
+			if ev.Err != nil {
+				log.Printf("backup: session %s failed: %v", ev.RemoteAddr, ev.Err)
+			}
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	go srv.ServeListener(l)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.ServeListener(l) }()
 
-	// Update the backup replica.
-	res, err := msync.NewClient(backup).SyncTCP(l.Addr().String())
+	// Update the backup replica; transient dial/handshake failures retry
+	// with exponential backoff.
+	cli := msync.NewClient(backup,
+		msync.WithRoundTimeout(30*time.Second),
+		msync.WithRetry(msync.DefaultRetryPolicy()))
+	res, err := cli.SyncTCP(l.Addr().String())
 	if err != nil {
 		log.Fatalf("backup: sync: %v", err)
 	}
@@ -45,6 +60,16 @@ func main() {
 		if md4.Sum(res.Files[path]) != md4.Sum(want) {
 			log.Fatalf("backup: %s differs after sync", path)
 		}
+	}
+
+	// Graceful shutdown: stop accepting dials, drain in-flight sessions.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("backup: forced shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil && err != msync.ErrServerClosed {
+		log.Printf("backup: serve: %v", err)
 	}
 
 	fmt.Printf("backed up %d files (%.1f MB) over TCP\n\n", len(today), float64(size)/(1<<20))

@@ -1,13 +1,16 @@
 // Quickstart: synchronize a small collection between an in-process server
-// and client, and print what it cost.
+// and client, and print what it cost. Shows the functional-options API and
+// context-based cancellation.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"msync"
 )
@@ -26,7 +29,11 @@ func main() {
 		"docs/stale.txt": []byte("This file was deleted on the server.\n"),
 	}
 
-	srv, err := msync.NewServer(serverFiles, msync.DefaultConfig())
+	// Options bound the session: a stalled peer fails each round within
+	// WithRoundTimeout, and the whole session within WithTimeout.
+	srv, err := msync.NewServer(serverFiles, msync.DefaultConfig(),
+		msync.WithTimeout(time.Minute),
+		msync.WithRoundTimeout(10*time.Second))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +45,12 @@ func main() {
 		}
 	}()
 
-	res, err := msync.NewClient(clientFiles).Sync(clientEnd)
+	// The context cancels the session at the next protocol round; pair it
+	// with signal.NotifyContext for ctrl-C handling in real programs.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	cli := msync.NewClient(clientFiles, msync.WithRoundTimeout(10*time.Second))
+	res, err := cli.SyncContext(ctx, clientEnd)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,18 +1,43 @@
 package collection
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"msync/internal/core"
 	"msync/internal/delta"
 	"msync/internal/md4"
 	"msync/internal/merkle"
 	"msync/internal/stats"
+	"msync/internal/transport"
 	"msync/internal/wire"
 )
+
+// ErrHandshake marks session failures that happened before any file content
+// was exchanged (dialing aside: hello, change detection, verdicts). Such
+// failures are safe to retry — neither side has committed to anything.
+// Test with errors.Is.
+var ErrHandshake = errors.New("collection: handshake failed")
+
+// handshakeError wraps an error so errors.Is(err, ErrHandshake) holds while
+// the underlying cause (deadline, EOF, ...) stays inspectable via Unwrap.
+type handshakeError struct{ err error }
+
+func (e *handshakeError) Error() string        { return "collection: handshake: " + e.err.Error() }
+func (e *handshakeError) Unwrap() error        { return e.err }
+func (e *handshakeError) Is(target error) bool { return target == ErrHandshake }
+
+// asHandshake tags err as a handshake-phase failure (nil stays nil).
+func asHandshake(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &handshakeError{err: err}
+}
 
 // Client synchronizes a local collection copy against a Server.
 type Client struct {
@@ -21,6 +46,12 @@ type Client struct {
 	// manifest to merkle-tree reconciliation, which costs O(changed·log n)
 	// instead of O(n) — the right choice when almost nothing changed.
 	TreeManifest bool
+	// RoundTimeout, if positive, bounds each frame-level read/write of a
+	// session (and therefore each protocol round), so a stalled server
+	// fails the session instead of hanging it. Requires a connection with
+	// deadline support (net.Conn, transport.PipeEnd) to interrupt blocked
+	// I/O.
+	RoundTimeout time.Duration
 }
 
 // NewClient creates a client over the local (path → content) collection.
@@ -47,10 +78,21 @@ type Result struct {
 }
 
 // Sync runs one session over conn and returns the updated collection.
+// It is SyncContext with a background context.
 func (c *Client) Sync(conn io.ReadWriter) (*Result, error) {
+	return c.SyncContext(context.Background(), conn)
+}
+
+// SyncContext runs one session over conn under ctx: cancellation or a
+// context deadline aborts the session at the next frame boundary (and
+// interrupts blocked I/O when conn supports deadlines), and RoundTimeout
+// bounds every individual round.
+func (c *Client) SyncContext(ctx context.Context, conn io.ReadWriter) (*Result, error) {
+	sess := transport.NewSession(ctx, conn, c.RoundTimeout)
+	defer sess.Release()
 	costs := &stats.Costs{}
-	fr := wire.NewFrameReader(conn)
-	fw := wire.NewFrameWriter(conn)
+	fr := wire.NewFrameReader(sess)
+	fw := wire.NewFrameWriter(sess)
 
 	// HELLO.
 	hb := wire.NewBuffer(8)
@@ -62,18 +104,19 @@ func (c *Client) Sync(conn io.ReadWriter) (*Result, error) {
 		hb.Byte(modeManifest)
 	}
 	if err := fw.WriteFrame(wire.FrameHello, hb.Build()); err != nil {
-		return nil, err
+		return nil, asHandshake(err)
 	}
 	addCost(costs, stats.C2S, stats.PhaseControl, hb.Len())
-	return consume(fr, fw, costs, c.files, c.TreeManifest)
+	return consume(ctx, fr, fw, costs, c.files, c.TreeManifest)
 }
 
 // consume runs the receiving role of a session (after any handshake
 // header): announce local state, answer map-construction rounds, apply
 // deltas. It is shared by the pulling client and by a server accepting a
 // push. In the returned Costs, C2S is traffic from the data receiver to the
-// data holder.
-func consume(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, files map[string][]byte, treeManifest bool) (*Result, error) {
+// data holder. Failures up to and including the verdict exchange are tagged
+// with ErrHandshake (retry-safe); ctx is checked at every round boundary.
+func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, files map[string][]byte, treeManifest bool) (*Result, error) {
 	// Change detection: determine the paths under discussion (in verdict
 	// order) and the initial contents of the result set.
 	out := make(map[string][]byte, len(files))
@@ -81,7 +124,7 @@ func consume(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, fil
 	if treeManifest {
 		vp, kept, err := treeDetect(fr, fw, costs, files)
 		if err != nil {
-			return nil, err
+			return nil, asHandshake(err)
 		}
 		verdictPaths = vp
 		for _, p := range kept {
@@ -91,7 +134,7 @@ func consume(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, fil
 		manifest := BuildManifest(files)
 		mraw := encodeManifest(manifest)
 		if err := fw.WriteFrame(wire.FrameManifest, mraw); err != nil {
-			return nil, err
+			return nil, asHandshake(err)
 		}
 		addCost(costs, stats.C2S, stats.PhaseControl, len(mraw))
 		for _, e := range manifest {
@@ -99,13 +142,13 @@ func consume(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, fil
 		}
 	}
 	if err := fw.Flush(); err != nil {
-		return nil, err
+		return nil, asHandshake(err)
 	}
 
 	// Verdicts.
 	vraw, err := fr.ExpectFrame(wire.FrameVerdicts)
 	if err != nil {
-		return nil, err
+		return nil, asHandshake(err)
 	}
 	costs.Roundtrips++
 	vp := wire.NewParser(vraw)
@@ -192,6 +235,9 @@ func consume(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, fil
 	// the delta frame arrives.
 	var deltaPayload []byte
 	for deltaPayload == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("collection: session cancelled: %w", err)
+		}
 		ft, payload, err := fr.ReadFrame()
 		if err != nil {
 			return nil, err

@@ -2,15 +2,18 @@ package collection
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"msync/internal/core"
 	"msync/internal/delta"
 	"msync/internal/merkle"
 	"msync/internal/stats"
+	"msync/internal/transport"
 	"msync/internal/wire"
 )
 
@@ -34,6 +37,11 @@ type Server struct {
 	// OnUpdate, if set, is called with the new collection after a received
 	// push (e.g. to persist it).
 	OnUpdate func(map[string][]byte)
+	// RoundTimeout, if positive, bounds each frame-level read/write of a
+	// session so a stalled client fails the session instead of pinning a
+	// server goroutine forever. Requires a connection with deadline
+	// support (net.Conn, transport.PipeEnd) to interrupt blocked I/O.
+	RoundTimeout time.Duration
 }
 
 // NewServer creates a server over the given (path → content) collection.
@@ -99,11 +107,21 @@ type syncFile struct {
 
 // Serve runs one synchronization session over conn. It returns the session's
 // cost accounting (from the server's perspective; the client computes an
-// identical view).
+// identical view). It is ServeContext with a background context.
 func (s *Server) Serve(conn io.ReadWriter) (*stats.Costs, error) {
+	return s.ServeContext(context.Background(), conn)
+}
+
+// ServeContext runs one synchronization session over conn under ctx:
+// cancellation or a context deadline aborts the session at the next frame
+// boundary (interrupting blocked I/O when conn supports deadlines), and
+// RoundTimeout bounds every individual round.
+func (s *Server) ServeContext(ctx context.Context, conn io.ReadWriter) (*stats.Costs, error) {
+	sess := transport.NewSession(ctx, conn, s.RoundTimeout)
+	defer sess.Release()
 	costs := &stats.Costs{}
-	fr := wire.NewFrameReader(conn)
-	fw := wire.NewFrameWriter(conn)
+	fr := wire.NewFrameReader(sess)
+	fw := wire.NewFrameWriter(sess)
 
 	fail := func(err error) (*stats.Costs, error) {
 		_ = fw.WriteFrame(wire.FrameError, []byte(err.Error()))
@@ -136,7 +154,7 @@ func (s *Server) Serve(conn io.ReadWriter) (*stats.Costs, error) {
 		if !s.AllowPush {
 			return fail(fmt.Errorf("collection: push not allowed"))
 		}
-		res, err := consume(fr, fw, costs, s.snapshot(), mode == modeTree)
+		res, err := consume(ctx, fr, fw, costs, s.snapshot(), mode == modeTree)
 		if err != nil {
 			return costs, err
 		}
@@ -149,11 +167,12 @@ func (s *Server) Serve(conn io.ReadWriter) (*stats.Costs, error) {
 	if role != rolePull {
 		return fail(fmt.Errorf("collection: unknown role %d", role))
 	}
-	return s.serveSession(fr, fw, costs, fail, mode)
+	return s.serveSession(ctx, fr, fw, costs, fail, mode)
 }
 
-// serveSession runs the serving role after the handshake header.
-func (s *Server) serveSession(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, fail func(error) (*stats.Costs, error), mode byte) (*stats.Costs, error) {
+// serveSession runs the serving role after the handshake header, checking
+// ctx at every round boundary.
+func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, fail func(error) (*stats.Costs, error), mode byte) (*stats.Costs, error) {
 	serverManifest := s.cachedManifest()
 	var engines []syncFile
 	var err error
@@ -171,6 +190,9 @@ func (s *Server) serveSession(fr *wire.FrameReader, fw *wire.FrameWriter, costs 
 
 	// Map-construction rounds, multiplexed across all sync files.
 	for {
+		if err := ctx.Err(); err != nil {
+			return costs, fmt.Errorf("collection: session cancelled: %w", err)
+		}
 		var active []int
 		for i := range engines {
 			if engines[i].engine.Active() {
@@ -308,11 +330,19 @@ func (s *Server) serveSession(fr *wire.FrameReader, fw *wire.FrameWriter, costs 
 // Push updates a remote replica over conn with this server's (newer)
 // collection: the inverse transfer direction of Serve, for replicas that
 // cannot dial out or for backup-style workflows. The remote end must be a
-// Server with AllowPush set.
+// Server with AllowPush set. It is PushContext with a background context.
 func (s *Server) Push(conn io.ReadWriter) (*stats.Costs, error) {
+	return s.PushContext(context.Background(), conn)
+}
+
+// PushContext runs Push under ctx, with the same cancellation and
+// round-timeout semantics as ServeContext.
+func (s *Server) PushContext(ctx context.Context, conn io.ReadWriter) (*stats.Costs, error) {
+	sess := transport.NewSession(ctx, conn, s.RoundTimeout)
+	defer sess.Release()
 	costs := &stats.Costs{}
-	fr := wire.NewFrameReader(conn)
-	fw := wire.NewFrameWriter(conn)
+	fr := wire.NewFrameReader(sess)
+	fw := wire.NewFrameWriter(sess)
 
 	hb := wire.NewBuffer(8)
 	hb.Uvarint(protocolVersion)
@@ -335,7 +365,7 @@ func (s *Server) Push(conn io.ReadWriter) (*stats.Costs, error) {
 		_ = fw.Flush()
 		return costs, err
 	}
-	return s.serveSession(fr, fw, costs, fail, mode)
+	return s.serveSession(ctx, fr, fw, costs, fail, mode)
 }
 
 // manifestHandshake runs the flat-manifest handshake: read the client's

@@ -1,0 +1,225 @@
+package collection
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"msync/internal/core"
+	"msync/internal/transport"
+	"msync/internal/wire"
+)
+
+// sessionTestFiles returns a server/client pair with one changed file large
+// enough to run the multi-round sync engine and to need a sizeable delta
+// (several KB of novel content), so sessions cannot complete within a small
+// fault budget.
+func sessionTestFiles() (serverFiles, clientFiles map[string][]byte) {
+	old := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 200)
+	novel := make([]byte, 4096)
+	for i := range novel {
+		novel[i] = byte(i*7 + i>>3)
+	}
+	cur := append(append(append([]byte{}, old[:3000]...), novel...), old[5000:]...)
+	return map[string][]byte{"f.txt": cur}, map[string][]byte{"f.txt": old}
+}
+
+// TestStalledServerRoundDeadline: a client whose peer never answers must
+// fail the round with a deadline error within the configured round timeout,
+// and the failure must be tagged retry-safe (handshake phase).
+func TestStalledServerRoundDeadline(t *testing.T) {
+	a, b := transport.Pipe()
+	defer a.Close()
+	defer b.Close()
+	_, clientFiles := sessionTestFiles()
+	c := NewClient(clientFiles)
+	c.RoundTimeout = 100 * time.Millisecond
+
+	start := time.Now()
+	_, err := c.SyncContext(context.Background(), b)
+	elapsed := time.Since(start)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("want deadline error from stalled peer, got %v", err)
+	}
+	if !errors.Is(err, ErrHandshake) {
+		t.Fatalf("pre-verdict stall must be retry-safe (ErrHandshake), got %v", err)
+	}
+	if elapsed < 90*time.Millisecond {
+		t.Fatalf("deadline fired after only %v, before the 100ms round timeout", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+}
+
+// TestStalledMidSessionRoundDeadline: the server's link silently drops all
+// output after a budget (a stall, not an error), so the client blocks
+// mid-session until its round deadline fires.
+func TestStalledMidSessionRoundDeadline(t *testing.T) {
+	serverFiles, clientFiles := sessionTestFiles()
+	srv, err := NewServer(serverFiles, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := transport.Pipe()
+	faulty := transport.NewFaultConn(a).DropAfter(250)
+	srvDone := make(chan error, 1)
+	go func() {
+		_, err := srv.Serve(faulty)
+		srvDone <- err
+	}()
+
+	c := NewClient(clientFiles)
+	c.RoundTimeout = 100 * time.Millisecond
+	start := time.Now()
+	_, err = c.SyncContext(context.Background(), b)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("want deadline error through the stalled link, got %v", err)
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("client needed %v to notice the stall", el)
+	}
+	// The client gives up; closing its end reaps the server session too.
+	b.Close()
+	a.Close()
+	select {
+	case <-srvDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server session leaked after client abandoned the sync")
+	}
+}
+
+// TestSeveredMidFrame: the connection dies partway through a frame. Both
+// sides must return errors promptly — no hang, no partial adoption.
+func TestSeveredMidFrame(t *testing.T) {
+	serverFiles, clientFiles := sessionTestFiles()
+	srv, err := NewServer(serverFiles, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := transport.Pipe()
+	// 100 bytes lands inside the verdicts frame (config alone is ~60).
+	faulty := transport.NewFaultConn(a).SeverAfter(100)
+	srvDone := make(chan error, 1)
+	go func() {
+		_, err := srv.Serve(faulty)
+		srvDone <- err
+	}()
+
+	cliDone := make(chan error, 1)
+	go func() {
+		_, err := NewClient(clientFiles).Sync(b)
+		cliDone <- err
+	}()
+
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-cliDone:
+			if err == nil {
+				t.Fatal("client succeeded over a severed connection")
+			}
+		case err := <-srvDone:
+			if err == nil {
+				t.Fatal("server succeeded over a severed connection")
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("severed session hung")
+		}
+	}
+}
+
+// TestClientCancellation: cancelling the context unblocks a client that is
+// waiting on a silent peer, even with no round timeout configured.
+func TestClientCancellation(t *testing.T) {
+	a, b := transport.Pipe()
+	defer a.Close()
+	defer b.Close()
+	_, clientFiles := sessionTestFiles()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := NewClient(clientFiles).SyncContext(ctx, b)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("cancellation took %v to take effect", el)
+	}
+}
+
+// TestServerRoundDeadline: a server must not pin a goroutine on a client
+// that handshakes and then goes silent.
+func TestServerRoundDeadline(t *testing.T) {
+	serverFiles, _ := sessionTestFiles()
+	srv, err := NewServer(serverFiles, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.RoundTimeout = 100 * time.Millisecond
+	a, b := transport.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	// A client that says hello and then stalls.
+	fw := wire.NewFrameWriter(b)
+	hb := wire.NewBuffer(8)
+	hb.Uvarint(protocolVersion)
+	hb.Byte(rolePull)
+	hb.Byte(modeManifest)
+	if err := fw.WriteFrame(wire.FrameHello, hb.Build()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	_, err = srv.ServeContext(context.Background(), a)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("want deadline error from silent client, got %v", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("server needed %v to drop the silent client", el)
+	}
+}
+
+// TestContextVariantsDelegate: the legacy entry points and their *Context
+// twins produce identical results on a healthy link.
+func TestContextVariantsDelegate(t *testing.T) {
+	serverFiles, clientFiles := sessionTestFiles()
+	for _, useCtx := range []bool{false, true} {
+		srv, err := NewServer(serverFiles, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := transport.Pipe()
+		go func() {
+			defer a.Close()
+			if useCtx {
+				srv.ServeContext(context.Background(), a)
+			} else {
+				srv.Serve(a)
+			}
+		}()
+		c := NewClient(clientFiles)
+		var res *Result
+		if useCtx {
+			res, err = c.SyncContext(context.Background(), b)
+		} else {
+			res, err = c.Sync(b)
+		}
+		b.Close()
+		if err != nil {
+			t.Fatalf("useCtx=%v: %v", useCtx, err)
+		}
+		if err := VerifyAgainst(res.Files, serverFiles); err != nil {
+			t.Fatalf("useCtx=%v: %v", useCtx, err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"msync/internal/delta"
@@ -27,8 +28,16 @@ type LocalResult struct {
 // SyncLocal runs the complete per-file protocol with both engines in
 // process, returning exact wire costs. This is the workhorse of the
 // experiment harness: it produces the same byte counts as a networked run
-// minus collection-level framing.
+// minus collection-level framing. It is SyncLocalContext with a background
+// context.
 func SyncLocal(fOld, fNew []byte, cfg Config) (*LocalResult, error) {
+	return SyncLocalContext(context.Background(), fOld, fNew, cfg)
+}
+
+// SyncLocalContext is SyncLocal with a cancellation checkpoint at every
+// protocol round, so long experiment sweeps over large corpora can be
+// aborted promptly.
+func SyncLocalContext(ctx context.Context, fOld, fNew []byte, cfg Config) (*LocalResult, error) {
 	srv, err := NewServerFile(fNew, &cfg)
 	if err != nil {
 		return nil, err
@@ -40,6 +49,9 @@ func SyncLocal(fOld, fNew []byte, cfg Config) (*LocalResult, error) {
 	res := &LocalResult{}
 
 	for srv.Active() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: sync cancelled: %w", err)
+		}
 		if !cli.Active() {
 			return nil, fmt.Errorf("core: engine desync: server active, client done")
 		}

@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// BackoffPolicy describes a bounded exponential-backoff retry schedule with
+// multiplicative jitter. The zero value means "one attempt, no retry".
+type BackoffPolicy struct {
+	// MaxAttempts is the total number of attempts including the first;
+	// values below 1 mean 1.
+	MaxAttempts int
+	// BaseDelay is the nominal delay before the second attempt.
+	BaseDelay time.Duration
+	// MaxDelay caps the nominal delay; 0 means uncapped.
+	MaxDelay time.Duration
+	// Multiplier scales the delay between consecutive attempts; values
+	// below 1 mean 2.
+	Multiplier float64
+	// Jitter spreads each delay uniformly over [d·(1−J), d·(1+J)],
+	// decorrelating retry storms from many clients. 0 disables jitter;
+	// values are clamped to [0, 1].
+	Jitter float64
+	// Seed, when non-zero, makes the jitter sequence deterministic
+	// (tests); 0 uses the global math/rand source.
+	Seed int64
+}
+
+// attempts normalizes MaxAttempts.
+func (p BackoffPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Delay returns the jittered delay to wait after the given 1-based failed
+// attempt. rng may be nil, in which case the global source is used.
+func (p BackoffPolicy) Delay(attempt int, rng *rand.Rand) time.Duration {
+	d := float64(p.BaseDelay)
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	for i := 1; i < attempt; i++ {
+		d *= mult
+		if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	j := p.Jitter
+	if j < 0 {
+		j = 0
+	}
+	if j > 1 {
+		j = 1
+	}
+	if j > 0 {
+		var r float64
+		if rng != nil {
+			r = rng.Float64()
+		} else {
+			r = rand.Float64()
+		}
+		d *= 1 - j + 2*j*r
+	}
+	return time.Duration(d)
+}
+
+// permanentError marks an error that Retry must not retry.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Retry stops immediately and returns it as-is.
+// A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// Retry runs attempt (passed the 1-based attempt number) until it succeeds,
+// returns an error wrapped with Permanent, the policy's attempts are
+// exhausted, or ctx is done. Between attempts it sleeps per the policy's
+// jittered exponential schedule on clock (nil means SystemClock).
+func Retry(ctx context.Context, clock Clock, p BackoffPolicy, attempt func(n int) error) error {
+	if clock == nil {
+		clock = SystemClock
+	}
+	var rng *rand.Rand
+	if p.Seed != 0 {
+		rng = rand.New(rand.NewSource(p.Seed)) //nolint:gosec // jitter, not crypto
+	}
+	max := p.attempts()
+	var last error
+	for n := 1; n <= max; n++ {
+		if err := ctx.Err(); err != nil {
+			if last != nil {
+				return fmt.Errorf("transport: retry cancelled after %d attempts (%w): last error: %v", n-1, err, last)
+			}
+			return err
+		}
+		last = attempt(n)
+		if last == nil {
+			return nil
+		}
+		var pe *permanentError
+		if errors.As(last, &pe) {
+			return pe.err
+		}
+		if n == max {
+			break
+		}
+		if err := clock.Sleep(ctx, p.Delay(n, rng)); err != nil {
+			return fmt.Errorf("transport: retry cancelled after %d attempts (%w): last error: %v", n, err, last)
+		}
+	}
+	if max == 1 {
+		return last
+	}
+	return fmt.Errorf("transport: %d attempts failed: %w", max, last)
+}

@@ -1,0 +1,193 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// deadlineSetter is the subset of net.Conn the session layer needs to
+// interrupt blocked I/O. net.Conn and *PipeEnd both implement it.
+type deadlineSetter interface {
+	SetReadDeadline(time.Time) error
+	SetWriteDeadline(time.Time) error
+}
+
+// Session wraps a connection with context cancellation and a per-operation
+// timeout, giving the frame-level protocol loops their round checkpoints:
+//
+//   - every Read/Write first checks the context, so a cancelled session
+//     stops at the next frame boundary even on connections without
+//     deadline support;
+//   - when the connection supports deadlines (net.Conn, *PipeEnd), each
+//     operation carries a deadline of min(now+OpTimeout, context deadline),
+//     so a stalled peer fails the round instead of hanging forever;
+//   - a watcher goroutine forces an immediate deadline when the context is
+//     cancelled, waking I/O that is already blocked.
+//
+// Callers must Release the session when done to stop the watcher and clear
+// the connection's deadlines.
+type Session struct {
+	ctx       context.Context
+	rw        io.ReadWriter
+	ds        deadlineSetter // nil when rw has no deadline support
+	opTimeout time.Duration
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewSession wraps rw for the given context. opTimeout, if positive, bounds
+// each individual Read/Write (one protocol round is one write plus one read,
+// so it acts as a per-round timeout). A zero opTimeout leaves operations
+// bounded only by the context.
+func NewSession(ctx context.Context, rw io.ReadWriter, opTimeout time.Duration) *Session {
+	s := &Session{ctx: ctx, rw: rw, opTimeout: opTimeout}
+	if ds, ok := rw.(deadlineSetter); ok {
+		s.ds = ds
+		if ctx.Done() != nil {
+			s.stop = make(chan struct{})
+			go func() {
+				select {
+				case <-ctx.Done():
+					// Wake any blocked operation immediately.
+					_ = ds.SetReadDeadline(time.Unix(1, 0))
+					_ = ds.SetWriteDeadline(time.Unix(1, 0))
+				case <-s.stop:
+				}
+			}()
+		}
+	}
+	return s
+}
+
+// Release stops the cancellation watcher and clears any deadlines the
+// session installed on the connection. Safe to call more than once.
+func (s *Session) Release() {
+	s.stopOnce.Do(func() {
+		if s.stop != nil {
+			close(s.stop)
+		}
+		if s.ds != nil && s.ctx.Err() == nil {
+			_ = s.ds.SetReadDeadline(time.Time{})
+			_ = s.ds.SetWriteDeadline(time.Time{})
+		}
+	})
+}
+
+// Read implements io.Reader with context and round-timeout checks.
+func (s *Session) Read(p []byte) (int, error) { return s.do(p, true) }
+
+// Write implements io.Writer with context and round-timeout checks.
+func (s *Session) Write(p []byte) (int, error) { return s.do(p, false) }
+
+func (s *Session) do(p []byte, read bool) (int, error) {
+	if err := s.ctx.Err(); err != nil {
+		return 0, fmt.Errorf("transport: session: %w", err)
+	}
+	if s.ds != nil {
+		var dl time.Time
+		if s.opTimeout > 0 {
+			dl = time.Now().Add(s.opTimeout)
+		}
+		if cd, ok := s.ctx.Deadline(); ok && (dl.IsZero() || cd.Before(dl)) {
+			dl = cd
+		}
+		if read {
+			_ = s.ds.SetReadDeadline(dl)
+		} else {
+			_ = s.ds.SetWriteDeadline(dl)
+		}
+	}
+	var n int
+	var err error
+	if read {
+		n, err = s.rw.Read(p)
+	} else {
+		n, err = s.rw.Write(p)
+	}
+	if err != nil {
+		// Attribute the failure: a cancelled context beats the raw I/O
+		// error (the watcher produces deadline errors as a side effect of
+		// cancellation), and a deadline hit under an opTimeout is reported
+		// as a round timeout.
+		if cerr := s.ctx.Err(); cerr != nil {
+			return n, fmt.Errorf("transport: session: %w", cerr)
+		}
+		if s.opTimeout > 0 && errors.Is(err, os.ErrDeadlineExceeded) {
+			return n, fmt.Errorf("transport: round timeout after %v: %w", s.opTimeout, err)
+		}
+	}
+	return n, err
+}
+
+// Clock abstracts wall-clock time so retry/backoff schedules can be tested
+// without real sleeping.
+type Clock interface {
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() in the
+	// latter case.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+func (systemClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// SystemClock is the real-time Clock used outside tests.
+var SystemClock Clock = systemClock{}
+
+// FakeClock is a test Clock: Sleep returns immediately, advancing Now by the
+// requested duration and recording it.
+type FakeClock struct {
+	mu    sync.Mutex
+	now   time.Time
+	slept []time.Duration
+}
+
+// NewFakeClock returns a FakeClock starting at t.
+func NewFakeClock(t time.Time) *FakeClock { return &FakeClock{now: t} }
+
+// Now reports the fake current time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep records d, advances the fake time, and returns without blocking.
+func (c *FakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.slept = append(c.slept, d)
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+	return nil
+}
+
+// Slept returns a copy of the recorded sleep durations.
+func (c *FakeClock) Slept() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.slept...)
+}

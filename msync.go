@@ -33,8 +33,12 @@
 package msync
 
 import (
+	"context"
+	"errors"
 	"io"
 	"net"
+	"sync"
+	"time"
 
 	"msync/internal/collection"
 	"msync/internal/core"
@@ -79,7 +83,13 @@ type FileResult struct {
 // networked run would have transferred. Use it to measure synchronization
 // cost or as a reference for driving the engines manually.
 func SyncFile(old, current []byte, cfg Config) (*FileResult, error) {
-	res, err := core.SyncLocal(old, current, cfg)
+	return SyncFileContext(context.Background(), old, current, cfg)
+}
+
+// SyncFileContext is SyncFile with a cancellation checkpoint at every
+// protocol round; SyncFile delegates here with context.Background().
+func SyncFileContext(ctx context.Context, old, current []byte, cfg Config) (*FileResult, error) {
+	res, err := core.SyncLocalContext(ctx, old, current, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -98,28 +108,84 @@ func BroadcastFile(current []byte, olds [][]byte, cfg Config) (*BroadcastResult,
 	return core.BroadcastSync(current, olds, cfg)
 }
 
+// ErrServerClosed is returned by ListenAndServe and ServeListener after
+// Shutdown or Close.
+var ErrServerClosed = errors.New("msync: server closed")
+
 // Server serves the current version of a collection to synchronizing
-// clients.
+// clients. Configure it at construction with Options (timeouts, push,
+// session observation); control its listeners' lifecycle with Shutdown and
+// Close.
 type Server struct {
 	inner *collection.Server
+	opt   sessionOptions
+
+	// baseCtx is the parent of every session context; baseCancel fires on
+	// forced shutdown so in-flight sessions abort at their next round.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	sessions  sync.WaitGroup
+	shutdown  bool
 }
 
-// NewServer creates a Server over a path-keyed collection.
-func NewServer(files map[string][]byte, cfg Config) (*Server, error) {
+// NewServer creates a Server over a path-keyed collection. Options configure
+// timeouts, push acceptance and session observation; see Option.
+func NewServer(files map[string][]byte, cfg Config, opts ...Option) (*Server, error) {
 	inner, err := collection.NewServer(files, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{inner: inner}, nil
+	s := &Server{
+		inner:     inner,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o(&s.opt)
+	}
+	inner.TreeManifest = s.opt.treeManifest
+	inner.RoundTimeout = s.opt.roundTimeout
+	inner.AllowPush = s.opt.allowPush
+	inner.OnUpdate = s.opt.onUpdate
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	return s, nil
 }
 
 // Serve runs one synchronization session over conn and returns its costs.
+// It is ServeContext with a background context.
 func (s *Server) Serve(conn io.ReadWriter) (*Costs, error) {
-	return s.inner.Serve(conn)
+	return s.ServeContext(context.Background(), conn)
 }
 
-// ListenAndServe accepts TCP connections on addr and serves each one.
-// It runs until the listener fails.
+// ServeContext runs one session over conn under ctx: cancellation aborts
+// the session at the next protocol round, the WithTimeout option bounds the
+// whole session, and WithRoundTimeout bounds each round. The session hook,
+// if installed, observes the outcome.
+func (s *Server) ServeContext(ctx context.Context, conn io.ReadWriter) (*Costs, error) {
+	if s.opt.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opt.timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	costs, err := s.inner.ServeContext(ctx, conn)
+	if s.opt.hook != nil {
+		ev := SessionEvent{Costs: costs, Err: err, Duration: time.Since(start)}
+		if nc, ok := conn.(net.Conn); ok {
+			ev.RemoteAddr = nc.RemoteAddr().String()
+		}
+		s.opt.hook(ev)
+	}
+	return costs, err
+}
+
+// ListenAndServe accepts TCP connections on addr and serves each one. It
+// runs until the listener fails or the server is shut down, returning
+// ErrServerClosed in the latter case.
 func (s *Server) ListenAndServe(addr string) error {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -129,22 +195,119 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.ServeListener(l)
 }
 
-// ServeListener serves sessions from an existing listener.
+// ServeListener serves sessions from an existing listener until it fails or
+// the server is shut down (ErrServerClosed). Every session goroutine is
+// tracked: Shutdown drains them gracefully and Close reaps them, so none
+// leak past the server's lifecycle.
 func (s *Server) ServeListener(l net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			if s.closing() {
+				return ErrServerClosed
+			}
 			return err
 		}
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.sessions.Add(1)
+		s.mu.Unlock()
 		go func(c net.Conn) {
-			defer c.Close()
-			_, _ = s.inner.Serve(c)
+			defer s.sessions.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, c)
+				s.mu.Unlock()
+				c.Close()
+			}()
+			_, _ = s.ServeContext(s.baseCtx, c)
 		}(conn)
 	}
 }
 
+// closing reports whether Shutdown or Close has begun.
+func (s *Server) closing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shutdown
+}
+
+// Shutdown gracefully stops the server: it closes all listeners (new dials
+// are rejected immediately), lets in-flight sessions run to completion, and
+// returns nil once they have drained. If ctx expires first, remaining
+// sessions are aborted (their connections closed and contexts cancelled)
+// and ctx's error is returned. Safe to call concurrently and repeatedly.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.beginShutdown()
+	done := make(chan struct{})
+	go func() {
+		s.sessions.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.forceClose()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close stops the server immediately: listeners and all in-flight session
+// connections are closed and sessions are aborted. It returns once every
+// session goroutine has exited.
+func (s *Server) Close() error {
+	s.beginShutdown()
+	s.forceClose()
+	s.sessions.Wait()
+	return nil
+}
+
+// beginShutdown marks the server closing and stops all listeners.
+func (s *Server) beginShutdown() {
+	s.mu.Lock()
+	s.shutdown = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	s.mu.Unlock()
+}
+
+// forceClose aborts in-flight sessions: cancels their base context (round
+// checkpoints fire) and closes their connections (blocked I/O fails).
+func (s *Server) forceClose() {
+	s.baseCancel()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
 // EnablePush allows clients to push newer collections into this server.
 // onUpdate (optional) receives the adopted collection after each push.
+//
+// Deprecated: pass WithPush(onUpdate) to NewServer instead.
 func (s *Server) EnablePush(onUpdate func(map[string][]byte)) {
 	s.inner.AllowPush = true
 	s.inner.OnUpdate = onUpdate
@@ -152,6 +315,8 @@ func (s *Server) EnablePush(onUpdate func(map[string][]byte)) {
 
 // SetTreeManifest selects merkle-tree change detection for this server's
 // outgoing pushes (see Client.SetTreeManifest).
+//
+// Deprecated: pass WithTreeManifest() to NewServer instead.
 func (s *Server) SetTreeManifest(on bool) *Server {
 	s.inner.TreeManifest = on
 	return s
@@ -159,35 +324,66 @@ func (s *Server) SetTreeManifest(on bool) *Server {
 
 // Push updates a remote replica with this server's newer collection — the
 // reverse transfer direction, for replicas that cannot dial out. The remote
-// must have called EnablePush.
+// must allow pushes (WithPush). It is PushContext with a background context.
 func (s *Server) Push(conn io.ReadWriter) (*Costs, error) {
 	return s.inner.Push(conn)
 }
 
-// PushTCP dials addr and pushes over TCP.
+// PushContext runs Push under ctx with the configured timeouts: the
+// WithTimeout option bounds the whole push and WithRoundTimeout each round.
+func (s *Server) PushContext(ctx context.Context, conn io.ReadWriter) (*Costs, error) {
+	if s.opt.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opt.timeout)
+		defer cancel()
+	}
+	return s.inner.PushContext(ctx, conn)
+}
+
+// PushTCP dials addr and pushes over TCP. It is PushTCPContext with a
+// background context.
 func (s *Server) PushTCP(addr string) (*Costs, error) {
-	conn, err := net.Dial("tcp", addr)
+	return s.PushTCPContext(context.Background(), addr)
+}
+
+// PushTCPContext dials addr (bounded by WithDialTimeout) and pushes over
+// TCP under ctx.
+func (s *Server) PushTCPContext(ctx context.Context, addr string) (*Costs, error) {
+	d := net.Dialer{Timeout: s.opt.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	return s.inner.Push(conn)
+	return s.PushContext(ctx, conn)
 }
 
-// Client synchronizes a local collection copy against a Server.
+// Client synchronizes a local collection copy against a Server. Configure
+// it at construction with Options: change-detection mode, session and round
+// timeouts, and dial retry with backoff.
 type Client struct {
 	inner *collection.Client
+	opt   sessionOptions
 }
 
-// NewClient creates a Client over the local path-keyed collection.
-func NewClient(files map[string][]byte) *Client {
-	return &Client{inner: collection.NewClient(files)}
+// NewClient creates a Client over the local path-keyed collection. Options
+// configure change detection, timeouts and retry; see Option.
+func NewClient(files map[string][]byte, opts ...Option) *Client {
+	c := &Client{inner: collection.NewClient(files)}
+	for _, o := range opts {
+		o(&c.opt)
+	}
+	c.inner.TreeManifest = c.opt.treeManifest
+	c.inner.RoundTimeout = c.opt.roundTimeout
+	return c
 }
 
 // SetTreeManifest switches change detection from the flat per-file
 // fingerprint manifest to merkle-tree reconciliation. With n files of which
 // c changed, the manifest costs O(n) bytes while the tree costs
 // O(c·log n) — prefer it for large, mostly-unchanged collections.
+//
+// Deprecated: pass WithTreeManifest() to NewClient instead.
 func (c *Client) SetTreeManifest(on bool) *Client {
 	c.inner.TreeManifest = on
 	return c
@@ -203,23 +399,63 @@ type Result struct {
 	PerFile map[string]int64
 }
 
-// Sync runs one session over conn.
+// Sync runs one session over conn. It is SyncContext with a background
+// context.
 func (c *Client) Sync(conn io.ReadWriter) (*Result, error) {
-	res, err := c.inner.Sync(conn)
+	return c.SyncContext(context.Background(), conn)
+}
+
+// SyncContext runs one session over conn under ctx: cancellation aborts the
+// session at the next protocol round (interrupting blocked I/O when conn
+// supports deadlines), the WithTimeout option bounds the whole session, and
+// WithRoundTimeout bounds each round.
+func (c *Client) SyncContext(ctx context.Context, conn io.ReadWriter) (*Result, error) {
+	if c.opt.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opt.timeout)
+		defer cancel()
+	}
+	res, err := c.inner.SyncContext(ctx, conn)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Files: res.Files, Costs: res.Costs, PerFile: res.PerFile}, nil
 }
 
-// SyncTCP dials addr and synchronizes over TCP.
+// SyncTCP dials addr and synchronizes over TCP. It is SyncTCPContext with a
+// background context.
 func (c *Client) SyncTCP(addr string) (*Result, error) {
-	conn, err := net.Dial("tcp", addr)
+	return c.SyncTCPContext(context.Background(), addr)
+}
+
+// SyncTCPContext dials addr and synchronizes over TCP under ctx. With a
+// WithRetry policy, dial failures and handshake failures (any error before
+// file content is exchanged, including round timeouts while waiting for
+// verdicts) are retried with exponential backoff and jitter; failures after
+// the handshake are returned immediately.
+func (c *Client) SyncTCPContext(ctx context.Context, addr string) (*Result, error) {
+	var res *Result
+	err := transport.Retry(ctx, c.opt.clock, c.opt.retry, func(int) error {
+		d := net.Dialer{Timeout: c.opt.dialTimeout}
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return err // dial failures are retryable
+		}
+		defer conn.Close()
+		r, err := c.SyncContext(ctx, conn)
+		if err != nil {
+			if errors.Is(err, collection.ErrHandshake) {
+				return err // no content exchanged: retry-safe
+			}
+			return transport.Permanent(err)
+		}
+		res = r
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer conn.Close()
-	return c.Sync(conn)
+	return res, nil
 }
 
 // Pipe returns two connected in-memory endpoints, for in-process

@@ -1,0 +1,120 @@
+package msync
+
+import (
+	"time"
+
+	"msync/internal/transport"
+)
+
+// Clock abstracts time for retry/backoff scheduling; inject a fake in tests
+// via WithClock to exercise backoff without real sleeping.
+type Clock = transport.Clock
+
+// RetryPolicy describes the exponential-backoff schedule used by
+// Client.SyncTCPContext for dial and handshake failures. See
+// DefaultRetryPolicy for sensible values; the zero value disables retry.
+type RetryPolicy = transport.BackoffPolicy
+
+// DefaultRetryPolicy retries up to 4 attempts with 200 ms initial backoff,
+// doubling to a 5 s cap, with ±50% jitter to decorrelate client storms.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   200 * time.Millisecond,
+		MaxDelay:    5 * time.Second,
+		Multiplier:  2,
+		Jitter:      0.5,
+	}
+}
+
+// SessionEvent reports the outcome of one server-side session to the
+// observer installed with WithSessionHook.
+type SessionEvent struct {
+	// RemoteAddr is the peer address for TCP sessions, "" for in-process
+	// connections.
+	RemoteAddr string
+	// Costs is the session's cost accounting (possibly partial on error).
+	Costs *Costs
+	// Err is the session error, nil on success.
+	Err error
+	// Duration is the session's wall-clock time.
+	Duration time.Duration
+}
+
+// sessionOptions collects the knobs shared by NewClient and NewServer.
+// Options that only apply to one side are silently ignored by the other.
+type sessionOptions struct {
+	treeManifest bool
+	timeout      time.Duration // whole-session deadline
+	roundTimeout time.Duration // per-round (frame-level I/O) deadline
+	dialTimeout  time.Duration
+	retry        RetryPolicy
+	clock        Clock
+	allowPush    bool
+	onUpdate     func(map[string][]byte)
+	hook         func(SessionEvent)
+}
+
+// Option configures a Client or Server at construction; see the With*
+// functions. Options replace the deprecated boolean chain-setters
+// (SetTreeManifest, EnablePush).
+type Option func(*sessionOptions)
+
+// WithTreeManifest selects merkle-tree change detection instead of the flat
+// per-file fingerprint manifest. With n files of which c changed, the
+// manifest costs O(n) bytes while the tree costs O(c·log n) — prefer it for
+// large, mostly-unchanged collections. Applies to a Client's pulls and a
+// Server's pushes.
+func WithTreeManifest() Option {
+	return func(o *sessionOptions) { o.treeManifest = true }
+}
+
+// WithTimeout bounds each whole synchronization session (handshake through
+// final ack) by d. Zero means unbounded. On a Client it covers every Sync*
+// call; on a Server, every accepted session.
+func WithTimeout(d time.Duration) Option {
+	return func(o *sessionOptions) { o.timeout = d }
+}
+
+// WithRoundTimeout bounds each protocol round (every frame-level read and
+// write) by d, so a stalled peer fails fast instead of hanging the session.
+// Effective on connections with deadline support (TCP, Pipe).
+func WithRoundTimeout(d time.Duration) Option {
+	return func(o *sessionOptions) { o.roundTimeout = d }
+}
+
+// WithDialTimeout bounds each TCP dial attempt by d (client side).
+func WithDialTimeout(d time.Duration) Option {
+	return func(o *sessionOptions) { o.dialTimeout = d }
+}
+
+// WithRetry makes Client.SyncTCP / SyncTCPContext retry dial and handshake
+// failures per the given backoff policy. Failures after the handshake
+// (mid-transfer) are never retried automatically. Use DefaultRetryPolicy()
+// as a starting point.
+func WithRetry(p RetryPolicy) Option {
+	return func(o *sessionOptions) { o.retry = p }
+}
+
+// WithClock injects the clock used for retry backoff sleeps; tests pass a
+// fake to assert schedules without real delays. Defaults to the system
+// clock.
+func WithClock(c Clock) Option {
+	return func(o *sessionOptions) { o.clock = c }
+}
+
+// WithPush allows clients to push newer collections into a Server. onUpdate
+// (optional, may be nil) receives the adopted collection after each push.
+func WithPush(onUpdate func(map[string][]byte)) Option {
+	return func(o *sessionOptions) {
+		o.allowPush = true
+		o.onUpdate = onUpdate
+	}
+}
+
+// WithSessionHook installs an observer called after every server session
+// (successful or not) with its outcome — the hook for connection accounting,
+// logging and metrics.
+func WithSessionHook(fn func(SessionEvent)) Option {
+	return func(o *sessionOptions) { o.hook = fn }
+}
