@@ -22,8 +22,12 @@ race:
 
 check: vet race
 
+# bench runs the Go benchmarks once each, then regenerates BENCH_scan.json —
+# the scan-scaling report (serial vs parallel client map-construction
+# wall-clock and bytes on the wire; see internal/bench/parallel.go).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+	$(GO) run ./cmd/msbench -scan-json BENCH_scan.json
 
 clean:
 	$(GO) clean ./...

@@ -23,11 +23,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (default: all)")
-		scale = flag.Float64("scale", 1.0, "corpus scale factor")
-		seed  = flag.Int64("seed", 42, "corpus seed")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		exp      = flag.String("exp", "", "experiment id (default: all)")
+		scale    = flag.Float64("scale", 1.0, "corpus scale factor")
+		seed     = flag.Int64("seed", 42, "corpus seed")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		scanJSON = flag.String("scan-json", "", "write the parallel.scan report as JSON to this file and exit")
 	)
 	flag.Parse()
 
@@ -38,6 +39,20 @@ func main() {
 		return
 	}
 	opts := bench.Options{Scale: *scale, Seed: *seed}
+
+	if *scanJSON != "" {
+		out, err := bench.ScanJSON(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*scanJSON, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *scanJSON)
+		return
+	}
 
 	ids := bench.Experiments()
 	if *exp != "" {

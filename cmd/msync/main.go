@@ -14,6 +14,10 @@
 // dials, drains in-flight sessions for -grace, then force-closes stragglers.
 // Clients bound each protocol round with -round-timeout and retry transient
 // dial/handshake failures -retry times with exponential backoff.
+//
+// Both roles accept -workers to bound local hashing/scanning parallelism
+// (0 = all CPUs, 1 = serial). The setting never changes the bytes exchanged —
+// each side picks its own value independently.
 package main
 
 import (
@@ -47,6 +51,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "client: print costs as JSON")
 		push      = flag.Bool("push", false, "client: push local (newer) data to the server instead of pulling")
 		allowPush = flag.Bool("allow-push", false, "server: accept pushes and update -dir")
+		workers   = flag.Int("workers", 0, "worker goroutines for hashing/scanning (0 = all CPUs, 1 = serial); wire output is identical for every value")
 	)
 	flag.Parse()
 
@@ -54,11 +59,11 @@ func main() {
 	case *serve != "" && *connect != "":
 		log.Fatal("msync: -serve and -connect are mutually exclusive")
 	case *serve != "":
-		runServer(*serve, *dir, buildConfig(*basic, *minB), *allowPush, *timeout, *roundTO, *grace)
+		runServer(*serve, *dir, buildConfig(*basic, *minB), *allowPush, *timeout, *roundTO, *grace, *workers)
 	case *connect != "" && *push:
-		runPush(*connect, *dir, buildConfig(*basic, *minB), *tree, *timeout, *roundTO)
+		runPush(*connect, *dir, buildConfig(*basic, *minB), *tree, *timeout, *roundTO, *workers)
 	case *connect != "":
-		runClient(*connect, *dir, *dry, *tree, *timeout, *roundTO, *retries, *jsonOut)
+		runClient(*connect, *dir, *dry, *tree, *timeout, *roundTO, *retries, *jsonOut, *workers)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -76,7 +81,7 @@ func buildConfig(basic bool, minBlock int) msync.Config {
 	return cfg
 }
 
-func runServer(addr, dir string, cfg msync.Config, allowPush bool, timeout, roundTO, grace time.Duration) {
+func runServer(addr, dir string, cfg msync.Config, allowPush bool, timeout, roundTO, grace time.Duration, workers int) {
 	files, err := dirio.Load(dir)
 	if err != nil {
 		log.Fatalf("msync: loading %s: %v", dir, err)
@@ -88,6 +93,7 @@ func runServer(addr, dir string, cfg msync.Config, allowPush bool, timeout, roun
 	opts := []msync.Option{
 		msync.WithTimeout(timeout),
 		msync.WithRoundTimeout(roundTO),
+		msync.WithWorkers(workers),
 		msync.WithSessionHook(func(ev msync.SessionEvent) {
 			if ev.Err != nil {
 				log.Printf("msync: session %s failed after %v: %v", ev.RemoteAddr, ev.Duration.Round(time.Millisecond), ev.Err)
@@ -140,12 +146,12 @@ func runServer(addr, dir string, cfg msync.Config, allowPush bool, timeout, roun
 	os.Exit(<-drained)
 }
 
-func runPush(addr, dir string, cfg msync.Config, tree bool, timeout, roundTO time.Duration) {
+func runPush(addr, dir string, cfg msync.Config, tree bool, timeout, roundTO time.Duration, workers int) {
 	files, err := dirio.Load(dir)
 	if err != nil {
 		log.Fatalf("msync: loading %s: %v", dir, err)
 	}
-	opts := []msync.Option{msync.WithTimeout(timeout), msync.WithRoundTimeout(roundTO)}
+	opts := []msync.Option{msync.WithTimeout(timeout), msync.WithRoundTimeout(roundTO), msync.WithWorkers(workers)}
 	if tree {
 		opts = append(opts, msync.WithTreeManifest())
 	}
@@ -161,7 +167,7 @@ func runPush(addr, dir string, cfg msync.Config, tree bool, timeout, roundTO tim
 	log.Printf("msync: pushed %d files to %s", len(files), addr)
 }
 
-func runClient(addr, dir string, dry, tree bool, timeout, roundTO time.Duration, retries int, jsonOut bool) {
+func runClient(addr, dir string, dry, tree bool, timeout, roundTO time.Duration, retries int, jsonOut bool, workers int) {
 	files, err := dirio.Load(dir)
 	if err != nil {
 		log.Fatalf("msync: loading %s: %v", dir, err)
@@ -173,6 +179,7 @@ func runClient(addr, dir string, dry, tree bool, timeout, roundTO time.Duration,
 		msync.WithRoundTimeout(roundTO),
 		msync.WithDialTimeout(timeout),
 		msync.WithRetry(retry),
+		msync.WithWorkers(workers),
 	}
 	if tree {
 		opts = append(opts, msync.WithTreeManifest())

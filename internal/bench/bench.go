@@ -320,6 +320,7 @@ var registry = map[string]func(Options) *Table{
 	"ablate.cdc":      AblateCDC,
 	"ablate.cpu":      CPU,
 	"ablate.twophase": AblateTwoPhase,
+	"parallel.scan":   ParallelScan,
 }
 
 // Run executes one experiment by id.

@@ -52,6 +52,12 @@ type Client struct {
 	// deadline support (net.Conn, transport.PipeEnd) to interrupt blocked
 	// I/O.
 	RoundTimeout time.Duration
+	// Workers bounds the client's local parallelism: per-file engine
+	// fan-out plus the engines' internal sharded scans and batched
+	// verification hashing. 0 means runtime.GOMAXPROCS(0); 1 is fully
+	// serial. Purely an execution knob — the wire output is bit-identical
+	// for every value.
+	Workers int
 }
 
 // NewClient creates a client over the local (path → content) collection.
@@ -107,7 +113,7 @@ func (c *Client) SyncContext(ctx context.Context, conn io.ReadWriter) (*Result, 
 		return nil, asHandshake(err)
 	}
 	addCost(costs, stats.C2S, stats.PhaseControl, hb.Len())
-	return consume(ctx, fr, fw, costs, c.files, c.TreeManifest)
+	return consume(ctx, fr, fw, costs, c.files, c.TreeManifest, c.Workers)
 }
 
 // consume runs the receiving role of a session (after any handshake
@@ -116,7 +122,10 @@ func (c *Client) SyncContext(ctx context.Context, conn io.ReadWriter) (*Result, 
 // push. In the returned Costs, C2S is traffic from the data receiver to the
 // data holder. Failures up to and including the verdict exchange are tagged
 // with ErrHandshake (retry-safe); ctx is checked at every round boundary.
-func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, files map[string][]byte, treeManifest bool) (*Result, error) {
+// workers is the receiver's own parallelism budget — never the remote's: the
+// protocol config arrives over the wire, but Workers is deliberately not
+// serialized, so each side applies its local setting.
+func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, files map[string][]byte, treeManifest bool, workers int) (*Result, error) {
 	// Change detection: determine the paths under discussion (in verdict
 	// order) and the initial contents of the result set.
 	out := make(map[string][]byte, len(files))
@@ -160,6 +169,7 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 	if err != nil {
 		return nil, err
 	}
+	cfg.Workers = workers
 	nv, err := vp.Uvarint()
 	if err != nil || int(nv) != len(verdictPaths) {
 		return nil, fmt.Errorf("collection: verdict count mismatch")
@@ -245,7 +255,7 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 		switch ft {
 		case wire.FrameRoundHashes, wire.FrameConfirm:
 			addCost(costs, stats.S2C, stats.PhaseMap, len(payload))
-			reply, err := respond(engines, ft, payload, perEngine)
+			reply, err := respond(workers, engines, ft, payload, perEngine)
 			if err != nil {
 				return nil, err
 			}
@@ -284,7 +294,7 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 	}
 	results := make([][]byte, len(engines))
 	verifyFailed := make([]bool, len(engines))
-	err = parallelFiles(len(engines), func(i int) error {
+	err = parallelFiles(workers, len(engines), func(i int) error {
 		data, err := engines[i].engine.ApplyDelta(deltaSections[i])
 		switch {
 		case err == nil:
@@ -428,7 +438,10 @@ func treeDetect(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, 
 }
 
 // respond handles one round-hashes or confirm frame and builds the reply.
-func respond(engines []clientFile, frameType byte, payload []byte, perEngine []int64) ([]byte, error) {
+// Engine work fans out across workers; replies are gathered into
+// index-addressed slots and written in job order, so the reply frame is
+// byte-identical for every worker count.
+func respond(workers int, engines []clientFile, frameType byte, payload []byte, perEngine []int64) ([]byte, error) {
 	pr := wire.NewParser(payload)
 	n, err := pr.Uvarint()
 	if err != nil {
@@ -455,7 +468,7 @@ func respond(engines []clientFile, frameType byte, payload []byte, perEngine []i
 		perEngine[idx] += int64(len(section))
 	}
 	replies := make([][]byte, len(jobs)) // nil = no reply for this file
-	err = parallelFiles(len(jobs), func(k int) error {
+	err = parallelFiles(workers, len(jobs), func(k int) error {
 		eng := engines[jobs[k].idx].engine
 		if frameType == wire.FrameRoundHashes {
 			if err := eng.AbsorbHashes(jobs[k].section); err != nil {

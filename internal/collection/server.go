@@ -5,13 +5,13 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"runtime"
 	"sync"
 	"time"
 
 	"msync/internal/core"
 	"msync/internal/delta"
 	"msync/internal/merkle"
+	"msync/internal/pool"
 	"msync/internal/stats"
 	"msync/internal/transport"
 	"msync/internal/wire"
@@ -154,7 +154,7 @@ func (s *Server) ServeContext(ctx context.Context, conn io.ReadWriter) (*stats.C
 		if !s.AllowPush {
 			return fail(fmt.Errorf("collection: push not allowed"))
 		}
-		res, err := consume(ctx, fr, fw, costs, s.snapshot(), mode == modeTree)
+		res, err := consume(ctx, fr, fw, costs, s.snapshot(), mode == modeTree, s.cfg.Workers)
 		if err != nil {
 			return costs, err
 		}
@@ -203,7 +203,7 @@ func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wir
 			break
 		}
 		sections := make([][]byte, len(active))
-		parallelFiles(len(active), func(k int) error {
+		parallelFiles(s.cfg.Workers, len(active), func(k int) error {
 			sections[k] = engines[active[k]].engine.EmitHashes()
 			return nil
 		})
@@ -264,7 +264,7 @@ func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wir
 
 	// Delta phase: one section per sync file.
 	deltaSections := make([][]byte, len(engines))
-	parallelFiles(len(engines), func(i int) error {
+	parallelFiles(s.cfg.Workers, len(engines), func(i int) error {
 		deltaSections[i] = engines[i].engine.EmitDelta()
 		return nil
 	})
@@ -553,47 +553,13 @@ func (s *Server) sendVerdicts(fw *wire.FrameWriter, costs *stats.Costs, verdicts
 	return nil
 }
 
-// parallelFiles runs fn(0..n-1) across workers; per-file engines are
-// independent, so their CPU-heavy work parallelizes freely. The first error
-// wins.
-func parallelFiles(n int, fn func(i int) error) error {
-	nw := runtime.GOMAXPROCS(0)
-	if nw > n {
-		nw = n
-	}
-	if nw <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	next := make(chan int)
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return firstErr
+// parallelFiles runs fn(0..n-1) across the session's worker budget; per-file
+// engines are independent, so their CPU-heavy work parallelizes freely. The
+// first error wins. Results are always gathered into index-addressed slots by
+// the callers, so reply and section ordering is identical for every worker
+// count.
+func parallelFiles(workers, n int, fn func(i int) error) error {
+	return pool.Do(workers, n, fn)
 }
 
 // absorbReplies processes one client reply frame (initial replies or
@@ -624,7 +590,7 @@ func (s *Server) absorbReplies(engines []syncFile, payload []byte, first bool) (
 		jobs = append(jobs, job{int(idx), section})
 	}
 	mores := make([]bool, len(jobs))
-	err = parallelFiles(len(jobs), func(k int) error {
+	err = parallelFiles(s.cfg.Workers, len(jobs), func(k int) error {
 		var more bool
 		var err error
 		if first {

@@ -8,6 +8,7 @@ import (
 	"msync/internal/delta"
 	"msync/internal/gtest"
 	"msync/internal/md4"
+	"msync/internal/pool"
 	"msync/internal/rolling"
 )
 
@@ -31,6 +32,17 @@ type ClientFile struct {
 	altNext  []int
 
 	awaitConfirm bool
+
+	// Round-scratch buffers reused across AbsorbHashes calls. candArena
+	// backs every per-entry candidate slice (fixed stride, so concurrent
+	// shard merges and later appends never reallocate); setPool recycles
+	// the per-window-size search sets. All are dead between rounds — the
+	// previous round's views of them are released in finalizeRound before
+	// the next AbsorbHashes re-carves them.
+	scratchVals  []uint64
+	scratchCands [][]int32
+	candArena    []int32
+	setPool      []*searchSet
 }
 
 // searchSet is a small open-addressed set of the hash values received in
@@ -50,20 +62,45 @@ type searchSet struct {
 const emptySlot = ^uint64(0)
 
 func newSearchSet(n int) *searchSet {
+	ss := &searchSet{}
+	ss.reset(n)
+	return ss
+}
+
+// reset re-initializes the set for n expected keys, reusing the backing
+// arrays when they are already large enough.
+func (ss *searchSet) reset(n int) {
 	size := 16
 	for size < n*4 {
 		size *= 2
 	}
-	ss := &searchSet{
-		keys: make([]uint64, size),
-		val:  make([]int32, size),
-		mask: uint64(size - 1),
+	if size < len(ss.keys) {
+		size = len(ss.keys) // keep the larger table; clearing it is cheap
 	}
+	if size > len(ss.keys) {
+		ss.keys = make([]uint64, size)
+		ss.val = make([]int32, size)
+	}
+	ss.mask = uint64(size - 1)
+	ss.over = nil
 	for i := range ss.keys {
 		ss.keys[i] = emptySlot
 	}
-	return ss
 }
+
+// borrowSet takes a recycled search set sized for n keys (allocating on a
+// cold pool); releaseSet returns it for the next round.
+func (c *ClientFile) borrowSet(n int) *searchSet {
+	if k := len(c.setPool); k > 0 {
+		ss := c.setPool[k-1]
+		c.setPool = c.setPool[:k-1]
+		ss.reset(n)
+		return ss
+	}
+	return newSearchSet(n)
+}
+
+func (c *ClientFile) releaseSet(ss *searchSet) { c.setPool = append(c.setPool, ss) }
 
 func (ss *searchSet) slot(key uint64) uint64 {
 	return (key * 0x9E3779B97F4A7C15) >> 1 & ss.mask
@@ -143,15 +180,17 @@ func (c *ClientFile) finalizePending(r *bitio.Reader) error {
 	return nil
 }
 
-// finalizeRound applies the completed verification plan.
+// finalizeRound applies the completed verification plan. The candidate
+// views are truncated, not nil'd, so their backing arrays (and the arena
+// slices candAlts points into) are recycled by the next round.
 func (c *ClientFile) finalizeRound() {
 	confirmed := c.vplan.Confirmed()
 	offs := make([]int, len(confirmed))
 	copy(offs, c.candOff)
 	c.finishRound(confirmed, offs)
-	c.candOff = nil
-	c.candAlts = nil
-	c.altNext = nil
+	c.candOff = c.candOff[:0]
+	c.candAlts = c.candAlts[:0]
+	c.altNext = c.altNext[:0]
 }
 
 // AbsorbHashes processes a round's hash section: it finalizes the previous
@@ -168,8 +207,36 @@ func (c *ClientFile) AbsorbHashes(payload []byte) error {
 	c.plan = c.buildPlan()
 	hb := c.cfg.hashBits(c.n, c.b)
 
-	vals := make([]uint64, len(c.plan.entries))
-	cands := make([][]int32, len(c.plan.entries))
+	// Per-entry scratch: hash values, candidate-slice headers, and the
+	// arena the candidate slices are carved from. The fixed per-entry
+	// stride caps every slice's capacity, so appends (including the
+	// sharded scan's merge) stay in place and rounds reuse one block.
+	ne := len(c.plan.entries)
+	maxAlt := c.cfg.MaxAlternates
+	if maxAlt < 1 {
+		maxAlt = 1
+	}
+	stride := maxAlt
+	if stride < 2 {
+		stride = 2 // continuation probes may record two predicted positions
+	}
+	if cap(c.scratchVals) < ne {
+		c.scratchVals = make([]uint64, ne)
+	}
+	if cap(c.scratchCands) < ne {
+		c.scratchCands = make([][]int32, ne)
+	}
+	if cap(c.candArena) < ne*stride {
+		c.candArena = make([]int32, ne*stride)
+	}
+	vals := c.scratchVals[:ne]
+	cands := c.scratchCands[:ne]
+	arena := c.candArena[:ne*stride]
+	candAt := func(i int) []int32 { return arena[i*stride : i*stride : i*stride+stride] }
+	for i := range cands {
+		cands[i] = nil
+	}
+
 	sizeCount := map[int]int{}
 	for i := range c.plan.entries {
 		e := &c.plan.entries[i]
@@ -199,9 +266,9 @@ func (c *ClientFile) AbsorbHashes(payload []byte) error {
 		}
 		switch e.kind {
 		case kProbe:
-			cands[i] = c.probeCandidates(e, full)
+			cands[i] = c.probeCandidates(e, full, candAt(i))
 		case kLocal:
-			cands[i] = c.localCandidates(e, full)
+			cands[i] = c.localCandidates(e, full, candAt(i))
 		default:
 			if e.size > 0 && e.size <= len(c.fOld) {
 				sizeCount[e.size]++
@@ -214,7 +281,7 @@ func (c *ClientFile) AbsorbHashes(payload []byte) error {
 	if len(sizeCount) > 0 {
 		sets := make(map[int]*searchSet, len(sizeCount))
 		for size, n := range sizeCount {
-			sets[size] = newSearchSet(n)
+			sets[size] = c.borrowSet(n)
 		}
 		for i := range c.plan.entries {
 			e := &c.plan.entries[i]
@@ -222,9 +289,13 @@ func (c *ClientFile) AbsorbHashes(payload []byte) error {
 				continue
 			}
 			sets[e.size].add(rolling.Truncate(vals[i], uint(hb)), int32(i))
+			cands[i] = candAt(i)
 		}
 		for size, set := range sets {
-			c.scanOld(size, uint(hb), set, cands)
+			c.scanOld(size, uint(hb), set, cands, maxAlt)
+		}
+		for _, set := range sets {
+			c.releaseSet(set)
 		}
 	}
 
@@ -238,17 +309,28 @@ func (c *ClientFile) AbsorbHashes(payload []byte) error {
 			c.candAlts = append(c.candAlts, cands[i])
 		}
 	}
-	c.altNext = make([]int, len(c.candEntries))
+	c.altNext = c.altNext[:0]
+	for range c.candEntries {
+		c.altNext = append(c.altNext, 0)
+	}
 	return nil
 }
 
+// scanMinShard is the minimum number of window positions per scan shard;
+// below two shards' worth a scan stays serial. At this width the per-shard
+// window re-seed (up to MaxBlockSize-1 overlap bytes re-hashed) is well
+// under 10% of the shard's rolling work.
+const scanMinShard = 1 << 15
+
 // scanOld slides a window of the given size across the old file, probing
 // the round's hash set at every alignment and recording candidate source
-// positions (at most MaxAlternates per entry).
-func (c *ClientFile) scanOld(size int, bits uint, set *searchSet, cands [][]int32) {
-	maxAlt := c.cfg.MaxAlternates
-	if maxAlt < 1 {
-		maxAlt = 1
+// positions (at most maxAlt per entry). Large scans are sharded across the
+// configured worker pool; the result is bit-identical to the serial scan.
+func (c *ClientFile) scanOld(size int, bits uint, set *searchSet, cands [][]int32, maxAlt int) {
+	positions := len(c.fOld) - size + 1
+	if shards := pool.Shards(c.cfg.Workers, positions, scanMinShard); shards > 1 {
+		c.scanOldSharded(size, bits, set, cands, maxAlt, positions, shards)
+		return
 	}
 	roller := c.fam.Roller(size)
 	roller.Init(c.fOld)
@@ -271,10 +353,69 @@ func (c *ClientFile) scanOld(size int, bits uint, set *searchSet, cands [][]int3
 	}
 }
 
+// scanHit is one (entry, position) match found by a scan shard.
+type scanHit struct{ entry, pos int32 }
+
+// scanOldSharded splits the alignment range into contiguous shards, one
+// rolling window each (re-seeded at the shard start via InitAt, reading the
+// size-1 overlap bytes from the previous shard's territory), and merges the
+// per-shard hit lists by position.
+//
+// Determinism invariants (the wire stays bit-identical to Workers=1):
+//   - shards partition the positions contiguously and in order;
+//   - each shard records hits in scan order — position ascending, and at
+//     one position the set's first entry before its extras, exactly like
+//     the serial loop;
+//   - each shard keeps at most maxAlt hits per entry (more can never
+//     survive the merge), and the merge walks shards in shard order
+//     re-applying the cap, so every entry ends with exactly the serial
+//     scan's first maxAlt positions.
+func (c *ClientFile) scanOldSharded(size int, bits uint, set *searchSet, cands [][]int32, maxAlt, positions, shards int) {
+	hits := make([][]scanHit, shards)
+	_ = pool.Do(c.cfg.Workers, shards, func(s int) error {
+		lo := pool.Bound(positions, shards, s)
+		hi := pool.Bound(positions, shards, s+1)
+		var out []scanHit
+		var seen map[int32]int // lazily built: hits are rare
+		take := func(ei, pos int32) {
+			if seen == nil {
+				seen = make(map[int32]int, 8)
+			}
+			if seen[ei] < maxAlt {
+				seen[ei]++
+				out = append(out, scanHit{ei, pos})
+			}
+		}
+		roller := c.fam.Roller(size)
+		roller.InitAt(c.fOld, lo)
+		for pos := lo; pos < hi; pos++ {
+			key := rolling.Truncate(roller.Sum(), bits)
+			if first, extras, ok := set.lookup(key); ok {
+				take(first, int32(pos))
+				for _, ei := range extras {
+					take(ei, int32(pos))
+				}
+			}
+			if pos+1 < hi {
+				roller.Roll(c.fOld[pos], c.fOld[pos+size])
+			}
+		}
+		hits[s] = out
+		return nil
+	})
+	for _, hs := range hits {
+		for _, h := range hs {
+			if len(cands[h.entry]) < maxAlt {
+				cands[h.entry] = append(cands[h.entry], h.pos)
+			}
+		}
+	}
+}
+
 // probeCandidates checks the (at most two) predicted positions for a
-// continuation probe.
-func (c *ClientFile) probeCandidates(e *entry, val uint64) []int32 {
-	var out []int32
+// continuation probe, appending into the caller's (arena-backed) dst.
+func (c *ClientFile) probeCandidates(e *entry, val uint64, dst []int32) []int32 {
+	out := dst
 	check := func(mi int) {
 		if mi < 0 {
 			return
@@ -299,8 +440,9 @@ func (c *ClientFile) probeCandidates(e *entry, val uint64) []int32 {
 	return out
 }
 
-// localCandidates scans a neighborhood of the predicted position.
-func (c *ClientFile) localCandidates(e *entry, val uint64) []int32 {
+// localCandidates scans a neighborhood of the predicted position, appending
+// into the caller's (arena-backed) dst.
+func (c *ClientFile) localCandidates(e *entry, val uint64, dst []int32) []int32 {
 	m := c.matches[e.matchIdx]
 	pred := m.clientOff + (e.off - m.serverOff)
 	lo := pred - c.cfg.LocalRadius
@@ -318,7 +460,7 @@ func (c *ClientFile) localCandidates(e *entry, val uint64) []int32 {
 	if maxAlt < 1 {
 		maxAlt = 1
 	}
-	var out []int32
+	out := dst
 	roller := c.fam.Roller(e.size)
 	roller.Init(c.fOld[lo:])
 	for pos := lo; ; pos++ {
@@ -353,17 +495,18 @@ func (c *ClientFile) EmitReply() []byte {
 	return w.Bytes()
 }
 
-// emitBatchHashes writes the current batch's test hashes.
+// emitBatchHashes writes the current batch's test hashes. The strong-hash
+// work fans out across the worker pool for large batches; the write order
+// (and therefore the wire) is unchanged.
 func (c *ClientFile) emitBatchHashes(w *bitio.Writer) {
 	groups := c.vplan.Groups()
-	for _, g := range groups {
-		parts := make([][]byte, len(g.Members))
-		for mi, cand := range g.Members {
-			e := &c.plan.entries[c.candEntries[cand]]
-			off := c.candOff[cand]
-			parts[mi] = c.fOld[off : off+e.size]
-		}
-		w.WriteBits(verifyHash(c.cfg.VerifyBits, parts...), c.cfg.VerifyBits)
+	sums := verifyGroupSums(c.cfg.Workers, c.cfg.VerifyBits, groups, func(cand int) []byte {
+		e := &c.plan.entries[c.candEntries[cand]]
+		off := c.candOff[cand]
+		return c.fOld[off : off+e.size]
+	})
+	for _, s := range sums {
+		w.WriteBits(s, c.cfg.VerifyBits)
 	}
 	if len(groups) == 0 {
 		// Zero-candidate round: the verification plan is already complete.

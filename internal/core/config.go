@@ -75,6 +75,13 @@ type Config struct {
 	Adaptive         bool
 	AdaptiveMinBlock int
 	AdaptiveFactor   float64
+	// Workers bounds the parallelism of CPU-heavy engine work: sharded
+	// old-file scans and batched verification hashing (and, at the
+	// collection layer, per-file engine fan-out). 0 (the default) means
+	// runtime.GOMAXPROCS(0); 1 selects the exact serial legacy path. This
+	// is purely a local execution knob — wire output is bit-identical for
+	// every value, and it is never serialized into the protocol config.
+	Workers int
 }
 
 // DefaultConfig enables all the paper's techniques with its best practical
@@ -159,6 +166,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Adaptive && c.AdaptiveFactor <= 0 {
 		return fmt.Errorf("core: Adaptive enabled with AdaptiveFactor %v", c.AdaptiveFactor)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: Workers %d negative", c.Workers)
 	}
 	if _, err := rolling.FamilyByName(c.HashFamily); err != nil {
 		return err

@@ -109,21 +109,26 @@ func (s *ServerFile) AbsorbBatch(payload []byte) (more bool, err error) {
 	return s.absorbBatchHashes(bitio.NewReader(payload))
 }
 
-// absorbBatchHashes reads and checks the current batch's test hashes.
+// absorbBatchHashes reads and checks the current batch's test hashes. All
+// bits are read serially first (the reader is a sequential bitstream), then
+// the expected hashes are computed through the worker pool and compared.
 func (s *ServerFile) absorbBatchHashes(r *bitio.Reader) (bool, error) {
 	groups := s.vplan.Groups()
-	results := make([]bool, len(groups))
-	for gi, g := range groups {
-		got, err := r.ReadBits(s.cfg.VerifyBits)
+	got := make([]uint64, len(groups))
+	for gi := range groups {
+		v, err := r.ReadBits(s.cfg.VerifyBits)
 		if err != nil {
 			return false, fmt.Errorf("core: verification hashes: %w", err)
 		}
-		parts := make([][]byte, len(g.Members))
-		for mi, ci := range g.Members {
-			e := &s.plan.entries[s.candEntries[ci]]
-			parts[mi] = s.fNew[e.off : e.off+e.size]
-		}
-		results[gi] = got == verifyHash(s.cfg.VerifyBits, parts...)
+		got[gi] = v
+	}
+	want := verifyGroupSums(s.cfg.Workers, s.cfg.VerifyBits, groups, func(cand int) []byte {
+		e := &s.plan.entries[s.candEntries[cand]]
+		return s.fNew[e.off : e.off+e.size]
+	})
+	results := make([]bool, len(groups))
+	for gi := range groups {
+		results[gi] = got[gi] == want[gi]
 	}
 	s.noteBatch(len(groups))
 	more := s.vplan.Absorb(results)

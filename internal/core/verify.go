@@ -4,6 +4,8 @@ import (
 	"crypto/md5"
 	"encoding/binary"
 
+	"msync/internal/gtest"
+	"msync/internal/pool"
 	"msync/internal/rolling"
 )
 
@@ -19,6 +21,41 @@ func verifyHash(bits uint, parts ...[]byte) uint64 {
 	var sum [md5.Size]byte
 	v := binary.BigEndian.Uint64(h.Sum(sum[:0])[:8])
 	return rolling.Truncate(v, bits)
+}
+
+// minParallelGroups is the smallest verification batch worth fanning out;
+// below it the per-goroutine handoff costs more than an MD5 of a few blocks.
+const minParallelGroups = 16
+
+// verifyGroupSums computes every group's verification hash for one batch —
+// the strong-hash work of a verification exchange — fanning it across the
+// worker pool when the batch is large enough to pay for the handoff. part
+// returns candidate cand's byte range on the calling side (fOld on the
+// client, fNew on the server). Each group's sum equals
+// verifyHash(bits, parts of its members...), computed into its own slot, so
+// the result is identical for any worker count.
+func verifyGroupSums(workers int, bits uint, groups []gtest.Group, part func(cand int) []byte) []uint64 {
+	if len(groups) == 0 {
+		return nil
+	}
+	sums := make([]uint64, len(groups))
+	one := func(gi int) error {
+		h := md5.New()
+		for _, cand := range groups[gi].Members {
+			h.Write(part(cand))
+		}
+		var sum [md5.Size]byte
+		sums[gi] = rolling.Truncate(binary.BigEndian.Uint64(h.Sum(sum[:0])[:8]), bits)
+		return nil
+	}
+	if len(groups) < minParallelGroups {
+		for gi := range sums {
+			_ = one(gi)
+		}
+		return sums
+	}
+	_ = pool.Do(workers, len(sums), one)
+	return sums
 }
 
 // noteReplyBitmap accounts the per-entry candidate bitmap in the shared

@@ -1,0 +1,105 @@
+// Package pool provides the shared worker-pool primitive behind the
+// engine's parallel execution paths: intra-file shard scans, per-file
+// engine fan-out in the collection session loops, and batched verification
+// hashing. It is a thin, allocation-light layer over goroutines whose one
+// job is to make "run these n independent jobs on up to w workers" a single
+// call with deterministic result placement (each job writes only its own
+// slot, so callers merge results in index order regardless of scheduling).
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a configured worker count: 0 (the default) means
+// runtime.GOMAXPROCS(0), negative values are clamped to 1 (the serial
+// legacy path).
+func Workers(n int) int {
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// Do runs fn(0), ..., fn(n-1) distributed over at most Workers(workers)
+// goroutines and returns the first error (by completion order; callers that
+// need a deterministic error should not depend on which one wins). With one
+// worker or one job it runs inline on the calling goroutine, byte-for-byte
+// the legacy serial path.
+//
+// Jobs are handed out through a channel, so uneven job costs load-balance
+// across workers. fn must not touch another job's state; determinism is the
+// caller's contract (write only slot i).
+func Do(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	nw := Workers(workers)
+	if nw > n {
+		nw = n
+	}
+	if nw <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	next := make(chan int)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// Shards splits n items into contiguous ranges for up to `workers` workers,
+// keeping every shard at least minShard items wide (so per-shard setup cost
+// — e.g. re-seeding a rolling window — stays amortized). It returns the
+// number of shards; shard s covers [Bound(n, shards, s), Bound(n, shards,
+// s+1)). At most one shard is returned when n < 2*minShard.
+func Shards(workers, n, minShard int) int {
+	if minShard < 1 {
+		minShard = 1
+	}
+	s := Workers(workers)
+	if max := n / minShard; s > max {
+		s = max
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Bound returns the start of shard s when n items are split into `shards`
+// contiguous ranges: shard s covers [Bound(n, shards, s), Bound(n, shards,
+// s+1)). The split is balanced to within one item and exact: Bound(n, k, 0)
+// == 0 and Bound(n, k, k) == n.
+func Bound(n, shards, s int) int {
+	return n * s / shards
+}

@@ -1,0 +1,97 @@
+package pool
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != 1 {
+		t.Fatalf("Workers(-3) = %d, want 1", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d, want 7", got)
+	}
+}
+
+// TestDoCoversAllJobs: every index runs exactly once, for serial and
+// parallel worker counts.
+func TestDoCoversAllJobs(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		const n = 100
+		var counts [n]int32
+		if err := Do(w, n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestDoZeroJobs(t *testing.T) {
+	if err := Do(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoError: an error is reported; all jobs still run (no cancellation —
+// per-file protocol engines must not be left mid-message).
+func TestDoError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, w := range []int{1, 4} {
+		var ran int32
+		err := Do(w, 10, func(i int) error {
+			atomic.AddInt32(&ran, 1)
+			if i == 3 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v", w, err)
+		}
+		if w == 1 && ran != 4 {
+			// Serial mode stops at the first error, like the legacy loops.
+			t.Fatalf("serial ran %d jobs, want 4", ran)
+		}
+	}
+}
+
+// TestShardBounds: shards partition [0, n) exactly, are balanced to within
+// one item, and respect the minimum width.
+func TestShardBounds(t *testing.T) {
+	for _, tc := range []struct{ workers, n, minShard, want int }{
+		{8, 1 << 20, 1 << 15, 8},
+		{8, 100, 1 << 15, 1},  // too small to shard
+		{8, 1 << 16, 1 << 15, 2},
+		{3, 30, 10, 3},
+		{4, 0, 16, 1},
+	} {
+		s := Shards(tc.workers, tc.n, tc.minShard)
+		if tc.n >= 10 && s != tc.want {
+			t.Fatalf("Shards(%d,%d,%d) = %d, want %d", tc.workers, tc.n, tc.minShard, s, tc.want)
+		}
+		if Bound(tc.n, s, 0) != 0 || Bound(tc.n, s, s) != tc.n {
+			t.Fatalf("shard bounds don't partition [0,%d)", tc.n)
+		}
+		prev := 0
+		for i := 1; i <= s; i++ {
+			b := Bound(tc.n, s, i)
+			if b < prev {
+				t.Fatalf("bounds not monotone at %d", i)
+			}
+			prev = b
+		}
+	}
+}

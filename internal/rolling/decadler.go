@@ -124,6 +124,11 @@ func (r *adlerRoller) Init(data []byte) {
 	r.a, r.b = r.d.components(data[:r.window])
 }
 
+// InitAt seeds the window at position pos of data; see WindowRoller.InitAt.
+func (r *adlerRoller) InitAt(data []byte, pos int) {
+	r.a, r.b = r.d.components(data[pos : pos+int(r.window)])
+}
+
 func (r *adlerRoller) Roll(out, in byte) {
 	to, ti := r.d.table[out], r.d.table[in]
 	r.a += ti - to

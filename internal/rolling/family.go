@@ -7,6 +7,12 @@ import "fmt"
 type WindowRoller interface {
 	// Init computes the hash of the first window of data.
 	Init(data []byte)
+	// InitAt seeds the window at [pos, pos+window) of data, exactly as if
+	// the roller had been initialized at data's start and rolled forward
+	// pos times. It costs one window's worth of hashing — the entry point
+	// for parallel shard scans, where each shard re-seeds at its own start
+	// instead of rolling through its predecessors' territory.
+	InitAt(data []byte, pos int)
 	// Roll slides the window one byte: out leaves, in enters.
 	Roll(out, in byte)
 	// Sum returns the hash of the current window.

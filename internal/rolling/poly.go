@@ -164,6 +164,11 @@ func (r *Roller) Init(data []byte) {
 	r.h = r.p.Hash(data[:r.window])
 }
 
+// InitAt seeds the window at position pos of data; see WindowRoller.InitAt.
+func (r *Roller) InitAt(data []byte, pos int) {
+	r.h = r.p.Hash(data[pos : pos+r.window])
+}
+
 // Roll slides the window one byte: out leaves on the left, in enters on the
 // right.
 func (r *Roller) Roll(out, in byte) {

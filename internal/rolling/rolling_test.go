@@ -1,6 +1,7 @@
 package rolling
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -188,6 +189,38 @@ func TestAdlerDetectsChanges(t *testing.T) {
 	}
 }
 
+// TestInitAtEqualsRolledInit: seeding a roller mid-buffer must land in the
+// same state as initializing at the start and rolling forward — for both
+// families, at several offsets. This is the invariant parallel shard scans
+// rely on.
+func TestInitAtEqualsRolledInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := randBytes(rng, 4096)
+	for _, name := range []string{"poly", "adler"} {
+		fam, err := FamilyByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, window := range []int{1, 16, 128} {
+			rolled := fam.Roller(window)
+			rolled.Init(data)
+			for pos := 0; pos+window <= len(data); pos++ {
+				if pos%257 == 0 { // sample offsets, keep the test fast
+					seeded := fam.Roller(window)
+					seeded.InitAt(data, pos)
+					if seeded.Sum() != rolled.Sum() {
+						t.Fatalf("%s w=%d pos=%d: InitAt %x != rolled %x",
+							name, window, pos, seeded.Sum(), rolled.Sum())
+					}
+				}
+				if pos+window < len(data) {
+					rolled.Roll(data[pos], data[pos+window])
+				}
+			}
+		}
+	}
+}
+
 func BenchmarkPolyHash4K(b *testing.B) {
 	p := Default()
 	data := randBytes(rand.New(rand.NewSource(1)), 4096)
@@ -219,3 +252,55 @@ func BenchmarkAdlerRoll(b *testing.B) {
 		ad.Roll(data[j], data[j+512])
 	}
 }
+
+// BenchmarkWindowScan measures full windowed-scan throughput (Init once,
+// then roll across the buffer, consuming Sum at every position) at the
+// protocol's extreme block sizes — the unit of work that scanOld sharding
+// splits across workers. Comparing the per-byte rates at b_min and b_max
+// against BenchmarkSeedShard quantifies the overlap cost a shard pays to
+// re-seed its window.
+func BenchmarkWindowScan(b *testing.B) {
+	data := randBytes(rand.New(rand.NewSource(3)), 1<<20)
+	for _, tc := range []struct {
+		fam    string
+		window int
+	}{
+		{"poly", 128}, {"poly", 2048}, {"adler", 128}, {"adler", 2048},
+	} {
+		fam, err := FamilyByName(tc.fam)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("%s-b%d", tc.fam, tc.window), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				r := fam.Roller(tc.window)
+				r.Init(data)
+				for pos := 0; pos+tc.window < len(data); pos++ {
+					sink ^= r.Sum()
+					r.Roll(data[pos], data[pos+tc.window])
+				}
+				sink ^= r.Sum()
+			}
+			benchSink = sink
+		})
+	}
+}
+
+// BenchmarkSeedShard measures the one-off InitAt cost a shard pays at its
+// start (the blockSize-1 overlap read), per seeding.
+func BenchmarkSeedShard(b *testing.B) {
+	data := randBytes(rand.New(rand.NewSource(4)), 1<<20)
+	for _, window := range []int{128, 2048} {
+		b.Run(fmt.Sprintf("poly-b%d", window), func(b *testing.B) {
+			r := Default().NewRoller(window)
+			for i := 0; i < b.N; i++ {
+				r.InitAt(data, (i*4096+1)%(len(data)-window))
+			}
+			benchSink = r.Sum()
+		})
+	}
+}
+
+var benchSink uint64

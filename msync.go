@@ -135,18 +135,21 @@ type Server struct {
 // NewServer creates a Server over a path-keyed collection. Options configure
 // timeouts, push acceptance and session observation; see Option.
 func NewServer(files map[string][]byte, cfg Config, opts ...Option) (*Server, error) {
-	inner, err := collection.NewServer(files, cfg)
-	if err != nil {
-		return nil, err
-	}
 	s := &Server{
-		inner:     inner,
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 	}
 	for _, o := range opts {
 		o(&s.opt)
 	}
+	if s.opt.workers != 0 {
+		cfg.Workers = s.opt.workers
+	}
+	inner, err := collection.NewServer(files, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.inner = inner
 	inner.TreeManifest = s.opt.treeManifest
 	inner.RoundTimeout = s.opt.roundTimeout
 	inner.AllowPush = s.opt.allowPush
@@ -375,6 +378,7 @@ func NewClient(files map[string][]byte, opts ...Option) *Client {
 	}
 	c.inner.TreeManifest = c.opt.treeManifest
 	c.inner.RoundTimeout = c.opt.roundTimeout
+	c.inner.Workers = c.opt.workers
 	return c
 }
 

@@ -53,6 +53,7 @@ type sessionOptions struct {
 	allowPush    bool
 	onUpdate     func(map[string][]byte)
 	hook         func(SessionEvent)
+	workers      int
 }
 
 // Option configures a Client or Server at construction; see the With*
@@ -117,4 +118,13 @@ func WithPush(onUpdate func(map[string][]byte)) Option {
 // logging and metrics.
 func WithSessionHook(fn func(SessionEvent)) Option {
 	return func(o *sessionOptions) { o.hook = fn }
+}
+
+// WithWorkers bounds this endpoint's local parallelism: per-file engine
+// fan-out across synchronized files, sharded old-file scans, and batched
+// verification hashing. n = 0 (the default) uses runtime.GOMAXPROCS(0);
+// n = 1 runs fully serially. The setting is local to each endpoint and never
+// negotiated: the bytes on the wire are bit-identical for every value.
+func WithWorkers(n int) Option {
+	return func(o *sessionOptions) { o.workers = n }
 }
