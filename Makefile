@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench clean
+.PHONY: all build test vet race check bench bench-cache clean
 
 all: check
 
@@ -20,14 +20,26 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# check additionally sweeps the signature-cache layers (sigcache, dirio,
+# collection) under vet and the race detector on their own, so cache bugs
+# fail fast with a focused report before the full suite runs.
 check: vet race
+	$(GO) vet ./internal/sigcache/ ./internal/dirio/ ./internal/collection/
+	$(GO) test -race ./internal/sigcache/ ./internal/dirio/ ./internal/collection/
 
 # bench runs the Go benchmarks once each, then regenerates BENCH_scan.json —
 # the scan-scaling report (serial vs parallel client map-construction
-# wall-clock and bytes on the wire; see internal/bench/parallel.go).
-bench:
+# wall-clock and bytes on the wire; see internal/bench/parallel.go) — and
+# BENCH_cache.json via bench-cache.
+bench: bench-cache
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 	$(GO) run ./cmd/msbench -scan-json BENCH_scan.json
+
+# bench-cache regenerates BENCH_cache.json: repeat sync of an unchanged tree
+# with the signature cache off, cold and warm — wall-clock, bytes hashed,
+# allocations, and the wire-determinism check (see internal/bench/cache.go).
+bench-cache:
+	$(GO) run ./cmd/msbench -cache-json BENCH_cache.json
 
 clean:
 	$(GO) clean ./...

@@ -27,8 +27,10 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "corpus scale factor")
 		seed     = flag.Int64("seed", 42, "corpus seed")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		scanJSON = flag.String("scan-json", "", "write the parallel.scan report as JSON to this file and exit")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		scanJSON  = flag.String("scan-json", "", "write the parallel.scan report as JSON to this file and exit")
+		cacheJSON = flag.String("cache-json", "", "write the cache.sync (repeat-sync signature cache) report as JSON to this file and exit")
+		cacheMode = flag.String("cache", "off", "signature-cache condition for parallel.scan: off, cold or warm (never changes wire bytes)")
 	)
 	flag.Parse()
 
@@ -38,19 +40,26 @@ func main() {
 		}
 		return
 	}
-	opts := bench.Options{Scale: *scale, Seed: *seed}
+	opts := bench.Options{Scale: *scale, Seed: *seed, CacheMode: *cacheMode}
 
-	if *scanJSON != "" {
-		out, err := bench.ScanJSON(opts)
+	writeReport := func(path string, gen func(bench.Options) ([]byte, error)) {
+		out, err := gen(opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile(*scanJSON, out, 0o644); err != nil {
+		if err := os.WriteFile(path, out, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s\n", *scanJSON)
+		fmt.Printf("wrote %s\n", path)
+	}
+	if *scanJSON != "" {
+		writeReport(*scanJSON, bench.ScanJSON)
+		return
+	}
+	if *cacheJSON != "" {
+		writeReport(*cacheJSON, bench.CacheJSON)
 		return
 	}
 

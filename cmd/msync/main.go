@@ -18,6 +18,13 @@
 // Both roles accept -workers to bound local hashing/scanning parallelism
 // (0 = all CPUs, 1 = serial). The setting never changes the bytes exchanged —
 // each side picks its own value independently.
+//
+// With -cache-dir both roles keep a persistent signature cache keyed by
+// (path, size, mtime, config): repeat syncs of unchanged files cost a stat
+// instead of a hash. -cache-mem bounds the in-memory layer in MiB and
+// -cache-paranoid re-verifies every hit by re-reading the file (for trees
+// where edits may restore size and mtime). The cache is purely local — it is
+// never sent over the wire, and traffic is byte-identical with or without it.
 package main
 
 import (
@@ -52,22 +59,40 @@ func main() {
 		push      = flag.Bool("push", false, "client: push local (newer) data to the server instead of pulling")
 		allowPush = flag.Bool("allow-push", false, "server: accept pushes and update -dir")
 		workers   = flag.Int("workers", 0, "worker goroutines for hashing/scanning (0 = all CPUs, 1 = serial); wire output is identical for every value")
+		cacheDir  = flag.String("cache-dir", "", "persistent signature cache directory; repeat syncs of unchanged files skip hashing (never changes the bytes on the wire)")
+		cacheMem  = flag.Int64("cache-mem", 64, "signature cache in-memory budget in MiB")
+		paranoid  = flag.Bool("cache-paranoid", false, "re-verify every signature cache hit by re-reading the file (catches edits that restore size+mtime)")
 	)
 	flag.Parse()
 
+	cache := cacheOptions(*cacheDir, *cacheMem, *paranoid)
 	switch {
 	case *serve != "" && *connect != "":
 		log.Fatal("msync: -serve and -connect are mutually exclusive")
 	case *serve != "":
-		runServer(*serve, *dir, buildConfig(*basic, *minB), *allowPush, *timeout, *roundTO, *grace, *workers)
+		runServer(*serve, *dir, buildConfig(*basic, *minB), *allowPush, *timeout, *roundTO, *grace, *workers, cache)
 	case *connect != "" && *push:
-		runPush(*connect, *dir, buildConfig(*basic, *minB), *tree, *timeout, *roundTO, *workers)
+		runPush(*connect, *dir, buildConfig(*basic, *minB), *tree, *timeout, *roundTO, *workers, cache)
 	case *connect != "":
-		runClient(*connect, *dir, *dry, *tree, *timeout, *roundTO, *retries, *jsonOut, *workers)
+		runClient(*connect, *dir, *dry, *tree, *timeout, *roundTO, *retries, *jsonOut, *workers, cache)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// cacheOptions translates the -cache-* flags into Options. The cache is
+// enabled only when -cache-dir is set: without persistence, one-shot CLI
+// processes have nothing to warm.
+func cacheOptions(dir string, memMiB int64, paranoid bool) []msync.Option {
+	if dir == "" {
+		return nil
+	}
+	opts := []msync.Option{msync.WithSignatureCache(dir, memMiB<<20)}
+	if paranoid {
+		opts = append(opts, msync.WithParanoidCache())
+	}
+	return opts
 }
 
 func buildConfig(basic bool, minBlock int) msync.Config {
@@ -81,15 +106,7 @@ func buildConfig(basic bool, minBlock int) msync.Config {
 	return cfg
 }
 
-func runServer(addr, dir string, cfg msync.Config, allowPush bool, timeout, roundTO, grace time.Duration, workers int) {
-	files, err := dirio.Load(dir)
-	if err != nil {
-		log.Fatalf("msync: loading %s: %v", dir, err)
-	}
-	total := 0
-	for _, d := range files {
-		total += len(d)
-	}
+func runServer(addr, dir string, cfg msync.Config, allowPush bool, timeout, roundTO, grace time.Duration, workers int, cache []msync.Option) {
 	opts := []msync.Option{
 		msync.WithTimeout(timeout),
 		msync.WithRoundTimeout(roundTO),
@@ -102,7 +119,17 @@ func runServer(addr, dir string, cfg msync.Config, allowPush bool, timeout, roun
 			log.Printf("msync: session %s: %d bytes in %v", ev.RemoteAddr, ev.Costs.Total(), ev.Duration.Round(time.Millisecond))
 		}),
 	}
+	opts = append(opts, cache...)
+
+	var srv *msync.Server
+	var err error
 	if allowPush {
+		// A receiving server materializes the collection: adopting a push
+		// needs the full before-map to compute deletions on disk.
+		files, err := dirio.Load(dir)
+		if err != nil {
+			log.Fatalf("msync: loading %s: %v", dir, err)
+		}
 		before := files
 		opts = append(opts, msync.WithPush(func(updated map[string][]byte) {
 			if err := dirio.Apply(dir, before, updated); err != nil {
@@ -112,10 +139,21 @@ func runServer(addr, dir string, cfg msync.Config, allowPush bool, timeout, roun
 			before = updated
 			log.Printf("msync: adopted pushed update (%d files)", len(updated))
 		}))
-	}
-	srv, err := msync.NewServer(files, cfg, opts...)
-	if err != nil {
-		log.Fatal(err)
+		srv, err = msync.NewServer(files, cfg, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("msync: serving %d files from %s on %s", len(files), dir, addr)
+	} else {
+		var werrs []error
+		srv, werrs, err = msync.NewDirServer(dir, cfg, opts...)
+		for _, we := range werrs {
+			log.Printf("msync: warning: %v", we)
+		}
+		if err != nil {
+			log.Fatalf("msync: opening %s: %v", dir, err)
+		}
+		log.Printf("msync: serving %s on %s (streamed)", dir, addr)
 	}
 
 	// SIGINT/SIGTERM trigger a graceful drain bounded by -grace. The
@@ -138,7 +176,6 @@ func runServer(addr, dir string, cfg msync.Config, allowPush bool, timeout, roun
 		drained <- 0
 	}()
 
-	log.Printf("msync: serving %d files (%d bytes) from %s on %s", len(files), total, dir, addr)
 	err = srv.ListenAndServe(addr)
 	if err != nil && err != msync.ErrServerClosed {
 		log.Fatal(err)
@@ -146,32 +183,28 @@ func runServer(addr, dir string, cfg msync.Config, allowPush bool, timeout, roun
 	os.Exit(<-drained)
 }
 
-func runPush(addr, dir string, cfg msync.Config, tree bool, timeout, roundTO time.Duration, workers int) {
-	files, err := dirio.Load(dir)
-	if err != nil {
-		log.Fatalf("msync: loading %s: %v", dir, err)
-	}
+func runPush(addr, dir string, cfg msync.Config, tree bool, timeout, roundTO time.Duration, workers int, cache []msync.Option) {
 	opts := []msync.Option{msync.WithTimeout(timeout), msync.WithRoundTimeout(roundTO), msync.WithWorkers(workers)}
+	opts = append(opts, cache...)
 	if tree {
 		opts = append(opts, msync.WithTreeManifest())
 	}
-	srv, err := msync.NewServer(files, cfg, opts...)
+	srv, werrs, err := msync.NewDirServer(dir, cfg, opts...)
+	for _, we := range werrs {
+		log.Printf("msync: warning: %v", we)
+	}
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("msync: opening %s: %v", dir, err)
 	}
 	costs, err := srv.PushTCP(addr)
 	if err != nil {
 		log.Fatalf("msync: push: %v", err)
 	}
 	fmt.Println(costs.String())
-	log.Printf("msync: pushed %d files to %s", len(files), addr)
+	log.Printf("msync: pushed %s to %s", dir, addr)
 }
 
-func runClient(addr, dir string, dry, tree bool, timeout, roundTO time.Duration, retries int, jsonOut bool, workers int) {
-	files, err := dirio.Load(dir)
-	if err != nil {
-		log.Fatalf("msync: loading %s: %v", dir, err)
-	}
+func runClient(addr, dir string, dry, tree bool, timeout, roundTO time.Duration, retries int, jsonOut bool, workers int, cache []msync.Option) {
 	retry := msync.DefaultRetryPolicy()
 	retry.MaxAttempts = retries
 	opts := []msync.Option{
@@ -180,11 +213,20 @@ func runClient(addr, dir string, dry, tree bool, timeout, roundTO time.Duration,
 		msync.WithDialTimeout(timeout),
 		msync.WithRetry(retry),
 		msync.WithWorkers(workers),
+		msync.WithLazyResult(),
 	}
+	opts = append(opts, cache...)
 	if tree {
 		opts = append(opts, msync.WithTreeManifest())
 	}
-	res, err := msync.NewClient(files, opts...).SyncTCP(addr)
+	cl, werrs, err := msync.NewDirClient(dir, opts...)
+	for _, we := range werrs {
+		log.Printf("msync: warning: %v", we)
+	}
+	if err != nil {
+		log.Fatalf("msync: opening %s: %v", dir, err)
+	}
+	res, err := cl.SyncTCP(addr)
 	if err != nil {
 		log.Fatalf("msync: sync: %v", err)
 	}
@@ -200,8 +242,9 @@ func runClient(addr, dir string, dry, tree bool, timeout, roundTO time.Duration,
 	if dry {
 		return
 	}
-	if err := dirio.Apply(dir, files, res.Files); err != nil {
+	if err := res.Apply(dir); err != nil {
 		log.Fatalf("msync: writing results: %v", err)
 	}
-	log.Printf("msync: %s updated (%d files)", dir, len(res.Files))
+	log.Printf("msync: %s updated (%d written, %d unchanged, %d deleted)",
+		dir, len(res.Files), len(res.Unchanged), len(res.Deleted))
 }

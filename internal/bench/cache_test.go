@@ -1,0 +1,39 @@
+package bench
+
+import "testing"
+
+// TestMeasureCache runs the repeated-sync experiment at a small scale and
+// checks its invariants: every mode produces byte-identical wire traffic,
+// the warm run hashes nothing (stat-identity hits answer the whole
+// manifest), and cold runs miss then populate.
+func TestMeasureCache(t *testing.T) {
+	rep, err := measureCache(Options{Scale: 0.13, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMode := map[string]CachePoint{}
+	for _, p := range rep.Points {
+		byMode[p.Mode] = p
+	}
+	for _, mode := range []string{"off", "cold", "warm"} {
+		p, ok := byMode[mode]
+		if !ok {
+			t.Fatalf("missing mode %q", mode)
+		}
+		if !p.WireIdentical {
+			t.Errorf("mode %q: wire differs from cache-off run", mode)
+		}
+	}
+	if p := byMode["warm"]; p.BytesHashed != 0 || p.BlockHashes != 0 {
+		t.Errorf("warm run hashed %d bytes / %d block hashes, want 0/0", p.BytesHashed, p.BlockHashes)
+	}
+	if p := byMode["warm"]; p.CacheMisses != 0 || p.CacheHits == 0 {
+		t.Errorf("warm run: hits=%d misses=%d, want all hits", p.CacheHits, p.CacheMisses)
+	}
+	if p := byMode["cold"]; p.CacheMisses == 0 {
+		t.Errorf("cold run: misses=%d, want > 0", p.CacheMisses)
+	}
+	if p := byMode["off"]; p.CacheHits != 0 || p.CacheMisses != 0 {
+		t.Errorf("off run recorded cache activity: hits=%d misses=%d", p.CacheHits, p.CacheMisses)
+	}
+}

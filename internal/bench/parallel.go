@@ -10,6 +10,8 @@ import (
 
 	"msync/internal/core"
 	"msync/internal/corpus"
+	"msync/internal/md4"
+	"msync/internal/sigcache"
 )
 
 // scanFileBytes is the reference file size for the scan-scaling experiment
@@ -22,20 +24,25 @@ var scanWorkerCounts = []int{1, 2, 4, 8}
 
 // scanRun is one measured synchronization at a fixed worker count.
 type scanRun struct {
-	clientSecs float64 // wall-clock inside client engine calls (map phase)
-	totalSecs  float64 // wall-clock for the whole session
-	wireBytes  int64   // map-phase + delta payload bytes
-	transcript []byte  // every frame, length-prefixed, in exchange order
+	clientSecs  float64 // wall-clock inside client engine calls (map phase)
+	totalSecs   float64 // wall-clock for the whole session
+	wireBytes   int64   // map-phase + delta payload bytes
+	blockHashes int64   // server-side block/probe hashes computed
+	bytesHashed int64   // server-side bytes fed through hash functions
+	transcript  []byte  // every frame, length-prefixed, in exchange order
 }
 
 // runScan drives both engines in process (the SyncLocal loop), timing the
 // client's map-construction calls and recording the full frame transcript so
-// runs at different worker counts can be compared byte for byte.
-func runScan(fOld, fNew []byte, cfg core.Config) (*scanRun, error) {
+// runs at different worker counts can be compared byte for byte. sig, when
+// non-nil, is attached to the server engine (the signature-cache condition);
+// the transcript must not depend on it.
+func runScan(fOld, fNew []byte, cfg core.Config, sig *sigcache.Sig) (*scanRun, error) {
 	srv, err := core.NewServerFile(fNew, &cfg)
 	if err != nil {
 		return nil, err
 	}
+	srv.UseSignature(sig)
 	cli, err := core.NewClientFile(fOld, len(fNew), &cfg)
 	if err != nil {
 		return nil, err
@@ -93,8 +100,32 @@ func runScan(fOld, fNew []byte, cfg core.Config) (*scanRun, error) {
 		return nil, err
 	}
 	r.totalSecs = time.Since(start).Seconds()
+	r.blockHashes = srv.BlockHashesComputed
+	r.bytesHashed = srv.BytesHashed
 	r.transcript = tr.Bytes()
 	return r, nil
+}
+
+// scanSig prepares the server-side signature for the sweep's cache mode:
+// nil for "off"/"", a per-run fresh signature for "cold" (pass nil here and
+// build per rep), or a fully precomputed one for "warm".
+func scanSig(mode string, fNew []byte, cfg core.Config) (warm *sigcache.Sig, perRun func() *sigcache.Sig, err error) {
+	switch mode {
+	case "", "off":
+		return nil, func() *sigcache.Sig { return nil }, nil
+	case "cold":
+		return nil, func() *sigcache.Sig {
+			return sigcache.NewSig(int64(len(fNew)), md4.Sum(fNew))
+		}, nil
+	case "warm":
+		warm, err = core.PrecomputeSignature(fNew, &cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return warm, func() *sigcache.Sig { return warm }, nil
+	default:
+		return nil, nil, fmt.Errorf("bench: unknown cache mode %q (off, cold, warm)", mode)
+	}
 }
 
 // scanPair builds the experiment's old/new file pair: multi-MB source text
@@ -122,6 +153,10 @@ type ScanPoint struct {
 	// WireIdentical reports that every frame matched the Workers=1 run byte
 	// for byte — the determinism invariant the parallel paths guarantee.
 	WireIdentical bool `json:"wire_identical_to_serial"`
+	// BlockHashes / BytesHashed count server-side hashing work; the cache
+	// modes (Options.CacheMode) show up here, never in the wire columns.
+	BlockHashes int64 `json:"block_hashes_computed"`
+	BytesHashed int64 `json:"bytes_hashed"`
 }
 
 // ScanReport is the JSON artifact (BENCH_scan.json) of the scan-scaling
@@ -132,6 +167,7 @@ type ScanReport struct {
 	Experiment string      `json:"experiment"`
 	FileBytes  int         `json:"file_bytes"`
 	GOMAXPROCS int         `json:"gomaxprocs"`
+	CacheMode  string      `json:"cache_mode"`
 	Points     []ScanPoint `json:"points"`
 	Note       string      `json:"note"`
 }
@@ -141,10 +177,19 @@ func measureScan(opts Options) (*ScanReport, error) {
 	old, cur := scanPair(opts)
 	cfg := bestConfig()
 
+	mode := opts.CacheMode
+	if mode == "" {
+		mode = "off"
+	}
+	_, sigFor, err := scanSig(mode, cur, cfg)
+	if err != nil {
+		return nil, err
+	}
 	rep := &ScanReport{
 		Experiment: "parallel.scan",
 		FileBytes:  len(cur),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CacheMode:  mode,
 		Note: "client_map_seconds is wall-clock inside client engine calls " +
 			"(AbsorbHashes/EmitReply/AbsorbConfirm/EmitBatch); best of " +
 			"3 runs per worker count after one warm-up",
@@ -154,7 +199,7 @@ func measureScan(opts Options) (*ScanReport, error) {
 		cfg.Workers = w
 		var best *scanRun
 		for rep := 0; rep < 4; rep++ {
-			r, err := runScan(old, cur, cfg)
+			r, err := runScan(old, cur, cfg, sigFor())
 			if err != nil {
 				return nil, err
 			}
@@ -174,6 +219,8 @@ func measureScan(opts Options) (*ScanReport, error) {
 			TotalSecs:     best.totalSecs,
 			WireBytes:     best.wireBytes,
 			WireIdentical: bytes.Equal(best.transcript, serial.transcript),
+			BlockHashes:   best.blockHashes,
+			BytesHashed:   best.bytesHashed,
 		}
 		if best.clientSecs > 0 {
 			p.SpeedupVsSerial = serial.clientSecs / best.clientSecs

@@ -19,15 +19,15 @@ func TestManifestCacheReused(t *testing.T) {
 	}
 	srv.AllowPush = true
 
-	m1 := srv.cachedManifest()
-	m2 := srv.cachedManifest()
+	m1 := cachedManifest(t, srv)
+	m2 := cachedManifest(t, srv)
 	if &m1[0] != &m2[0] {
 		t.Fatal("manifest rebuilt despite no change")
 	}
 
 	// Serve a session; cache must survive.
 	runOneSession(t, srv, v1.Map())
-	m3 := srv.cachedManifest()
+	m3 := cachedManifest(t, srv)
 	if &m1[0] != &m3[0] {
 		t.Fatal("manifest invalidated by a read-only session")
 	}
@@ -51,13 +51,23 @@ func TestManifestCacheReused(t *testing.T) {
 	b.Close()
 	wg.Wait()
 
-	m4 := srv.cachedManifest()
+	m4 := cachedManifest(t, srv)
 	if len(m4) == len(m1) && &m4[0] == &m1[0] {
 		t.Fatal("manifest cache stale after push")
 	}
-	if err := VerifyAgainst(srv.snapshot(), v2.Map()); err != nil {
+	if err := VerifyAgainst(map[string][]byte(srv.source().(MapSource)), v2.Map()); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// cachedManifest fetches the server's (cached) manifest via sessionState.
+func cachedManifest(t *testing.T, srv *Server) []ManifestEntry {
+	t.Helper()
+	_, m, _, err := srv.sessionState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
 }
 
 func runOneSession(t *testing.T, srv *Server, clientFiles map[string][]byte) {

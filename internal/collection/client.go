@@ -41,7 +41,12 @@ func asHandshake(err error) error {
 
 // Client synchronizes a local collection copy against a Server.
 type Client struct {
-	files map[string][]byte
+	src Source
+	// LazyResult, for sources that can re-read their own files (TreeSource),
+	// keeps unchanged files out of Result.Files: the result then holds only
+	// written content, with unchanged and deleted paths listed by name, so
+	// peak memory scales with the change set instead of the collection.
+	LazyResult bool
 	// TreeManifest switches change detection from the flat fingerprint
 	// manifest to merkle-tree reconciliation, which costs O(changed·log n)
 	// instead of O(n) — the right choice when almost nothing changed.
@@ -62,7 +67,12 @@ type Client struct {
 
 // NewClient creates a client over the local (path → content) collection.
 func NewClient(files map[string][]byte) *Client {
-	return &Client{files: files}
+	return &Client{src: MapSource(files)}
+}
+
+// NewClientSource creates a client over an arbitrary collection source.
+func NewClientSource(src Source) *Client {
+	return &Client{src: src}
 }
 
 // clientFile pairs a path with its per-file client engine.
@@ -73,8 +83,14 @@ type clientFile struct {
 
 // Result is the outcome of one synchronization session.
 type Result struct {
-	// Files is the updated collection.
+	// Files is the updated collection. Under Client.LazyResult it holds only
+	// the files the session wrote (synced, full, new); combined with
+	// Unchanged and Deleted it still describes the complete outcome.
 	Files map[string][]byte
+	// Unchanged lists paths the session left untouched.
+	Unchanged []string
+	// Deleted lists local paths the server no longer has.
+	Deleted []string
 	// Costs is the session's cost accounting from the client's perspective.
 	Costs *stats.Costs
 	// PerFile attributes payload bytes to individual synchronized files
@@ -97,8 +113,12 @@ func (c *Client) SyncContext(ctx context.Context, conn io.ReadWriter) (*Result, 
 	sess := transport.NewSession(ctx, conn, c.RoundTimeout)
 	defer sess.Release()
 	costs := &stats.Costs{}
-	fr := wire.NewFrameReader(sess)
-	fw := wire.NewFrameWriter(sess)
+	fr := wire.GetFrameReader(sess)
+	defer wire.PutFrameReader(fr)
+	fw := wire.GetFrameWriter(sess)
+	defer wire.PutFrameWriter(fw)
+	acct := beginAccounting(c.src)
+	defer acct.finish(costs)
 
 	// HELLO.
 	hb := wire.NewBuffer(8)
@@ -113,7 +133,7 @@ func (c *Client) SyncContext(ctx context.Context, conn io.ReadWriter) (*Result, 
 		return nil, asHandshake(err)
 	}
 	addCost(costs, stats.C2S, stats.PhaseControl, hb.Len())
-	return consume(ctx, fr, fw, costs, c.files, c.TreeManifest, c.Workers)
+	return consume(ctx, fr, fw, costs, c.src, c.LazyResult, c.TreeManifest, c.Workers)
 }
 
 // consume runs the receiving role of a session (after any handshake
@@ -125,27 +145,57 @@ func (c *Client) SyncContext(ctx context.Context, conn io.ReadWriter) (*Result, 
 // workers is the receiver's own parallelism budget — never the remote's: the
 // protocol config arrives over the wire, but Workers is deliberately not
 // serialized, so each side applies its local setting.
-func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, files map[string][]byte, treeManifest bool, workers int) (*Result, error) {
+//
+// With lazy set (sources that can re-read their own files), unchanged
+// content is never materialized: the result lists unchanged and deleted
+// paths by name and Files holds only what the session wrote.
+func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, lazy, treeManifest bool, workers int) (*Result, error) {
+	sbuf := wire.GetBuffer(1024) // session scratch for every frame we assemble
+	defer wire.PutBuffer(sbuf)
+
+	manifest, err := src.Manifest()
+	if err != nil {
+		return nil, asHandshake(err)
+	}
+
 	// Change detection: determine the paths under discussion (in verdict
 	// order) and the initial contents of the result set.
-	out := make(map[string][]byte, len(files))
+	res := &Result{Costs: costs}
+	out := make(map[string][]byte)
+	res.Files = out
 	var verdictPaths []string
 	if treeManifest {
-		vp, kept, err := treeDetect(fr, fw, costs, files)
+		vp, kept, deleted, err := treeDetect(fr, fw, costs, manifest)
 		if err != nil {
 			return nil, asHandshake(err)
 		}
 		verdictPaths = vp
+		res.Deleted = deleted
+		inVerdicts := make(map[string]bool, len(vp))
+		for _, p := range vp {
+			inVerdicts[p] = true
+		}
 		for _, p := range kept {
-			out[p] = files[p]
+			if inVerdicts[p] {
+				continue // changed: decided by its verdict below
+			}
+			if lazy {
+				res.Unchanged = append(res.Unchanged, p)
+				continue
+			}
+			data, err := src.Load(p)
+			if err != nil {
+				return nil, asHandshake(err)
+			}
+			out[p] = data
 		}
 	} else {
-		manifest := BuildManifest(files)
-		mraw := encodeManifest(manifest)
-		if err := fw.WriteFrame(wire.FrameManifest, mraw); err != nil {
+		sbuf.Reset()
+		encodeManifestInto(sbuf, manifest)
+		if err := fw.WriteFrame(wire.FrameManifest, sbuf.Build()); err != nil {
 			return nil, asHandshake(err)
 		}
-		addCost(costs, stats.C2S, stats.PhaseControl, len(mraw))
+		addCost(costs, stats.C2S, stats.PhaseControl, sbuf.Len())
 		for _, e := range manifest {
 			verdictPaths = append(verdictPaths, e.Path)
 		}
@@ -184,10 +234,19 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 		}
 		switch verdict {
 		case verdictUnchanged:
-			out[path] = files[path]
+			if lazy {
+				res.Unchanged = append(res.Unchanged, path)
+			} else {
+				data, err := src.Load(path)
+				if err != nil {
+					return nil, err
+				}
+				out[path] = data
+			}
 			costs.FilesUnchanged++
 		case verdictDelete:
 			delete(out, path)
+			res.Deleted = append(res.Deleted, path)
 		case verdictFull:
 			comp, err := vp.Bytes()
 			if err != nil {
@@ -205,7 +264,11 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 			if err != nil {
 				return nil, err
 			}
-			eng, err := core.NewClientFile(files[path], int(newLen), &cfg)
+			old, err := src.Load(path)
+			if err != nil {
+				return nil, err
+			}
+			eng, err := core.NewClientFile(old, int(newLen), &cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -255,7 +318,7 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 		switch ft {
 		case wire.FrameRoundHashes, wire.FrameConfirm:
 			addCost(costs, stats.S2C, stats.PhaseMap, len(payload))
-			reply, err := respond(workers, engines, ft, payload, perEngine)
+			reply, err := respond(workers, engines, ft, payload, perEngine, sbuf)
 			if err != nil {
 				return nil, err
 			}
@@ -317,18 +380,18 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 			out[engines[i].path] = results[i]
 		}
 	}
-	ab := wire.NewBuffer(16)
-	ab.Uvarint(uint64(len(failed)))
+	sbuf.Reset()
+	sbuf.Uvarint(uint64(len(failed)))
 	for _, i := range failed {
-		ab.Uvarint(uint64(i))
+		sbuf.Uvarint(uint64(i))
 	}
-	if err := fw.WriteFrame(wire.FrameAck, ab.Build()); err != nil {
+	if err := fw.WriteFrame(wire.FrameAck, sbuf.Build()); err != nil {
 		return nil, err
 	}
 	if err := fw.Flush(); err != nil {
 		return nil, err
 	}
-	addCost(costs, stats.C2S, stats.PhaseControl, ab.Len())
+	addCost(costs, stats.C2S, stats.PhaseControl, sbuf.Len())
 	costs.Roundtrips++ // delta → ack
 
 	if len(failed) > 0 {
@@ -365,14 +428,15 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 	for i := range engines {
 		perFile[engines[i].path] = perEngine[i]
 	}
-	return &Result{Files: out, Costs: costs, PerFile: perFile}, nil
+	res.PerFile = perFile
+	return res, nil
 }
 
 // treeDetect runs merkle reconciliation against the server and asks for the
-// differing files. It returns the requested paths (in verdict order) and the
-// local paths that stay untouched.
-func treeDetect(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, files map[string][]byte) (verdictPaths, kept []string, err error) {
-	manifest := BuildManifest(files)
+// differing files. It returns the requested paths (in verdict order), the
+// local paths that stay untouched, and the local paths the server no longer
+// has.
+func treeDetect(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, manifest []ManifestEntry) (verdictPaths, kept, deletedPaths []string, err error) {
 	entries := make([]merkle.Entry, len(manifest))
 	for i, e := range manifest {
 		entries[i] = merkle.Entry{Path: e.Path, Len: e.Len, Sum: e.Sum}
@@ -381,20 +445,20 @@ func treeDetect(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, 
 	for !ini.Done() {
 		msg := ini.Next()
 		if err := fw.WriteFrame(wire.FrameTree, msg); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if err := fw.Flush(); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		addCost(costs, stats.C2S, stats.PhaseControl, len(msg))
 		payload, err := fr.ExpectFrame(wire.FrameTree)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		addCost(costs, stats.S2C, stats.PhaseControl, len(payload))
 		costs.Roundtrips++
 		if err := ini.Absorb(payload); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	diff := ini.Diff()
@@ -431,17 +495,18 @@ func treeDetect(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, 
 		verdictPaths = append(verdictPaths, w.path)
 	}
 	if err := fw.WriteFrame(wire.FrameWant, wb.Build()); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	addCost(costs, stats.C2S, stats.PhaseControl, wb.Len())
-	return verdictPaths, kept, nil
+	return verdictPaths, kept, diff.OnlyLocal, nil
 }
 
-// respond handles one round-hashes or confirm frame and builds the reply.
-// Engine work fans out across workers; replies are gathered into
-// index-addressed slots and written in job order, so the reply frame is
-// byte-identical for every worker count.
-func respond(workers int, engines []clientFile, frameType byte, payload []byte, perEngine []int64) ([]byte, error) {
+// respond handles one round-hashes or confirm frame and builds the reply
+// into rb (the session's pooled scratch buffer — the returned bytes are only
+// valid until rb's next reset). Engine work fans out across workers; replies
+// are gathered into index-addressed slots and written in job order, so the
+// reply frame is byte-identical for every worker count.
+func respond(workers int, engines []clientFile, frameType byte, payload []byte, perEngine []int64, rb *wire.Buffer) ([]byte, error) {
 	pr := wire.NewParser(payload)
 	n, err := pr.Uvarint()
 	if err != nil {
@@ -495,7 +560,7 @@ func respond(workers int, engines []clientFile, frameType byte, payload []byte, 
 			count++
 		}
 	}
-	rb := wire.NewBuffer(1024)
+	rb.Reset()
 	rb.Uvarint(uint64(count))
 	for k, r := range replies {
 		if r != nil {

@@ -1,0 +1,164 @@
+package collection
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"msync/internal/core"
+	"msync/internal/dirio"
+	"msync/internal/md4"
+	"msync/internal/sigcache"
+)
+
+// manifestDelta opens dir as a fresh TreeSource (as a new process run would),
+// builds its manifest, and returns it with the cache-stat delta and the bytes
+// this source streamed through MD4.
+func manifestDelta(t *testing.T, dir string, cache *sigcache.Cache, fp uint64, paranoid bool) ([]ManifestEntry, sigcache.Stats, int64) {
+	t.Helper()
+	tree, werrs, err := dirio.OpenTree(dir)
+	if err != nil || len(werrs) > 0 {
+		t.Fatalf("OpenTree: %v %v", err, werrs)
+	}
+	src := NewTreeSource(tree, cache, fp, paranoid)
+	before := cache.Stats()
+	m, err := src.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, cache.Stats().Sub(before), src.HashedBytes()
+}
+
+// TestCacheInvalidationMatrix pins down exactly which stat changes invalidate
+// a cached signature: mtime alone, size alone, and a config-fingerprint
+// change each force a miss; a content change that restores both size and
+// mtime is the documented stale-hit limitation, caught only by paranoid mode.
+func TestCacheInvalidationMatrix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.txt")
+	setFile := func(content string, mtime time.Time) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(path, mtime, mtime); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	later := base.Add(time.Second)
+	v1 := "file contents, version one"
+
+	cfg := core.DefaultConfig()
+	fp := ConfigFingerprint(&cfg)
+	cache := sigcache.New(sigcache.Options{})
+
+	// Cold: the first manifest streams the file and stores its signature.
+	setFile(v1, base)
+	m, d, hashed := manifestDelta(t, dir, cache, fp, false)
+	if d.Misses != 1 || d.Hits != 0 {
+		t.Fatalf("cold: %+v, want a pure miss", d)
+	}
+	if hashed != int64(len(v1)) || m[0].Sum != md4.Sum([]byte(v1)) {
+		t.Fatal("cold: wrong bytes hashed or wrong sum")
+	}
+
+	// Unchanged: stat identity answers; nothing is hashed.
+	m, d, hashed = manifestDelta(t, dir, cache, fp, false)
+	if d.Hits != 1 || d.Misses != 0 || hashed != 0 {
+		t.Fatalf("unchanged: %+v hashed=%d, want a free hit", d, hashed)
+	}
+	if m[0].Sum != md4.Sum([]byte(v1)) {
+		t.Fatal("unchanged: sum drifted")
+	}
+
+	// mtime-only change, identical content: the key no longer matches, so
+	// the file is re-hashed (to the same sum).
+	setFile(v1, later)
+	m, d, hashed = manifestDelta(t, dir, cache, fp, false)
+	if d.Misses != 1 || d.Hits != 0 || hashed != int64(len(v1)) {
+		t.Fatalf("mtime-only: %+v hashed=%d, want a recomputing miss", d, hashed)
+	}
+	if m[0].Sum != md4.Sum([]byte(v1)) {
+		t.Fatal("mtime-only: content did not change, sum must not either")
+	}
+
+	// Size-only change (mtime held at the cached value): still a miss.
+	v2 := v1 + "!"
+	setFile(v2, later)
+	m, d, _ = manifestDelta(t, dir, cache, fp, false)
+	if d.Misses != 1 || d.Hits != 0 {
+		t.Fatalf("size-only: %+v, want a miss", d)
+	}
+	if m[0].Sum != md4.Sum([]byte(v2)) {
+		t.Fatal("size-only: sum not refreshed")
+	}
+
+	// Content change with size AND mtime restored: the stat key cannot tell,
+	// so this is the documented stale hit — the manifest carries the old sum.
+	v3 := v2[:len(v2)-1] + "?" // same length, different content
+	setFile(v3, later)
+	m, d, hashed = manifestDelta(t, dir, cache, fp, false)
+	if d.Hits != 1 || d.Misses != 0 || hashed != 0 {
+		t.Fatalf("restored-mtime: %+v hashed=%d, want the (stale) hit", d, hashed)
+	}
+	if m[0].Sum != md4.Sum([]byte(v2)) || m[0].Sum == md4.Sum([]byte(v3)) {
+		t.Fatal("restored-mtime: expected the stale cached sum")
+	}
+
+	// Paranoid mode streams the file on every hit and catches exactly this:
+	// the stale entry is rejected, recomputed and replaced.
+	m, d, hashed = manifestDelta(t, dir, cache, fp, true)
+	if d.Misses != 1 || d.Hits != 0 {
+		t.Fatalf("paranoid: %+v, want the stale entry rejected", d)
+	}
+	if hashed != 2*int64(len(v3)) { // one verify stream + one recompute
+		t.Fatalf("paranoid: hashed %d bytes, want %d", hashed, 2*len(v3))
+	}
+	if m[0].Sum != md4.Sum([]byte(v3)) {
+		t.Fatal("paranoid: sum not corrected")
+	}
+
+	// The corrected entry now serves plain lookups.
+	m, d, _ = manifestDelta(t, dir, cache, fp, false)
+	if d.Hits != 1 || m[0].Sum != md4.Sum([]byte(v3)) {
+		t.Fatalf("post-paranoid: %+v, want a correct hit", d)
+	}
+
+	// A config-fingerprint change invalidates everything, file untouched.
+	_, d, _ = manifestDelta(t, dir, cache, fp+1, false)
+	if d.Misses != 1 || d.Hits != 0 {
+		t.Fatalf("fingerprint: %+v, want a miss", d)
+	}
+}
+
+// TestConfigFingerprint: protocol-affecting fields move the fingerprint,
+// Workers (pure local parallelism) does not.
+func TestConfigFingerprint(t *testing.T) {
+	cfg := core.DefaultConfig()
+	fp := ConfigFingerprint(&cfg)
+
+	same := core.DefaultConfig()
+	if ConfigFingerprint(&same) != fp {
+		t.Fatal("identical configs fingerprint differently")
+	}
+
+	workers := core.DefaultConfig()
+	workers.Workers = 17
+	if ConfigFingerprint(&workers) != fp {
+		t.Fatal("Workers must not disturb the cache key: it cannot change hash values")
+	}
+
+	blocks := core.DefaultConfig()
+	blocks.MinBlockSize *= 2
+	if ConfigFingerprint(&blocks) == fp {
+		t.Fatal("block-schedule change kept the fingerprint")
+	}
+
+	family := core.DefaultConfig()
+	family.HashFamily = "xxh3"
+	if ConfigFingerprint(&family) == fp {
+		t.Fatal("hash-family change kept the fingerprint")
+	}
+}

@@ -31,15 +31,20 @@ func BuildManifest(files map[string][]byte) []ManifestEntry {
 	return out
 }
 
-// encodeManifest serializes a manifest.
-func encodeManifest(m []ManifestEntry) []byte {
-	b := wire.NewBuffer(len(m) * 32)
+// encodeManifestInto serializes a manifest into b (not reset first).
+func encodeManifestInto(b *wire.Buffer, m []ManifestEntry) {
 	b.Uvarint(uint64(len(m)))
 	for _, e := range m {
 		b.String(e.Path)
 		b.Uvarint(uint64(e.Len))
 		b.Raw(e.Sum[:])
 	}
+}
+
+// encodeManifest serializes a manifest into a fresh buffer.
+func encodeManifest(m []ManifestEntry) []byte {
+	b := wire.NewBuffer(len(m) * 32)
+	encodeManifestInto(b, m)
 	return b.Build()
 }
 

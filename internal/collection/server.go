@@ -3,8 +3,10 @@ package collection
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"sync"
 	"time"
 
@@ -23,12 +25,14 @@ import (
 type Server struct {
 	cfg core.Config
 
-	mu    sync.RWMutex
-	files map[string][]byte
-	// manifest caches BuildManifest(files); hashing the whole collection
-	// per session is wasteful when serving many clients. Invalidated when
-	// the collection changes (push adoption).
+	mu  sync.RWMutex
+	src Source
+	// manifest caches src.Manifest(); hashing the whole collection per
+	// session is wasteful when serving many clients. mtree memoizes the
+	// merkle trees built over it for tree-mode reconciliation. Both are
+	// invalidated when the collection changes (push adoption).
 	manifest []ManifestEntry
+	mtree    *merkle.TreeCache
 
 	// AllowPush lets clients push updated collections into this server.
 	AllowPush bool
@@ -46,42 +50,53 @@ type Server struct {
 
 // NewServer creates a server over the given (path → content) collection.
 func NewServer(files map[string][]byte, cfg core.Config) (*Server, error) {
+	return NewServerSource(MapSource(files), cfg)
+}
+
+// NewServerSource creates a server over an arbitrary collection source
+// (e.g. a lazily streamed directory tree with a signature cache).
+func NewServerSource(src Source, cfg core.Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, files: files}, nil
+	return &Server{cfg: cfg, src: src}, nil
 }
 
-// snapshot returns the current collection under the read lock.
-func (s *Server) snapshot() map[string][]byte {
+// source returns the current collection source under the read lock.
+func (s *Server) source() Source {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.files
+	return s.src
 }
 
-// cachedManifest returns (building once) the manifest of the collection.
-func (s *Server) cachedManifest() []ManifestEntry {
-	s.mu.RLock()
-	m := s.manifest
-	s.mu.RUnlock()
-	if m != nil {
-		return m
-	}
-	built := BuildManifest(s.snapshot())
+// sessionState captures one consistent view of the collection for a session:
+// the source, its manifest (built once and cached) and the merkle tree cache
+// over it. A concurrent push adoption swaps all three together, so a session
+// never mixes the old manifest with new content.
+func (s *Server) sessionState() (Source, []ManifestEntry, *merkle.TreeCache, error) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.manifest == nil {
-		s.manifest = built
+		m, err := s.src.Manifest()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		entries := make([]merkle.Entry, len(m))
+		for i, e := range m {
+			entries[i] = merkle.Entry{Path: e.Path, Len: e.Len, Sum: e.Sum}
+		}
+		s.manifest = m
+		s.mtree = merkle.NewTreeCache(entries)
 	}
-	m = s.manifest
-	s.mu.Unlock()
-	return m
+	return s.src, s.manifest, s.mtree, nil
 }
 
 // setFiles replaces the collection and invalidates the manifest cache.
 func (s *Server) setFiles(files map[string][]byte) {
 	s.mu.Lock()
-	s.files = files
+	s.src = MapSource(files)
 	s.manifest = nil
+	s.mtree = nil
 	s.mu.Unlock()
 }
 
@@ -99,10 +114,12 @@ func addCost(c *stats.Costs, d stats.Direction, p stats.Phase, payload int) {
 	c.Add(d, p, payload+frameOverhead(payload))
 }
 
-// syncFile pairs a path with its per-file server engine.
+// syncFile pairs a path with its per-file server engine and the content
+// snapshot the engine was built over (used for full-transfer fallbacks).
 type syncFile struct {
 	path   string
 	engine *core.ServerFile
+	data   []byte
 }
 
 // Serve runs one synchronization session over conn. It returns the session's
@@ -120,8 +137,10 @@ func (s *Server) ServeContext(ctx context.Context, conn io.ReadWriter) (*stats.C
 	sess := transport.NewSession(ctx, conn, s.RoundTimeout)
 	defer sess.Release()
 	costs := &stats.Costs{}
-	fr := wire.NewFrameReader(sess)
-	fw := wire.NewFrameWriter(sess)
+	fr := wire.GetFrameReader(sess)
+	defer wire.PutFrameReader(fr)
+	fw := wire.GetFrameWriter(sess)
+	defer wire.PutFrameWriter(fw)
 
 	fail := func(err error) (*stats.Costs, error) {
 		_ = fw.WriteFrame(wire.FrameError, []byte(err.Error()))
@@ -154,7 +173,10 @@ func (s *Server) ServeContext(ctx context.Context, conn io.ReadWriter) (*stats.C
 		if !s.AllowPush {
 			return fail(fmt.Errorf("collection: push not allowed"))
 		}
-		res, err := consume(ctx, fr, fw, costs, s.snapshot(), mode == modeTree, s.cfg.Workers)
+		src := s.source()
+		acct := beginAccounting(src)
+		res, err := consume(ctx, fr, fw, costs, src, false, mode == modeTree, s.cfg.Workers)
+		acct.finish(costs)
 		if err != nil {
 			return costs, err
 		}
@@ -173,14 +195,23 @@ func (s *Server) ServeContext(ctx context.Context, conn io.ReadWriter) (*stats.C
 // serveSession runs the serving role after the handshake header, checking
 // ctx at every round boundary.
 func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, fail func(error) (*stats.Costs, error), mode byte) (*stats.Costs, error) {
-	serverManifest := s.cachedManifest()
+	// Accounting must start before sessionState so a first session's
+	// manifest build (cache misses, streamed hashing) is attributed to it.
+	acct := beginAccounting(s.source())
+	defer acct.finish(costs)
+	src, serverManifest, mtree, err := s.sessionState()
+	if err != nil {
+		return fail(err)
+	}
+	sbuf := wire.GetBuffer(4096) // session scratch for every frame we assemble
+	defer wire.PutBuffer(sbuf)
+
 	var engines []syncFile
-	var err error
 	switch mode {
 	case modeManifest:
-		engines, err = s.manifestHandshake(fr, fw, costs, serverManifest)
+		engines, err = s.manifestHandshake(fr, fw, costs, src, serverManifest, sbuf)
 	case modeTree:
-		engines, err = s.treeHandshake(fr, fw, costs, serverManifest)
+		engines, err = s.treeHandshake(fr, fw, costs, src, mtree, sbuf)
 	default:
 		err = fmt.Errorf("collection: unknown manifest mode %d", mode)
 	}
@@ -207,13 +238,13 @@ func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wir
 			sections[k] = engines[active[k]].engine.EmitHashes()
 			return nil
 		})
-		rb := wire.NewBuffer(1024)
-		rb.Uvarint(uint64(len(active)))
+		sbuf.Reset()
+		sbuf.Uvarint(uint64(len(active)))
 		for k, i := range active {
-			rb.Uvarint(uint64(i))
-			rb.Bytes(sections[k])
+			sbuf.Uvarint(uint64(i))
+			sbuf.Bytes(sections[k])
 		}
-		payload := rb.Build()
+		payload := sbuf.Build()
 		if err := fw.WriteFrame(wire.FrameRoundHashes, payload); err != nil {
 			return costs, err
 		}
@@ -234,13 +265,13 @@ func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wir
 		}
 
 		for len(pending) > 0 {
-			cb := wire.NewBuffer(256)
-			cb.Uvarint(uint64(len(pending)))
+			sbuf.Reset()
+			sbuf.Uvarint(uint64(len(pending)))
 			for _, i := range pending {
-				cb.Uvarint(uint64(i))
-				cb.Bytes(engines[i].engine.EmitConfirm())
+				sbuf.Uvarint(uint64(i))
+				sbuf.Bytes(engines[i].engine.EmitConfirm())
 			}
-			cp := cb.Build()
+			cp := sbuf.Build()
 			if err := fw.WriteFrame(wire.FrameConfirm, cp); err != nil {
 				return costs, err
 			}
@@ -268,12 +299,12 @@ func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wir
 		deltaSections[i] = engines[i].engine.EmitDelta()
 		return nil
 	})
-	db := wire.NewBuffer(4096)
-	db.Uvarint(uint64(len(engines)))
+	sbuf.Reset()
+	sbuf.Uvarint(uint64(len(engines)))
 	for i := range engines {
-		db.Bytes(deltaSections[i])
+		sbuf.Bytes(deltaSections[i])
 	}
-	dp := db.Build()
+	dp := sbuf.Build()
 	if err := fw.WriteFrame(wire.FrameDelta, dp); err != nil {
 		return costs, err
 	}
@@ -295,18 +326,20 @@ func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wir
 		return fail(err)
 	}
 	if nFail > 0 {
-		fb := wire.NewBuffer(1024)
-		fb.Uvarint(nFail)
+		sbuf.Reset()
+		sbuf.Uvarint(nFail)
 		for k := uint64(0); k < nFail; k++ {
 			idx, err := ap.Uvarint()
 			if err != nil || int(idx) >= len(engines) {
 				return fail(fmt.Errorf("collection: bad ack index"))
 			}
-			fb.Uvarint(idx)
-			fb.Bytes(delta.Compress(s.snapshot()[engines[idx].path]))
+			sbuf.Uvarint(idx)
+			// Send the exact bytes the engine synced from, so a fallback is
+			// always consistent with the session even if the source changed.
+			sbuf.Bytes(delta.Compress(engines[idx].data))
 			costs.FilesFull++
 		}
-		fp := fb.Build()
+		fp := sbuf.Build()
 		if err := fw.WriteFrame(wire.FrameFull, fp); err != nil {
 			return costs, err
 		}
@@ -322,6 +355,8 @@ func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wir
 		costs.HashesSent += e.HashesSent
 		costs.CandidatesFound += e.CandidatesSeen
 		costs.MatchesConfirmed += e.MatchesConfirmed
+		costs.BlockHashesComputed += e.BlockHashesComputed
+		costs.BytesHashed += e.BytesHashed
 	}
 	costs.FalseCandidates = costs.CandidatesFound - costs.MatchesConfirmed
 	return costs, nil
@@ -370,7 +405,7 @@ func (s *Server) PushContext(ctx context.Context, conn io.ReadWriter) (*stats.Co
 
 // manifestHandshake runs the flat-manifest handshake: read the client's
 // full manifest, reply with per-file verdicts plus new files.
-func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, serverManifest []ManifestEntry) ([]syncFile, error) {
+func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, serverManifest []ManifestEntry, vb *wire.Buffer) ([]syncFile, error) {
 	manifestRaw, err := fr.ExpectFrame(wire.FrameManifest)
 	if err != nil {
 		return nil, err
@@ -385,7 +420,7 @@ func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, c
 	for i, e := range serverManifest {
 		serverByPath[e.Path] = i
 	}
-	vb := wire.NewBuffer(len(manifest)*2 + 256)
+	vb.Reset()
 	vb.Bytes(encodeConfig(&s.cfg))
 	vb.Uvarint(uint64(len(manifest)))
 	var engines []syncFile
@@ -404,27 +439,45 @@ func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, c
 			costs.FilesUnchanged++
 			continue
 		}
-		eng, err := s.emitChangedVerdict(vb, e.Path, se.Len, costs, &fullBytes)
+		data, err := src.Load(e.Path)
+		if errors.Is(err, fs.ErrNotExist) {
+			// Vanished since the manifest was built; treat as deleted.
+			vb.Byte(verdictDelete)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		eng, err := s.emitChangedVerdict(vb, src, e.Path, data, costs, &fullBytes)
 		if err != nil {
 			return nil, err
 		}
 		if eng != nil {
-			engines = append(engines, syncFile{e.Path, eng})
+			engines = append(engines, syncFile{e.Path, eng, data})
 		}
 	}
 	// New files (on the server, absent at the client), sorted manifest order.
-	var newFiles []ManifestEntry
+	var newPaths []string
+	var newComp [][]byte
 	for _, e := range serverManifest {
-		if !seen[e.Path] {
-			newFiles = append(newFiles, e)
+		if seen[e.Path] {
+			continue
 		}
+		data, err := src.Load(e.Path)
+		if errors.Is(err, fs.ErrNotExist) {
+			continue // vanished since the manifest was built
+		}
+		if err != nil {
+			return nil, err
+		}
+		newPaths = append(newPaths, e.Path)
+		newComp = append(newComp, delta.Compress(data))
 	}
-	vb.Uvarint(uint64(len(newFiles)))
-	for _, e := range newFiles {
-		vb.String(e.Path)
-		comp := delta.Compress(s.snapshot()[e.Path])
-		vb.Bytes(comp)
-		fullBytes += len(comp)
+	vb.Uvarint(uint64(len(newPaths)))
+	for i, p := range newPaths {
+		vb.String(p)
+		vb.Bytes(newComp[i])
+		fullBytes += len(newComp[i])
 		costs.FilesFull++
 	}
 	if err := s.sendVerdicts(fw, costs, vb.Build(), fullBytes); err != nil {
@@ -435,12 +488,8 @@ func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, c
 
 // treeHandshake runs merkle reconciliation, then answers the client's WANT
 // list with verdicts for exactly those files.
-func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, serverManifest []ManifestEntry) ([]syncFile, error) {
-	entries := make([]merkle.Entry, len(serverManifest))
-	for i, e := range serverManifest {
-		entries[i] = merkle.Entry{Path: e.Path, Len: e.Len, Sum: e.Sum}
-	}
-	resp := merkle.NewResponder(entries)
+func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, mtree *merkle.TreeCache, vb *wire.Buffer) ([]syncFile, error) {
+	resp := merkle.NewResponderCached(mtree)
 
 	var want []byte
 	for want == nil {
@@ -476,7 +525,7 @@ func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs
 	if err != nil {
 		return nil, err
 	}
-	vb := wire.NewBuffer(256)
+	vb.Reset()
 	vb.Bytes(encodeConfig(&s.cfg))
 	vb.Uvarint(n)
 	var engines []syncFile
@@ -490,10 +539,13 @@ func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs
 		if err != nil {
 			return nil, err
 		}
-		data, ok := s.snapshot()[path]
-		if !ok {
+		data, err := src.Load(path)
+		if errors.Is(err, fs.ErrNotExist) {
 			vb.Byte(verdictDelete)
 			continue
+		}
+		if err != nil {
+			return nil, err
 		}
 		if !have {
 			vb.Byte(verdictFull)
@@ -503,12 +555,12 @@ func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs
 			costs.FilesFull++
 			continue
 		}
-		eng, err := s.emitChangedVerdict(vb, path, len(data), costs, &fullBytes)
+		eng, err := s.emitChangedVerdict(vb, src, path, data, costs, &fullBytes)
 		if err != nil {
 			return nil, err
 		}
 		if eng != nil {
-			engines = append(engines, syncFile{path, eng})
+			engines = append(engines, syncFile{path, eng, data})
 		}
 	}
 	vb.Uvarint(0) // no trailing new-file section in tree mode
@@ -519,22 +571,25 @@ func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs
 }
 
 // emitChangedVerdict writes the verdict for a changed file the client holds:
-// small files go whole, larger ones get a sync engine.
-func (s *Server) emitChangedVerdict(vb *wire.Buffer, path string, newLen int, costs *stats.Costs, fullBytes *int) (*core.ServerFile, error) {
-	if newLen < s.cfg.MinBlockSize*2 {
+// small files go whole, larger ones get a sync engine. The announced length
+// and the engine both come from the same data snapshot, so the two sides can
+// never disagree even if the underlying file mutates mid-session.
+func (s *Server) emitChangedVerdict(vb *wire.Buffer, src Source, path string, data []byte, costs *stats.Costs, fullBytes *int) (*core.ServerFile, error) {
+	if len(data) < s.cfg.MinBlockSize*2 {
 		vb.Byte(verdictFull)
-		comp := delta.Compress(s.snapshot()[path])
+		comp := delta.Compress(data)
 		vb.Bytes(comp)
 		*fullBytes += len(comp)
 		costs.FilesFull++
 		return nil, nil
 	}
 	vb.Byte(verdictSync)
-	vb.Uvarint(uint64(newLen))
-	eng, err := core.NewServerFile(s.files[path], &s.cfg)
+	vb.Uvarint(uint64(len(data)))
+	eng, err := core.NewServerFile(data, &s.cfg)
 	if err != nil {
 		return nil, err
 	}
+	eng.UseSignature(src.Signature(path))
 	costs.FilesSynced++
 	return eng, nil
 }
@@ -619,10 +674,18 @@ func (s *Server) absorbReplies(engines []syncFile, payload []byte, first bool) (
 // SelfTest verifies that the server's collection round-trips through a
 // compression cycle; used by integration tests and the CLI's --check mode.
 func (s *Server) SelfTest() error {
-	for path, data := range s.snapshot() {
+	src, manifest, _, err := s.sessionState()
+	if err != nil {
+		return err
+	}
+	for _, e := range manifest {
+		data, err := src.Load(e.Path)
+		if err != nil {
+			return fmt.Errorf("collection: self-test failed for %q: %w", e.Path, err)
+		}
 		dec, err := delta.Decompress(delta.Compress(data))
 		if err != nil || !bytes.Equal(dec, data) {
-			return fmt.Errorf("collection: self-test failed for %q", path)
+			return fmt.Errorf("collection: self-test failed for %q", e.Path)
 		}
 	}
 	return nil

@@ -9,6 +9,7 @@ import (
 	"msync/internal/gtest"
 	"msync/internal/md4"
 	"msync/internal/rolling"
+	"msync/internal/sigcache"
 )
 
 // ErrProtocol reports a malformed or out-of-order message.
@@ -27,10 +28,19 @@ type ServerFile struct {
 	lastResults []bool
 	morePending bool
 
+	// sig, when set, memoizes the whole-file sum and per-round block-hash
+	// levels across sessions (see UseSignature).
+	sig *sigcache.Sig
+
 	// Counters for stats.
 	HashesSent       int64
 	CandidatesSeen   int64
 	MatchesConfirmed int64
+	// BlockHashesComputed counts block/probe hashes actually computed this
+	// session (signature hits avoid them); BytesHashed the bytes fed through
+	// the hash function for them.
+	BlockHashesComputed int64
+	BytesHashed         int64
 }
 
 // NewServerFile starts the server engine for one file.
@@ -46,6 +56,67 @@ func NewServerFile(fNew []byte, cfg *Config) (*ServerFile, error) {
 // Active reports whether this file still participates in map rounds.
 func (s *ServerFile) Active() bool { return !s.done }
 
+// UseSignature attaches a cached signature for fNew. The signature must have
+// been computed over the same bytes (callers key it by path, size, mtime and
+// config fingerprint); its memoized levels then replace block hashing, and
+// its whole-file sum replaces the delta-phase MD4 pass. A nil sig is a no-op.
+// Hash values served from the signature are identical to freshly computed
+// ones, so wire output does not depend on whether a signature is attached.
+func (s *ServerFile) UseSignature(sig *sigcache.Sig) {
+	if sig == nil || int(sig.Len) != s.n {
+		return
+	}
+	s.sig = sig
+}
+
+// computeLevel hashes every schedule block of size b: by the splitting
+// invariant each non-probe plan entry at round b is exactly
+// [k*b, min((k+1)*b, n)), so this one table serves global, top-up and local
+// entries at any session's round b for this file.
+func computeLevel(data []byte, fam rolling.Family, b int) []uint64 {
+	n := len(data)
+	count := (n + b - 1) / b
+	out := make([]uint64, count)
+	for k := 0; k < count; k++ {
+		lo, hi := k*b, k*b+b
+		if hi > n {
+			hi = n
+		}
+		out[k] = fam.Hash(data[lo:hi])
+	}
+	return out
+}
+
+// levelForRound returns the memoized hash table for the current round's
+// block size, or nil when no signature is attached.
+func (s *ServerFile) levelForRound() []uint64 {
+	if s.sig == nil || s.b <= 0 {
+		return nil
+	}
+	return s.sig.Level(s.b, func() []uint64 {
+		s.BlockHashesComputed += int64((s.n + s.b - 1) / s.b)
+		s.BytesHashed += int64(s.n)
+		return computeLevel(s.fNew, s.fam, s.b)
+	})
+}
+
+// PrecomputeSignature builds a complete signature for data under cfg: the
+// whole-file MD4 sum plus every global-round level table the schedule can
+// ask for. Used to warm caches ahead of time (benchmarks, prefetchers);
+// sessions built lazily via UseSignature converge to the same state.
+func PrecomputeSignature(data []byte, cfg *Config) (*sigcache.Sig, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sig := sigcache.NewSig(int64(len(data)), md4.Sum(data))
+	fam := cfg.hashFamily()
+	for b := cfg.initialBlockSize(len(data)); b >= cfg.MinBlockSize; b /= 2 {
+		blockSize := b
+		sig.Level(blockSize, func() []uint64 { return computeLevel(data, fam, blockSize) })
+	}
+	return sig, nil
+}
+
 // EmitHashes builds the round plan and writes the round's hash section:
 // pending confirm bits followed by one hash per planned entry.
 func (s *ServerFile) EmitHashes() []byte {
@@ -57,9 +128,26 @@ func (s *ServerFile) EmitHashes() []byte {
 
 	s.plan = s.buildPlan()
 	hb := s.cfg.hashBits(s.n, s.b)
+	var level []uint64
+	if s.sig != nil {
+		for i := range s.plan.entries {
+			if s.plan.entries[i].kind != kProbe {
+				level = s.levelForRound()
+				break
+			}
+		}
+	}
 	for i := range s.plan.entries {
 		e := &s.plan.entries[i]
-		full := s.fam.Hash(s.fNew[e.off : e.off+e.size])
+		var full uint64
+		if e.kind != kProbe && level != nil {
+			full = level[e.off/s.b]
+		} else {
+			// Probes sit at session-dependent gap edges; always fresh.
+			full = s.fam.Hash(s.fNew[e.off : e.off+e.size])
+			s.BlockHashesComputed++
+			s.BytesHashed += int64(e.size)
+		}
 		switch e.kind {
 		case kTopUp:
 			eff := uint(hb) - uint(e.bits)
@@ -183,7 +271,13 @@ func (s *ServerFile) EmitDelta() []byte {
 	for _, g := range s.gaps() {
 		target = append(target, s.fNew[g.start:g.end]...)
 	}
-	sum := md4.Sum(s.fNew)
+	var sum [md4.Size]byte
+	if s.sig != nil {
+		sum = s.sig.Sum
+	} else {
+		sum = md4.Sum(s.fNew)
+		s.BytesHashed += int64(s.n)
+	}
 	w.WriteBytes(sum[:])
 	w.WriteBytes(delta.Encode(ref, target))
 	return w.Bytes()

@@ -1,43 +1,216 @@
-// Package dirio loads directory trees into the path-keyed maps the
-// synchronization API works on, and applies synchronized results back to
-// disk. It is the filesystem boundary of the msync CLI.
+// Package dirio is the filesystem boundary of the msync CLI. It offers two
+// views of a directory tree: the legacy eager Load (whole tree into a
+// path-keyed map) and the lazy Tree (a stat-only walk whose file contents are
+// opened, hashed through a pooled buffer, and released on demand), so peak
+// memory no longer scales with collection size. Both keep walking past
+// unreadable files, collecting per-file errors instead of aborting.
 package dirio
 
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
+	"time"
+
+	"msync/internal/md4"
 )
 
-// Load reads every regular file under root, keyed by slash-separated
-// relative path. Symlinks are skipped (following them could escape root).
-func Load(root string) (map[string][]byte, error) {
-	files := make(map[string][]byte)
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+// FileError wraps a per-file stat/read failure with the offending path.
+type FileError struct {
+	Path string // slash-relative when under the walk root, else as reported
+	Err  error
+}
+
+// Error implements error.
+func (e *FileError) Error() string { return fmt.Sprintf("dirio: %s: %v", e.Path, e.Err) }
+
+// Unwrap returns the underlying cause.
+func (e *FileError) Unwrap() error { return e.Err }
+
+// WalkErrors aggregates the per-file failures of one tree walk or load. The
+// walk does not stop on them; callers that can tolerate a partial tree (the
+// CLI warns and continues) inspect the slice, strict callers treat the
+// aggregate as fatal.
+type WalkErrors []*FileError
+
+// Error implements error.
+func (w WalkErrors) Error() string {
+	if len(w) == 1 {
+		return w[0].Error()
+	}
+	return fmt.Sprintf("%v (and %d more)", w[0], len(w)-1)
+}
+
+// Unwrap exposes the individual failures to errors.Is and errors.As.
+func (w WalkErrors) Unwrap() []error {
+	errs := make([]error, len(w))
+	for i, e := range w {
+		errs[i] = e
+	}
+	return errs
+}
+
+// readFile and statEntry are indirection points for tests to inject per-file
+// failures (the suite runs as root, where permission bits don't bite).
+var (
+	readFile  = os.ReadFile
+	statEntry = func(d fs.DirEntry) (fs.FileInfo, error) { return d.Info() }
+)
+
+// walk visits every regular file under root in sorted order, collecting
+// per-entry errors and continuing. Symlinks are skipped (following them could
+// escape root).
+func walk(root string, visit func(rel, path string, d fs.DirEntry)) WalkErrors {
+	var werrs WalkErrors
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
-			return err
+			rel := path
+			if r, rerr := filepath.Rel(root, path); rerr == nil {
+				rel = filepath.ToSlash(r)
+			}
+			werrs = append(werrs, &FileError{Path: rel, Err: err})
+			return nil // keep walking siblings
 		}
 		if d.IsDir() || !d.Type().IsRegular() {
 			return nil
 		}
 		rel, err := filepath.Rel(root, path)
 		if err != nil {
-			return err
+			werrs = append(werrs, &FileError{Path: path, Err: err})
+			return nil
 		}
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		files[filepath.ToSlash(rel)] = data
+		visit(filepath.ToSlash(rel), path, d)
 		return nil
 	})
-	if err != nil {
+	return werrs
+}
+
+// Load reads every regular file under root, keyed by slash-separated
+// relative path. Unreadable files are skipped and reported together as a
+// WalkErrors; the returned map always holds everything that could be read.
+func Load(root string) (map[string][]byte, error) {
+	files := make(map[string][]byte)
+	var readErrs WalkErrors
+	werrs := walk(root, func(rel, path string, d fs.DirEntry) {
+		data, err := readFile(path)
+		if err != nil {
+			readErrs = append(readErrs, &FileError{Path: rel, Err: err})
+			return
+		}
+		files[rel] = data
+	})
+	return files, werrsOrNil(append(werrs, readErrs...))
+}
+
+// werrsOrNil converts an empty WalkErrors to a nil error (a non-nil
+// interface holding an empty slice would read as a failure).
+func werrsOrNil(w WalkErrors) error {
+	if len(w) == 0 {
+		return nil
+	}
+	return w
+}
+
+// FileInfo is one regular file found by a Tree walk: identity only, no
+// content.
+type FileInfo struct {
+	// Path is the slash-separated path relative to the tree root.
+	Path string
+	// Size is the length in bytes at walk time.
+	Size int64
+	// MTime is the modification time at walk time.
+	MTime time.Time
+}
+
+// Tree is the lazy view of a directory: a snapshot of file identities taken
+// by OpenTree, with content loaded (or stream-hashed) per file on demand and
+// released after use. Safe for concurrent use.
+type Tree struct {
+	root  string
+	files []FileInfo // sorted by Path
+}
+
+// OpenTree walks root collecting file identities without reading any
+// content. Files whose metadata cannot be read are skipped and reported in
+// the WalkErrors; err is non-nil only when root itself is unusable.
+func OpenTree(root string) (t *Tree, werrs WalkErrors, err error) {
+	if _, err := os.Stat(root); err != nil {
+		return nil, nil, err
+	}
+	t = &Tree{root: root}
+	var statErrs WalkErrors
+	werrs = walk(root, func(rel, path string, d fs.DirEntry) {
+		info, err := statEntry(d)
+		if err != nil {
+			statErrs = append(statErrs, &FileError{Path: rel, Err: err})
+			return
+		}
+		t.files = append(t.files, FileInfo{Path: rel, Size: info.Size(), MTime: info.ModTime()})
+	})
+	werrs = append(werrs, statErrs...)
+	sort.Slice(t.files, func(i, j int) bool { return t.files[i].Path < t.files[j].Path })
+	return t, werrs, nil
+}
+
+// Root returns the tree's root directory.
+func (t *Tree) Root() string { return t.root }
+
+// Files returns the walked file identities, sorted by path. The slice is
+// shared; callers must not mutate it.
+func (t *Tree) Files() []FileInfo { return t.files }
+
+// Load reads one file's content. The path is validated against traversal
+// like everything else that touches disk on behalf of the protocol.
+func (t *Tree) Load(rel string) ([]byte, error) {
+	if err := checkPath(rel); err != nil {
 		return nil, err
 	}
-	return files, nil
+	data, err := readFile(filepath.Join(t.root, filepath.FromSlash(rel)))
+	if err != nil {
+		return nil, &FileError{Path: rel, Err: err}
+	}
+	return data, nil
+}
+
+// hashBufPool bounds streamed hashing scratch: every concurrent HashFile
+// borrows one fixed-size buffer, so hashing memory is (concurrency ×
+// hashBufSize) regardless of file sizes.
+const hashBufSize = 256 << 10
+
+var hashBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, hashBufSize)
+		return &b
+	},
+}
+
+// HashFile streams one file through MD4 without holding its content: open,
+// hash through a pooled buffer, release. It returns the sum and the number
+// of bytes hashed.
+func (t *Tree) HashFile(rel string) (sum [md4.Size]byte, n int64, err error) {
+	if err := checkPath(rel); err != nil {
+		return sum, 0, err
+	}
+	f, err := os.Open(filepath.Join(t.root, filepath.FromSlash(rel)))
+	if err != nil {
+		return sum, 0, &FileError{Path: rel, Err: err}
+	}
+	defer f.Close()
+	h := md4.New()
+	bufp := hashBufPool.Get().(*[]byte)
+	n, err = io.CopyBuffer(h, f, *bufp)
+	hashBufPool.Put(bufp)
+	if err != nil {
+		return sum, n, &FileError{Path: rel, Err: err}
+	}
+	h.Sum(sum[:0])
+	return sum, n, nil
 }
 
 // Apply writes the synchronized file set to root: files present in after
@@ -51,11 +224,7 @@ func Apply(root string, before, after map[string][]byte) error {
 		if old, ok := before[rel]; ok && bytes.Equal(old, data) {
 			continue
 		}
-		path := filepath.Join(root, filepath.FromSlash(rel))
-		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-			return err
-		}
-		if err := os.WriteFile(path, data, 0o644); err != nil {
+		if err := writeFile(root, rel, data); err != nil {
 			return err
 		}
 	}
@@ -63,15 +232,52 @@ func Apply(root string, before, after map[string][]byte) error {
 		if _, ok := after[rel]; ok {
 			continue
 		}
+		if err := removeFile(root, rel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyChanges applies a lazy sync result: changed holds only the files
+// whose content was written by the session, deleted the paths to remove.
+// Unlike Apply it needs no before-map of the whole tree.
+func ApplyChanges(root string, changed map[string][]byte, deleted []string) error {
+	for rel, data := range changed {
 		if err := checkPath(rel); err != nil {
 			return err
 		}
-		path := filepath.Join(root, filepath.FromSlash(rel))
-		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		if err := writeFile(root, rel, data); err != nil {
 			return err
 		}
-		pruneEmptyParents(root, filepath.Dir(path))
 	}
+	for _, rel := range deleted {
+		if err := removeFile(root, rel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFile creates rel under root, making parent directories as needed.
+func writeFile(root, rel string, data []byte) error {
+	path := filepath.Join(root, filepath.FromSlash(rel))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// removeFile deletes rel under root and prunes emptied parent directories.
+func removeFile(root, rel string) error {
+	if err := checkPath(rel); err != nil {
+		return err
+	}
+	path := filepath.Join(root, filepath.FromSlash(rel))
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	pruneEmptyParents(root, filepath.Dir(path))
 	return nil
 }
 

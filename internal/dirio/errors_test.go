@@ -1,0 +1,215 @@
+package dirio
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"msync/internal/md4"
+)
+
+// failReads makes readFile fail for paths whose base name matches, restoring
+// the real implementation when the test ends. The suite runs as root, where
+// permission bits don't deny anything, hence the injection.
+func failReads(t *testing.T, base string) {
+	t.Helper()
+	orig := readFile
+	readFile = func(path string) ([]byte, error) {
+		if filepath.Base(path) == base {
+			return nil, fs.ErrPermission
+		}
+		return orig(path)
+	}
+	t.Cleanup(func() { readFile = orig })
+}
+
+func TestLoadCollectsReadErrorsAndKeepsWalking(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "ok.txt", "fine")
+	write(t, root, "sub/bad.txt", "unreadable")
+	write(t, root, "sub/zz.txt", "also fine")
+	failReads(t, "bad.txt")
+
+	files, err := Load(root)
+	if err == nil {
+		t.Fatal("read failure not reported")
+	}
+	// The walk kept going: everything readable is present.
+	if len(files) != 2 || string(files["sub/zz.txt"]) != "also fine" {
+		t.Fatalf("partial load wrong: %v", keys(files))
+	}
+	var werrs WalkErrors
+	if !errors.As(err, &werrs) || len(werrs) != 1 {
+		t.Fatalf("err = %v, want one WalkErrors entry", err)
+	}
+	var fe *FileError
+	if !errors.As(err, &fe) || fe.Path != "sub/bad.txt" {
+		t.Fatalf("failure not wrapped with its path: %v", err)
+	}
+	if !errors.Is(fe, fs.ErrPermission) {
+		t.Fatal("cause lost in wrapping")
+	}
+	if !strings.Contains(err.Error(), "sub/bad.txt") {
+		t.Fatalf("message %q does not name the offending path", err.Error())
+	}
+}
+
+func TestOpenTreeCollectsStatErrors(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "a.txt", "a")
+	write(t, root, "sub/bad.txt", "b")
+	orig := statEntry
+	statEntry = func(d fs.DirEntry) (fs.FileInfo, error) {
+		if d.Name() == "bad.txt" {
+			return nil, fs.ErrPermission
+		}
+		return orig(d)
+	}
+	t.Cleanup(func() { statEntry = orig })
+
+	tree, werrs, err := OpenTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(werrs) != 1 || werrs[0].Path != "sub/bad.txt" {
+		t.Fatalf("werrs = %v, want the unstattable path", werrs)
+	}
+	if n := len(tree.Files()); n != 1 || tree.Files()[0].Path != "a.txt" {
+		t.Fatalf("files = %v, want the stattable file only", tree.Files())
+	}
+}
+
+func TestOpenTreeMissingRoot(t *testing.T) {
+	if _, _, err := OpenTree(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("missing root accepted")
+	}
+}
+
+func TestTreeLoadWrapsPath(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "present.txt", "x")
+	tree, _, err := OpenTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lerr := tree.Load("absent.txt")
+	var fe *FileError
+	if !errors.As(lerr, &fe) || fe.Path != "absent.txt" {
+		t.Fatalf("err = %v, want FileError naming the path", lerr)
+	}
+	if !errors.Is(lerr, fs.ErrNotExist) {
+		t.Fatal("missing file must satisfy fs.ErrNotExist for the verdict logic")
+	}
+}
+
+func TestTreeLoadAndHashRejectTraversal(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "a.txt", "x")
+	tree, _, err := OpenTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"../escape", "/abs", "a/../../b", ""} {
+		if _, err := tree.Load(bad); err == nil {
+			t.Errorf("Load accepted %q", bad)
+		}
+		if _, _, err := tree.HashFile(bad); err == nil {
+			t.Errorf("HashFile accepted %q", bad)
+		}
+	}
+}
+
+func TestHashFileMatchesEagerSum(t *testing.T) {
+	root := t.TempDir()
+	content := strings.Repeat("stream me through the pooled buffer ", 20_000)
+	write(t, root, "big.txt", content)
+	tree, _, err := OpenTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, n, err := tree.HashFile("big.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(content)) {
+		t.Fatalf("hashed %d bytes, want %d", n, len(content))
+	}
+	if sum != md4.Sum([]byte(content)) {
+		t.Fatal("streamed sum differs from eager sum")
+	}
+}
+
+func TestTreeFilesSortedWithIdentity(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "b/two.txt", "22")
+	write(t, root, "a/one.txt", "1")
+	tree, _, err := OpenTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := tree.Files()
+	if len(files) != 2 || files[0].Path != "a/one.txt" || files[1].Path != "b/two.txt" {
+		t.Fatalf("files = %v, want sorted paths", files)
+	}
+	if files[0].Size != 1 || files[1].Size != 2 {
+		t.Fatal("sizes wrong")
+	}
+	info, err := os.Stat(filepath.Join(root, "a", "one.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !files[0].MTime.Equal(info.ModTime()) {
+		t.Fatal("mtime not captured")
+	}
+}
+
+func TestApplyChangesWritesAndDeletes(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "mod.txt", "old")
+	write(t, root, "keep.txt", "keep")
+	write(t, root, "gone/deep/dead.txt", "bye")
+
+	changed := map[string][]byte{
+		"mod.txt":       []byte("new content"),
+		"fresh/new.txt": []byte("hello"),
+	}
+	if err := ApplyChanges(root, changed, []string{"gone/deep/dead.txt"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"mod.txt": "new content", "keep.txt": "keep", "fresh/new.txt": "hello"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", keys(got))
+	}
+	for rel, content := range want {
+		if string(got[rel]) != content {
+			t.Fatalf("%s = %q, want %q", rel, got[rel], content)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(root, "gone")); !os.IsNotExist(err) {
+		t.Fatal("emptied directory chain not pruned")
+	}
+}
+
+func TestApplyChangesRejectsTraversal(t *testing.T) {
+	root := t.TempDir()
+	if err := ApplyChanges(root, map[string][]byte{"../evil": []byte("x")}, nil); err == nil {
+		t.Fatal("traversal write accepted")
+	}
+	if err := ApplyChanges(root, nil, []string{"../evil"}); err == nil {
+		t.Fatal("traversal delete accepted")
+	}
+}
+
+func TestApplyChangesDeleteMissingIsFine(t *testing.T) {
+	root := t.TempDir()
+	if err := ApplyChanges(root, nil, []string{"never/was.txt"}); err != nil {
+		t.Fatal(err)
+	}
+}

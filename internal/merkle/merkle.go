@@ -26,6 +26,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"msync/internal/md4"
 	"msync/internal/wire"
@@ -254,6 +255,7 @@ func (ini *Initiator) compareBucket(bucket int, remote []Entry) {
 type Responder struct {
 	t       *Tree
 	entries []Entry
+	cache   *TreeCache
 	started bool
 }
 
@@ -261,6 +263,40 @@ type Responder struct {
 // built lazily at the announced depth so both sides always agree.
 func NewResponder(entries []Entry) *Responder {
 	return &Responder{entries: entries}
+}
+
+// TreeCache memoizes built trees per announced depth for one immutable
+// entry set, so a server answering many reconciliation sessions hashes its
+// collection into a trie once per depth instead of once per session. Safe
+// for concurrent use.
+type TreeCache struct {
+	mu      sync.Mutex
+	entries []Entry
+	trees   map[int]*Tree
+}
+
+// NewTreeCache creates a cache over entries, which must not change afterwards.
+func NewTreeCache(entries []Entry) *TreeCache {
+	return &TreeCache{entries: entries, trees: make(map[int]*Tree)}
+}
+
+// Tree returns (building once) the tree at the given depth.
+func (tc *TreeCache) Tree(depth int) *Tree {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if t, ok := tc.trees[depth]; ok {
+		return t
+	}
+	t := Build(tc.entries, depth)
+	tc.trees[depth] = t
+	return t
+}
+
+// NewResponderCached creates a per-session responder whose tree comes from
+// the shared cache. Responders themselves are stateful and single-session;
+// only the built trees are shared.
+func NewResponderCached(tc *TreeCache) *Responder {
+	return &Responder{entries: tc.entries, cache: tc}
 }
 
 // Respond handles one initiator message.
@@ -280,7 +316,11 @@ func (r *Responder) Respond(payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		r.t = Build(r.entries, int(depth))
+		if r.cache != nil {
+			r.t = r.cache.Tree(int(depth))
+		} else {
+			r.t = Build(r.entries, int(depth))
+		}
 		var root [md4.Size]byte
 		copy(root[:], raw)
 		if root == r.t.Root() {

@@ -1,0 +1,207 @@
+// On-disk signature store: one file per collection path under Options.Dir,
+// named by the hex MD4 of the path so arbitrary paths map to flat, safe
+// filenames. Entries are versioned and checksummed; anything that fails to
+// parse — wrong magic, future version, truncation, checksum mismatch, or a
+// key that no longer matches — is treated as a cache miss and discarded,
+// never surfaced as an error. Writes go through a temp file and rename so a
+// crash cannot leave a torn entry.
+package sigcache
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+
+	"msync/internal/md4"
+)
+
+// diskMagic and diskVersion head every entry file. Bump diskVersion when the
+// layout changes; old files then read as misses and are rewritten.
+var diskMagic = [4]byte{'M', 'S', 'I', 'G'}
+
+const diskVersion = 1
+
+// maxDiskEntry bounds how much of an entry file we are willing to read back,
+// as corruption armor for the length fields inside.
+const maxDiskEntry = 1 << 30
+
+// entryPath returns the store filename for a collection path.
+func (c *Cache) entryPath(path string) string {
+	sum := md4.Sum([]byte(path))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".sig")
+}
+
+// storeDisk persists (k, sig) via temp file + rename. Failures are silent:
+// the store is an accelerator, and the worst outcome of a lost write is a
+// future recomputation.
+func (c *Cache) storeDisk(k Key, sig *Sig) {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	blockSizes, tables, _ := sig.snapshot(true)
+
+	buf := make([]byte, 0, 64+len(k.Path))
+	buf = append(buf, diskMagic[:]...)
+	buf = append(buf, diskVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(k.Path)))
+	buf = append(buf, k.Path...)
+	buf = binary.AppendUvarint(buf, uint64(k.Size))
+	buf = binary.AppendVarint(buf, k.MTime)
+	buf = binary.LittleEndian.AppendUint64(buf, k.Fingerprint)
+	buf = binary.AppendUvarint(buf, uint64(sig.Len))
+	buf = append(buf, sig.Sum[:]...)
+	buf = binary.AppendUvarint(buf, uint64(len(blockSizes)))
+	for i, b := range blockSizes {
+		buf = binary.AppendUvarint(buf, uint64(b))
+		buf = binary.AppendUvarint(buf, uint64(len(tables[i])))
+		for _, h := range tables[i] {
+			buf = binary.LittleEndian.AppendUint64(buf, h)
+		}
+	}
+	check := md4.Sum(buf)
+	buf = append(buf, check[:]...)
+
+	final := c.entryPath(k.Path)
+	tmp, err := os.CreateTemp(c.dir, ".sig-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// loadDisk reads and validates the entry for k. ok is false for any defect.
+func (c *Cache) loadDisk(k Key) (sig *Sig, ok bool) {
+	raw, err := os.ReadFile(c.entryPath(k.Path))
+	if err != nil {
+		return nil, false
+	}
+	sig, ok = decodeEntry(raw, k)
+	if !ok {
+		c.badEntries.Add(1)
+		c.removeDisk(k.Path)
+	}
+	return sig, ok
+}
+
+// removeDisk best-effort deletes the entry for path.
+func (c *Cache) removeDisk(path string) {
+	os.Remove(c.entryPath(path))
+}
+
+// decodeEntry parses one entry file and checks it against the wanted key.
+func decodeEntry(raw []byte, want Key) (*Sig, bool) {
+	if len(raw) < len(diskMagic)+1+md4.Size || len(raw) > maxDiskEntry {
+		return nil, false
+	}
+	body, tail := raw[:len(raw)-md4.Size], raw[len(raw)-md4.Size:]
+	var check [md4.Size]byte
+	copy(check[:], tail)
+	if md4.Sum(body) != check {
+		return nil, false
+	}
+	if [4]byte(body[:4]) != diskMagic || body[4] != diskVersion {
+		return nil, false
+	}
+	d := decoder{b: body[5:]}
+
+	pathLen := d.uvarint()
+	path := d.raw(int(pathLen))
+	size := d.uvarint()
+	mtime := d.varint()
+	fp := d.u64()
+	sigLen := d.uvarint()
+	sumRaw := d.raw(md4.Size)
+	if d.bad {
+		return nil, false
+	}
+	got := Key{Path: string(path), Size: int64(size), MTime: mtime, Fingerprint: fp}
+	if got != want {
+		return nil, false
+	}
+	var sum [md4.Size]byte
+	copy(sum[:], sumRaw)
+	sig := NewSig(int64(sigLen), sum)
+
+	nLevels := d.uvarint()
+	if d.bad || nLevels > 64 {
+		return nil, false
+	}
+	for i := uint64(0); i < nLevels; i++ {
+		b := d.uvarint()
+		count := d.uvarint()
+		if d.bad || b == 0 || b > maxDiskEntry || count > uint64(len(d.b))/8+1 {
+			return nil, false
+		}
+		table := make([]uint64, count)
+		for j := range table {
+			table[j] = d.u64()
+		}
+		if d.bad {
+			return nil, false
+		}
+		sig.setLevel(int(b), table)
+	}
+	if d.bad || len(d.b) != 0 {
+		return nil, false
+	}
+	return sig, true
+}
+
+// decoder is a minimal cursor with sticky failure, so decodeEntry can parse
+// linearly and check once.
+type decoder struct {
+	b   []byte
+	bad bool
+}
+
+func (d *decoder) uvarint() uint64 {
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if len(d.b) < 8 {
+		d.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *decoder) raw(n int) []byte {
+	if n < 0 || len(d.b) < n {
+		d.bad = true
+		return nil
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}

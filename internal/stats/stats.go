@@ -86,6 +86,15 @@ type Costs struct {
 	MatchesConfirmed   int64
 	FalseCandidates    int64
 	ContinuationHashes int64
+	// Local hashing work and signature-cache activity (see internal/sigcache).
+	// BlockHashesComputed counts block hashes actually computed by engines
+	// (cache hits avoid them); BytesHashed counts bytes fed through hash
+	// functions for manifests and block levels.
+	BlockHashesComputed int64
+	BytesHashed         int64
+	CacheHits           int64
+	CacheMisses         int64
+	CacheEvictions      int64
 }
 
 // Add records n payload bytes in the given direction and phase.
@@ -129,6 +138,11 @@ func (c *Costs) Merge(other *Costs) {
 	c.MatchesConfirmed += other.MatchesConfirmed
 	c.FalseCandidates += other.FalseCandidates
 	c.ContinuationHashes += other.ContinuationHashes
+	c.BlockHashesComputed += other.BlockHashesComputed
+	c.BytesHashed += other.BytesHashed
+	c.CacheHits += other.CacheHits
+	c.CacheMisses += other.CacheMisses
+	c.CacheEvictions += other.CacheEvictions
 }
 
 // HarvestRate reports the fraction of sent hashes that ended in confirmed
@@ -154,6 +168,11 @@ func (c *Costs) String() string {
 	}
 	fmt.Fprintf(&b, "  files: %d synced, %d unchanged, %d full",
 		c.FilesSynced, c.FilesUnchanged, c.FilesFull)
+	if c.CacheHits+c.CacheMisses+c.BytesHashed > 0 {
+		fmt.Fprintf(&b, "\n  sigcache: %d hits, %d misses, %d evictions; hashed %s in %d block hashes",
+			c.CacheHits, c.CacheMisses, c.CacheEvictions,
+			FormatBytes(c.BytesHashed), c.BlockHashesComputed)
+	}
 	return b.String()
 }
 
@@ -161,16 +180,21 @@ func (c *Costs) String() string {
 // "<direction>_<phase>" byte counts plus the counters.
 func (c *Costs) MarshalJSON() ([]byte, error) {
 	m := map[string]int64{
-		"roundtrips":          int64(c.Roundtrips),
-		"files_synced":        int64(c.FilesSynced),
-		"files_unchanged":     int64(c.FilesUnchanged),
-		"files_full":          int64(c.FilesFull),
-		"hashes_sent":         c.HashesSent,
-		"candidates_found":    c.CandidatesFound,
-		"matches_confirmed":   c.MatchesConfirmed,
-		"false_candidates":    c.FalseCandidates,
-		"continuation_hashes": c.ContinuationHashes,
-		"total_bytes":         c.Total(),
+		"roundtrips":            int64(c.Roundtrips),
+		"files_synced":          int64(c.FilesSynced),
+		"files_unchanged":       int64(c.FilesUnchanged),
+		"files_full":            int64(c.FilesFull),
+		"hashes_sent":           c.HashesSent,
+		"candidates_found":      c.CandidatesFound,
+		"matches_confirmed":     c.MatchesConfirmed,
+		"false_candidates":      c.FalseCandidates,
+		"continuation_hashes":   c.ContinuationHashes,
+		"block_hashes_computed": c.BlockHashesComputed,
+		"bytes_hashed":          c.BytesHashed,
+		"cache_hits":            c.CacheHits,
+		"cache_misses":          c.CacheMisses,
+		"cache_evictions":       c.CacheEvictions,
+		"total_bytes":           c.Total(),
 	}
 	for d := Direction(0); d < numDirections; d++ {
 		for p := Phase(0); p < numPhases; p++ {

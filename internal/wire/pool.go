@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"io"
+	"sync"
+)
+
+// maxPooledBuffer caps the capacity a Buffer may keep when returned to the
+// pool: a session that built one giant delta frame should not pin that
+// memory for the life of the process.
+const maxPooledBuffer = 1 << 22
+
+var bufferPool = sync.Pool{New: func() any { return new(Buffer) }}
+
+// GetBuffer returns a pooled, reset Buffer with at least sizeHint capacity.
+// Sessions reuse one such buffer for every frame they assemble; return it
+// with PutBuffer when the session ends.
+func GetBuffer(sizeHint int) *Buffer {
+	m := bufferPool.Get().(*Buffer)
+	m.Reset()
+	if cap(m.b) < sizeHint {
+		m.b = make([]byte, 0, sizeHint)
+	}
+	return m
+}
+
+// PutBuffer returns a Buffer to the pool. The caller must no longer hold
+// slices from Build — frame writers copy the payload synchronously, so
+// returning after the final WriteFrame/Flush is safe.
+func PutBuffer(m *Buffer) {
+	if m == nil || cap(m.b) > maxPooledBuffer {
+		return
+	}
+	m.Reset()
+	bufferPool.Put(m)
+}
+
+var (
+	frameWriterPool = sync.Pool{New: func() any { return NewFrameWriter(io.Discard) }}
+	frameReaderPool = sync.Pool{New: func() any { return NewFrameReader(emptyReader{}) }}
+)
+
+type emptyReader struct{}
+
+func (emptyReader) Read([]byte) (int, error) { return 0, io.EOF }
+
+// GetFrameWriter returns a pooled FrameWriter targeting w, reusing the 64 KB
+// bufio scratch of an earlier session.
+func GetFrameWriter(w io.Writer) *FrameWriter {
+	fw := frameWriterPool.Get().(*FrameWriter)
+	fw.w.Reset(w)
+	return fw
+}
+
+// PutFrameWriter recycles fw. Unflushed bytes are discarded, so flush first
+// if they matter; the writer must not be used afterwards.
+func PutFrameWriter(fw *FrameWriter) {
+	if fw == nil {
+		return
+	}
+	fw.w.Reset(io.Discard)
+	frameWriterPool.Put(fw)
+}
+
+// GetFrameReader returns a pooled FrameReader over r. Frame payloads are
+// freshly allocated per frame, so recycling the reader never aliases them.
+func GetFrameReader(r io.Reader) *FrameReader {
+	fr := frameReaderPool.Get().(*FrameReader)
+	fr.r.Reset(r)
+	return fr
+}
+
+// PutFrameReader recycles fr; it must not be used afterwards.
+func PutFrameReader(fr *FrameReader) {
+	if fr == nil {
+		return
+	}
+	fr.r.Reset(emptyReader{})
+	frameReaderPool.Put(fr)
+}

@@ -42,6 +42,8 @@ import (
 
 	"msync/internal/collection"
 	"msync/internal/core"
+	"msync/internal/dirio"
+	"msync/internal/sigcache"
 	"msync/internal/stats"
 	"msync/internal/transport"
 )
@@ -156,6 +158,62 @@ func NewServer(files map[string][]byte, cfg Config, opts ...Option) (*Server, er
 	inner.OnUpdate = s.opt.onUpdate
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	return s, nil
+}
+
+// NewDirServer creates a Server that streams the collection from a directory
+// tree instead of holding it in memory: files are opened, hashed and released
+// one at a time. With WithSignatureCache, fingerprints and block-hash tables
+// persist across sessions so serving an unchanged tree again does almost no
+// hashing. Per-file read/stat failures do not abort construction; they are
+// returned as the second value (each wrapping the offending path) and the
+// affected files are simply absent from the collection. The error result is
+// non-nil only when root itself is unusable.
+func NewDirServer(root string, cfg Config, opts ...Option) (*Server, []error, error) {
+	s := &Server{
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o(&s.opt)
+	}
+	if s.opt.workers != 0 {
+		cfg.Workers = s.opt.workers
+	}
+	src, werrs, err := newTreeSource(root, &s.opt, collection.ConfigFingerprint(&cfg))
+	if err != nil {
+		return nil, werrs, err
+	}
+	inner, err := collection.NewServerSource(src, cfg)
+	if err != nil {
+		return nil, werrs, err
+	}
+	s.inner = inner
+	inner.TreeManifest = s.opt.treeManifest
+	inner.RoundTimeout = s.opt.roundTimeout
+	inner.AllowPush = s.opt.allowPush
+	inner.OnUpdate = s.opt.onUpdate
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	return s, werrs, nil
+}
+
+// newTreeSource opens root as a lazily streamed tree and wires in the
+// signature cache configured by the options. The client side keys cached
+// signatures with fingerprint 0: it caches only whole-file sums, which do
+// not depend on the engine config.
+func newTreeSource(root string, opt *sessionOptions, fingerprint uint64) (*collection.TreeSource, []error, error) {
+	tree, werrs, err := dirio.OpenTree(root)
+	var errs []error
+	for _, we := range werrs {
+		errs = append(errs, we)
+	}
+	if err != nil {
+		return nil, errs, err
+	}
+	var cache *sigcache.Cache
+	if opt.cacheEnabled {
+		cache = sigcache.New(sigcache.Options{Dir: opt.cacheDir, MemBytes: opt.cacheMem})
+	}
+	return collection.NewTreeSource(tree, cache, fingerprint, opt.cacheParanoid), errs, nil
 }
 
 // Serve runs one synchronization session over conn and returns its costs.
@@ -382,6 +440,30 @@ func NewClient(files map[string][]byte, opts ...Option) *Client {
 	return c
 }
 
+// NewDirClient creates a Client whose local copy is streamed from a
+// directory tree instead of preloaded into memory. With WithSignatureCache,
+// manifest fingerprints persist across runs so repeat syncs of a mostly
+// unchanged tree cost a stat per file; with WithLazyResult the result holds
+// only written content. Per-file read/stat failures are returned as the
+// second value (the files are treated as absent); the error result is
+// non-nil only when root itself is unusable.
+func NewDirClient(root string, opts ...Option) (*Client, []error, error) {
+	c := &Client{}
+	for _, o := range opts {
+		o(&c.opt)
+	}
+	src, werrs, err := newTreeSource(root, &c.opt, 0)
+	if err != nil {
+		return nil, werrs, err
+	}
+	c.inner = collection.NewClientSource(src)
+	c.inner.TreeManifest = c.opt.treeManifest
+	c.inner.RoundTimeout = c.opt.roundTimeout
+	c.inner.Workers = c.opt.workers
+	c.inner.LazyResult = c.opt.lazyResult
+	return c, werrs, nil
+}
+
 // SetTreeManifest switches change detection from the flat per-file
 // fingerprint manifest to merkle-tree reconciliation. With n files of which
 // c changed, the manifest costs O(n) bytes while the tree costs
@@ -395,12 +477,25 @@ func (c *Client) SetTreeManifest(on bool) *Client {
 
 // Result is the outcome of a collection synchronization.
 type Result struct {
-	// Files is the updated collection.
+	// Files is the updated collection. Under WithLazyResult it holds only
+	// the files the session wrote; combined with Unchanged and Deleted it
+	// still describes the complete outcome.
 	Files map[string][]byte
+	// Unchanged lists paths the session left untouched (WithLazyResult).
+	Unchanged []string
+	// Deleted lists local paths the server no longer has.
+	Deleted []string
 	// Costs is the session cost accounting.
 	Costs *Costs
 	// PerFile attributes payload bytes to individual synchronized files.
 	PerFile map[string]int64
+}
+
+// Apply writes the result to a directory tree: Files are written (parent
+// directories created) and Deleted paths removed, with emptied parents
+// pruned. A convenience for directory-backed clients.
+func (r *Result) Apply(root string) error {
+	return dirio.ApplyChanges(root, r.Files, r.Deleted)
 }
 
 // Sync runs one session over conn. It is SyncContext with a background
@@ -423,7 +518,13 @@ func (c *Client) SyncContext(ctx context.Context, conn io.ReadWriter) (*Result, 
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Files: res.Files, Costs: res.Costs, PerFile: res.PerFile}, nil
+	return &Result{
+		Files:     res.Files,
+		Unchanged: res.Unchanged,
+		Deleted:   res.Deleted,
+		Costs:     res.Costs,
+		PerFile:   res.PerFile,
+	}, nil
 }
 
 // SyncTCP dials addr and synchronizes over TCP. It is SyncTCPContext with a

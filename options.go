@@ -54,6 +54,12 @@ type sessionOptions struct {
 	onUpdate     func(map[string][]byte)
 	hook         func(SessionEvent)
 	workers      int
+
+	cacheEnabled  bool
+	cacheDir      string
+	cacheMem      int64
+	cacheParanoid bool
+	lazyResult    bool
 }
 
 // Option configures a Client or Server at construction; see the With*
@@ -118,6 +124,42 @@ func WithPush(onUpdate func(map[string][]byte)) Option {
 // logging and metrics.
 func WithSessionHook(fn func(SessionEvent)) Option {
 	return func(o *sessionOptions) { o.hook = fn }
+}
+
+// WithSignatureCache enables the persistent signature cache for a
+// NewDirServer or NewDirClient endpoint: whole-file fingerprints and block
+// hash tables are remembered across sessions, keyed by (path, size, mtime,
+// engine config), so repeat syncs of unchanged files cost a stat instead of
+// a hash. dir is the on-disk store directory ("" keeps the cache in memory
+// only); memBytes bounds the in-memory layer (<= 0 selects a 64 MB default).
+// The cache is purely a local accelerator — cached values are identical to
+// freshly computed ones and nothing about it is ever serialized into the
+// protocol, so the bytes on the wire are bit-identical with the cache on,
+// off, cold or warm. Ignored by the map-backed NewClient/NewServer.
+func WithSignatureCache(dir string, memBytes int64) Option {
+	return func(o *sessionOptions) {
+		o.cacheEnabled = true
+		o.cacheDir = dir
+		o.cacheMem = memBytes
+	}
+}
+
+// WithParanoidCache re-verifies every signature-cache hit by re-reading the
+// file, catching content changes that restored size and mtime (which the
+// stat-identity key cannot see). This costs the streaming hash the cache was
+// meant to avoid — use it when files are rewritten by tools that preserve
+// timestamps.
+func WithParanoidCache() Option {
+	return func(o *sessionOptions) { o.cacheParanoid = true }
+}
+
+// WithLazyResult keeps unchanged files out of a directory-backed client's
+// Result.Files: the result then holds only written content, with unchanged
+// and deleted paths listed by name, so peak memory scales with the change
+// set instead of the collection size. Ignored by map-backed clients, which
+// have the collection in memory anyway.
+func WithLazyResult() Option {
+	return func(o *sessionOptions) { o.lazyResult = true }
 }
 
 // WithWorkers bounds this endpoint's local parallelism: per-file engine
