@@ -21,11 +21,12 @@ race:
 	$(GO) test -race ./...
 
 # check additionally sweeps the signature-cache layers (sigcache, dirio,
-# collection) under vet and the race detector on their own, so cache bugs
-# fail fast with a focused report before the full suite runs.
+# collection) and the observability layer (obs: shared metrics registries and
+# tracers must stay race-free) under vet and the race detector on their own,
+# so bugs there fail fast with a focused report before the full suite runs.
 check: vet race
-	$(GO) vet ./internal/sigcache/ ./internal/dirio/ ./internal/collection/
-	$(GO) test -race ./internal/sigcache/ ./internal/dirio/ ./internal/collection/
+	$(GO) vet ./internal/sigcache/ ./internal/dirio/ ./internal/collection/ ./internal/obs/
+	$(GO) test -race ./internal/sigcache/ ./internal/dirio/ ./internal/collection/ ./internal/obs/
 
 # bench runs the Go benchmarks once each, then regenerates BENCH_scan.json —
 # the scan-scaling report (serial vs parallel client map-construction

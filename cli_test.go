@@ -4,12 +4,17 @@ package msync_test
 // over loopback TCP, and synchronizes an outdated replica directory.
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -148,6 +153,154 @@ func TestCLIDryRunLeavesDirUntouched(t *testing.T) {
 	}
 	if !bytes.Contains(out, []byte("total")) {
 		t.Fatalf("dry run did not report costs:\n%s", out)
+	}
+}
+
+// TestCLIFlagValidation pins the CLI's argument validation: bogus values
+// must produce a one-line error and a non-zero exit before any network or
+// disk work starts, never a hang or a silent reinterpretation.
+func TestCLIFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the CLI")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		args []string
+		want string // substring the error line must contain
+	}{
+		{"negative workers", []string{"-workers", "-1"}, "-workers"},
+		{"negative retry", []string{"-retry", "-2"}, "-retry"},
+		{"negative cache-mem", []string{"-cache-mem", "-5"}, "-cache-mem"},
+		{"malformed debug-addr", []string{"-debug-addr", "not an address"}, "-debug-addr"},
+		{"unknown log-level", []string{"-log-level", "loud"}, "-log-level"},
+		{"serve and connect", []string{"-serve", ":0", "-connect", "x:1"}, "mutually exclusive"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			// -connect points nowhere; validation must reject the flags
+			// before any dial is attempted.
+			args := append([]string{"-connect", "127.0.0.1:1", "-dir", dir}, c.args...)
+			if c.name == "serve and connect" {
+				args = c.args
+			}
+			out, err := exec.Command(bin, args...).CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("err = %v, want non-zero exit\noutput: %s", err, out)
+			}
+			if code := ee.ExitCode(); code != 2 {
+				t.Fatalf("exit code = %d, want 2\noutput: %s", code, out)
+			}
+			msg := strings.TrimRight(string(out), "\n")
+			if strings.Contains(msg, "\n") {
+				t.Fatalf("error not a single line:\n%s", out)
+			}
+			if !strings.Contains(msg, c.want) {
+				t.Fatalf("error %q does not mention %q", msg, c.want)
+			}
+		})
+	}
+}
+
+// TestCLIObservability exercises the opt-in observability surface end to
+// end: the server exposes /metrics and /debug/pprof via -debug-addr, and the
+// client writes per-phase JSONL spans via -trace-out while logging through
+// -log-level.
+func TestCLIObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the CLI")
+	}
+	bin := buildCLI(t)
+	serverDir, clientDir := t.TempDir(), t.TempDir()
+	if err := dirio.Apply(serverDir, nil, map[string][]byte{"a.txt": bytes.Repeat([]byte("server data "), 400)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dirio.Apply(clientDir, nil, map[string][]byte{"a.txt": bytes.Repeat([]byte("client data "), 390)}); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, dbgAddr := freePort(t), freePort(t)
+	server := exec.Command(bin, "-serve", addr, "-dir", serverDir, "-debug-addr", dbgAddr, "-log-level", "debug")
+	var serverOut bytes.Buffer
+	server.Stdout, server.Stderr = &serverOut, &serverOut
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		server.Process.Kill()
+		server.Wait()
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never listened: %s", serverOut.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	out, err := exec.Command(bin, "-connect", addr, "-dir", clientDir,
+		"-trace-out", tracePath, "-log-level", "info").CombinedOutput()
+	if err != nil {
+		t.Fatalf("client failed: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("session done")) {
+		t.Fatalf("client log missing session summary:\n%s", out)
+	}
+
+	// The trace file holds per-phase spans ending in a session summary.
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	phases := map[string]int{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev struct {
+			Phase string `json:"phase"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("trace line not JSON: %v\n%s", err, sc.Text())
+		}
+		phases[ev.Phase]++
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	for _, want := range []string{"handshake", "session"} {
+		if phases[want] == 0 {
+			t.Fatalf("trace missing %q span: %v", want, phases)
+		}
+	}
+
+	// The debug endpoint reports the completed session.
+	resp, err := http.Get("http://" + dbgAddr + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics endpoint: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var metrics map[string]any
+	if err := json.Unmarshal(body, &metrics); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, body)
+	}
+	if n, _ := metrics["msync_sessions_total"].(float64); n < 1 {
+		t.Fatalf("msync_sessions_total = %v, want >= 1\n%s", metrics["msync_sessions_total"], body)
+	}
+	if resp, err := http.Get("http://" + dbgAddr + "/debug/pprof/cmdline"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof endpoint: %v (resp %v)", err, resp)
+	} else {
+		resp.Body.Close()
 	}
 }
 

@@ -25,6 +25,13 @@
 // -cache-paranoid re-verifies every hit by re-reading the file (for trees
 // where edits may restore size and mtime). The cache is purely local — it is
 // never sent over the wire, and traffic is byte-identical with or without it.
+//
+// Observability is opt-in on both roles and never changes the bytes on the
+// wire:
+//
+//	-log-level info          structured logs (slog) to stderr
+//	-trace-out trace.jsonl   per-phase span events as JSON Lines
+//	-debug-addr 127.0.0.1:0  HTTP /metrics, /debug/vars and /debug/pprof/*
 package main
 
 import (
@@ -33,6 +40,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +50,7 @@ import (
 
 	"msync"
 	"msync/internal/dirio"
+	"msync/internal/obs"
 )
 
 func main() {
@@ -62,23 +73,97 @@ func main() {
 		cacheDir  = flag.String("cache-dir", "", "persistent signature cache directory; repeat syncs of unchanged files skip hashing (never changes the bytes on the wire)")
 		cacheMem  = flag.Int64("cache-mem", 64, "signature cache in-memory budget in MiB")
 		paranoid  = flag.Bool("cache-paranoid", false, "re-verify every signature cache hit by re-reading the file (catches edits that restore size+mtime)")
+		logLevel  = flag.String("log-level", "", "structured logging to stderr at this level (debug, info, warn, error); empty disables")
+		traceOut  = flag.String("trace-out", "", "write per-phase trace events as JSON Lines to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this HTTP address (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
 
-	cache := cacheOptions(*cacheDir, *cacheMem, *paranoid)
+	validateFlags(*workers, *retries, *cacheMem)
+	extra := cacheOptions(*cacheDir, *cacheMem, *paranoid)
+	obsOpts, obsClose := obsSetup(*debugAddr, *traceOut, *logLevel)
+	extra = append(extra, obsOpts...)
 	switch {
 	case *serve != "" && *connect != "":
-		log.Fatal("msync: -serve and -connect are mutually exclusive")
+		fatalf("msync: -serve and -connect are mutually exclusive")
 	case *serve != "":
-		runServer(*serve, *dir, buildConfig(*basic, *minB), *allowPush, *timeout, *roundTO, *grace, *workers, cache)
+		code := runServer(*serve, *dir, buildConfig(*basic, *minB), *allowPush, *timeout, *roundTO, *grace, *workers, extra)
+		obsClose()
+		os.Exit(code)
 	case *connect != "" && *push:
-		runPush(*connect, *dir, buildConfig(*basic, *minB), *tree, *timeout, *roundTO, *workers, cache)
+		runPush(*connect, *dir, buildConfig(*basic, *minB), *tree, *timeout, *roundTO, *workers, extra)
 	case *connect != "":
-		runClient(*connect, *dir, *dry, *tree, *timeout, *roundTO, *retries, *jsonOut, *workers, cache)
+		runClient(*connect, *dir, *dry, *tree, *timeout, *roundTO, *retries, *jsonOut, *workers, extra)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+	obsClose()
+}
+
+// fatalf reports a usage or setup error as one stderr line and exits with
+// status 2 (the flag package's own usage-error status).
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
+// validateFlags rejects numeric flag values the lower layers would otherwise
+// silently misinterpret (a negative worker count reads as "all CPUs", a
+// negative retry budget as "never even try").
+func validateFlags(workers, retries int, cacheMem int64) {
+	if workers < 0 {
+		fatalf("msync: -workers must be >= 0 (got %d)", workers)
+	}
+	if retries < 0 {
+		fatalf("msync: -retry must be >= 0 (got %d)", retries)
+	}
+	if cacheMem < 0 {
+		fatalf("msync: -cache-mem must be >= 0 (got %d)", cacheMem)
+	}
+}
+
+// obsSetup wires the observability flags: structured logging, JSONL span
+// tracing, and the HTTP debug endpoint (metrics + pprof). Malformed values
+// are rejected up front with a one-line error. The returned cleanup closes
+// the trace file on orderly exits; trace writes are unbuffered, so nothing
+// is lost on the log.Fatal paths that bypass it.
+func obsSetup(debugAddr, traceOut, logLevel string) ([]msync.Option, func()) {
+	var opts []msync.Option
+	cleanup := func() {}
+	if logLevel != "" {
+		lvl, err := obs.ParseLevel(logLevel)
+		if err != nil {
+			fatalf("msync: -log-level: %v", err)
+		}
+		h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})
+		opts = append(opts, msync.WithLogger(slog.New(h)))
+	}
+	if traceOut != "" {
+		tr, err := msync.OpenJSONLTracer(traceOut)
+		if err != nil {
+			fatalf("msync: -trace-out: %v", err)
+		}
+		opts = append(opts, msync.WithTracer(tr))
+		cleanup = func() {
+			if err := tr.Close(); err != nil {
+				log.Printf("msync: trace output: %v", err)
+			}
+		}
+	}
+	if debugAddr != "" {
+		// Listen now so a malformed or busy address fails the command
+		// instead of surfacing as a dead endpoint mid-sync.
+		l, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			fatalf("msync: -debug-addr %q: %v", debugAddr, err)
+		}
+		reg := msync.NewMetricsRegistry()
+		opts = append(opts, msync.WithMetrics(reg))
+		go func() { _ = http.Serve(l, obs.DebugMux(reg)) }()
+		log.Printf("msync: debug endpoint on http://%s/metrics", l.Addr())
+	}
+	return opts, cleanup
 }
 
 // cacheOptions translates the -cache-* flags into Options. The cache is
@@ -106,7 +191,7 @@ func buildConfig(basic bool, minBlock int) msync.Config {
 	return cfg
 }
 
-func runServer(addr, dir string, cfg msync.Config, allowPush bool, timeout, roundTO, grace time.Duration, workers int, cache []msync.Option) {
+func runServer(addr, dir string, cfg msync.Config, allowPush bool, timeout, roundTO, grace time.Duration, workers int, extra []msync.Option) int {
 	opts := []msync.Option{
 		msync.WithTimeout(timeout),
 		msync.WithRoundTimeout(roundTO),
@@ -119,7 +204,7 @@ func runServer(addr, dir string, cfg msync.Config, allowPush bool, timeout, roun
 			log.Printf("msync: session %s: %d bytes in %v", ev.RemoteAddr, ev.Costs.Total(), ev.Duration.Round(time.Millisecond))
 		}),
 	}
-	opts = append(opts, cache...)
+	opts = append(opts, extra...)
 
 	var srv *msync.Server
 	var err error
@@ -180,12 +265,12 @@ func runServer(addr, dir string, cfg msync.Config, allowPush bool, timeout, roun
 	if err != nil && err != msync.ErrServerClosed {
 		log.Fatal(err)
 	}
-	os.Exit(<-drained)
+	return <-drained
 }
 
-func runPush(addr, dir string, cfg msync.Config, tree bool, timeout, roundTO time.Duration, workers int, cache []msync.Option) {
+func runPush(addr, dir string, cfg msync.Config, tree bool, timeout, roundTO time.Duration, workers int, extra []msync.Option) {
 	opts := []msync.Option{msync.WithTimeout(timeout), msync.WithRoundTimeout(roundTO), msync.WithWorkers(workers)}
-	opts = append(opts, cache...)
+	opts = append(opts, extra...)
 	if tree {
 		opts = append(opts, msync.WithTreeManifest())
 	}
@@ -204,7 +289,7 @@ func runPush(addr, dir string, cfg msync.Config, tree bool, timeout, roundTO tim
 	log.Printf("msync: pushed %s to %s", dir, addr)
 }
 
-func runClient(addr, dir string, dry, tree bool, timeout, roundTO time.Duration, retries int, jsonOut bool, workers int, cache []msync.Option) {
+func runClient(addr, dir string, dry, tree bool, timeout, roundTO time.Duration, retries int, jsonOut bool, workers int, extra []msync.Option) {
 	retry := msync.DefaultRetryPolicy()
 	retry.MaxAttempts = retries
 	opts := []msync.Option{
@@ -215,7 +300,7 @@ func runClient(addr, dir string, dry, tree bool, timeout, roundTO time.Duration,
 		msync.WithWorkers(workers),
 		msync.WithLazyResult(),
 	}
-	opts = append(opts, cache...)
+	opts = append(opts, extra...)
 	if tree {
 		opts = append(opts, msync.WithTreeManifest())
 	}

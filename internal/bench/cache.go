@@ -16,6 +16,7 @@ import (
 	"msync/internal/core"
 	"msync/internal/corpus"
 	"msync/internal/dirio"
+	"msync/internal/obs"
 	"msync/internal/sigcache"
 	"msync/internal/stats"
 	"msync/internal/transport"
@@ -37,7 +38,8 @@ type cacheRun struct {
 	cacheMisses int64
 	mallocs     uint64 // heap allocations during the run (both sides)
 	wireBytes   int64
-	c2s, s2c    []byte // raw byte streams, for cross-mode comparison
+	c2s, s2c    []byte      // raw byte streams, for cross-mode comparison
+	events      []obs.Event // per-phase spans from both sides' session traces
 }
 
 // recordEnd wraps one pipe end, copying everything written through it (one
@@ -86,6 +88,12 @@ func runCacheSync(serverDir, clientDir string, serverCache, clientCache *sigcach
 	}
 	cli := collection.NewClientSource(cliSrc)
 	cli.LazyResult = true
+	// Both sides share one ring so the report can show the session's
+	// per-round span shape. Tracing never changes the bytes on the wire, and
+	// its fixed per-phase cost is identical across the cache modes compared.
+	ring := obs.NewRing(256)
+	srv.Tracer = ring
+	cli.Tracer = ring
 
 	a, b := transport.Pipe()
 	sEnd := &recordEnd{ReadWriteCloser: a}
@@ -125,6 +133,7 @@ func runCacheSync(serverDir, clientDir string, serverCache, clientCache *sigcach
 	r.s2c = sEnd.bytesWritten()
 	r.c2s = cEnd.bytesWritten()
 	r.wireBytes = int64(len(r.s2c) + len(r.c2s))
+	r.events = ring.Events()
 	return r, nil
 }
 
@@ -165,6 +174,9 @@ type CachePoint struct {
 	WireIdentical bool `json:"wire_identical_to_off"`
 	// SpeedupVsCold is cold wall-clock divided by this mode's (warm only).
 	SpeedupVsCold float64 `json:"speedup_vs_cold,omitempty"`
+	// Trace is the client-side per-phase span summary of the measured run;
+	// the summed span bytes reproduce the session's wire totals.
+	Trace []TraceSpan `json:"trace,omitempty"`
 }
 
 // CacheReport is the JSON artifact (BENCH_cache.json) of the repeated-sync
@@ -272,6 +284,7 @@ func measureCache(opts Options) (*CacheReport, error) {
 			Mallocs:       p.r.mallocs,
 			WireBytes:     p.r.wireBytes,
 			WireIdentical: bytes.Equal(p.r.s2c, off.s2c) && bytes.Equal(p.r.c2s, off.c2s),
+			Trace:         summarizeTrace(p.r.events, "client"),
 		}
 		if p.mode == "warm" && p.r.secs > 0 {
 			pt.SpeedupVsCold = cold.secs / p.r.secs

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -11,6 +12,7 @@ import (
 	"msync/internal/core"
 	"msync/internal/corpus"
 	"msync/internal/md4"
+	"msync/internal/obs"
 	"msync/internal/sigcache"
 )
 
@@ -169,7 +171,11 @@ type ScanReport struct {
 	GOMAXPROCS int         `json:"gomaxprocs"`
 	CacheMode  string      `json:"cache_mode"`
 	Points     []ScanPoint `json:"points"`
-	Note       string      `json:"note"`
+	// Trace is the per-round span summary of one untimed serial run over the
+	// same file pair: bytes each way, match candidates seen and confirmed per
+	// map-construction round, then the delta transfer and session total.
+	Trace []TraceSpan `json:"trace,omitempty"`
+	Note  string      `json:"note"`
 }
 
 // measureScan runs the sweep behind both the table and the JSON report.
@@ -227,6 +233,14 @@ func measureScan(opts Options) (*ScanReport, error) {
 		}
 		rep.Points = append(rep.Points, p)
 	}
+	// One untimed serial pass with the core tracer attached records the
+	// session's per-round shape (every timed run above stays trace-free).
+	cfg.Workers = 1
+	ring := obs.NewRing(64)
+	if _, err := core.SyncLocalTraced(context.Background(), old, cur, cfg, ring); err != nil {
+		return nil, err
+	}
+	rep.Trace = summarizeTrace(ring.Events(), "core")
 	return rep, nil
 }
 

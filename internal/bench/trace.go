@@ -1,0 +1,38 @@
+package bench
+
+import "msync/internal/obs"
+
+// TraceSpan is one protocol-phase span carried into the BENCH JSON reports:
+// the per-round shape of a session (frames, bytes each way, engine
+// diagnostics) without the timestamps and session ids of the raw events.
+type TraceSpan struct {
+	Phase      string `json:"phase"`
+	Round      int    `json:"round,omitempty"`
+	Frames     int    `json:"frames,omitempty"`
+	BytesUp    int64  `json:"bytes_up,omitempty"`
+	BytesDown  int64  `json:"bytes_down,omitempty"`
+	Candidates int64  `json:"candidates,omitempty"`
+	Confirmed  int64  `json:"confirmed,omitempty"`
+}
+
+// summarizeTrace projects one side's events out of a ring tracer shared by a
+// whole session, in emission order. The session summary span is included
+// last, so a report shows rounds and their total together.
+func summarizeTrace(events []obs.Event, side string) []TraceSpan {
+	var spans []TraceSpan
+	for _, e := range events {
+		if e.Side != side {
+			continue
+		}
+		spans = append(spans, TraceSpan{
+			Phase:      e.Phase,
+			Round:      e.Round,
+			Frames:     e.Frames,
+			BytesUp:    e.BytesUp,
+			BytesDown:  e.BytesDown,
+			Candidates: e.Candidates,
+			Confirmed:  e.Confirmed,
+		})
+	}
+	return spans
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"msync/internal/delta"
 	"msync/internal/md4"
 	"msync/internal/merkle"
+	"msync/internal/obs"
 	"msync/internal/stats"
 	"msync/internal/transport"
 	"msync/internal/wire"
@@ -63,6 +65,13 @@ type Client struct {
 	// serial. Purely an execution knob — the wire output is bit-identical
 	// for every value.
 	Workers int
+	// Tracer, if set, receives span-like events per protocol phase; the
+	// summed frame bytes of a session's spans equal its Costs wire totals.
+	// Tracing never changes what goes on the wire.
+	Tracer obs.Tracer
+	// Logger, if set, receives structured session lifecycle logs. nil
+	// disables logging entirely.
+	Logger *slog.Logger
 }
 
 // NewClient creates a client over the local (path → content) collection.
@@ -119,21 +128,26 @@ func (c *Client) SyncContext(ctx context.Context, conn io.ReadWriter) (*Result, 
 	defer wire.PutFrameWriter(fw)
 	acct := beginAccounting(c.src)
 	defer acct.finish(costs)
+	st := newSessTrace(c.Tracer, c.Logger, "client")
 
-	// HELLO.
-	hb := wire.NewBuffer(8)
-	hb.Uvarint(protocolVersion)
-	hb.Byte(rolePull)
-	if c.TreeManifest {
-		hb.Byte(modeTree)
-	} else {
-		hb.Byte(modeManifest)
-	}
-	if err := fw.WriteFrame(wire.FrameHello, hb.Build()); err != nil {
-		return nil, asHandshake(err)
-	}
-	addCost(costs, stats.C2S, stats.PhaseControl, hb.Len())
-	return consume(ctx, fr, fw, costs, c.src, c.LazyResult, c.TreeManifest, c.Workers)
+	res, err := func() (*Result, error) {
+		// HELLO.
+		hb := wire.NewBuffer(8)
+		hb.Uvarint(protocolVersion)
+		hb.Byte(rolePull)
+		if c.TreeManifest {
+			hb.Byte(modeTree)
+		} else {
+			hb.Byte(modeManifest)
+		}
+		if err := fw.WriteFrame(wire.FrameHello, hb.Build()); err != nil {
+			return nil, asHandshake(err)
+		}
+		st.cost(costs, stats.C2S, stats.PhaseControl, hb.Len())
+		return consume(ctx, fr, fw, costs, c.src, c.LazyResult, c.TreeManifest, c.Workers, st)
+	}()
+	st.end(costs, err, fr, fw, sess.Stats())
+	return res, err
 }
 
 // consume runs the receiving role of a session (after any handshake
@@ -149,7 +163,7 @@ func (c *Client) SyncContext(ctx context.Context, conn io.ReadWriter) (*Result, 
 // With lazy set (sources that can re-read their own files), unchanged
 // content is never materialized: the result lists unchanged and deleted
 // paths by name and Files holds only what the session wrote.
-func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, lazy, treeManifest bool, workers int) (*Result, error) {
+func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, lazy, treeManifest bool, workers int, st *sessTrace) (*Result, error) {
 	sbuf := wire.GetBuffer(1024) // session scratch for every frame we assemble
 	defer wire.PutBuffer(sbuf)
 
@@ -165,7 +179,7 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 	res.Files = out
 	var verdictPaths []string
 	if treeManifest {
-		vp, kept, deleted, err := treeDetect(fr, fw, costs, manifest)
+		vp, kept, deleted, err := treeDetect(fr, fw, costs, manifest, st)
 		if err != nil {
 			return nil, asHandshake(err)
 		}
@@ -195,7 +209,7 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 		if err := fw.WriteFrame(wire.FrameManifest, sbuf.Build()); err != nil {
 			return nil, asHandshake(err)
 		}
-		addCost(costs, stats.C2S, stats.PhaseControl, sbuf.Len())
+		st.cost(costs, stats.C2S, stats.PhaseControl, sbuf.Len())
 		for _, e := range manifest {
 			verdictPaths = append(verdictPaths, e.Path)
 		}
@@ -299,14 +313,15 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 		out[path] = data
 		costs.FilesFull++
 	}
-	addCost(costs, stats.S2C, stats.PhaseControl, len(vraw)-fullBytes)
-	costs.Add(stats.S2C, stats.PhaseFull, fullBytes)
+	st.cost(costs, stats.S2C, stats.PhaseControl, len(vraw)-fullBytes)
+	st.raw(costs, stats.S2C, stats.PhaseFull, fullBytes)
 
 	perEngine := make([]int64, len(engines))
 
 	// Map-construction rounds: respond to whatever the server sends until
 	// the delta frame arrives.
 	var deltaPayload []byte
+	rounds := 0
 	for deltaPayload == nil {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("collection: session cancelled: %w", err)
@@ -317,7 +332,13 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 		}
 		switch ft {
 		case wire.FrameRoundHashes, wire.FrameConfirm:
-			addCost(costs, stats.S2C, stats.PhaseMap, len(payload))
+			if ft == wire.FrameRoundHashes {
+				rounds++
+				st.begin(obs.PhaseRound, rounds)
+			} else {
+				st.begin(obs.PhaseVerify, rounds)
+			}
+			st.cost(costs, stats.S2C, stats.PhaseMap, len(payload))
 			reply, err := respond(workers, engines, ft, payload, perEngine, sbuf)
 			if err != nil {
 				return nil, err
@@ -328,10 +349,11 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 			if err := fw.Flush(); err != nil {
 				return nil, err
 			}
-			addCost(costs, stats.C2S, stats.PhaseMap, len(reply))
+			st.cost(costs, stats.C2S, stats.PhaseMap, len(reply))
 			costs.Roundtrips++
 		case wire.FrameDelta:
-			addCost(costs, stats.S2C, stats.PhaseDelta, len(payload))
+			st.begin(obs.PhaseDelta, 0)
+			st.cost(costs, stats.S2C, stats.PhaseDelta, len(payload))
 			deltaPayload = payload
 		case wire.FrameError:
 			return nil, fmt.Errorf("collection: server error: %s", payload)
@@ -391,15 +413,16 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 	if err := fw.Flush(); err != nil {
 		return nil, err
 	}
-	addCost(costs, stats.C2S, stats.PhaseControl, sbuf.Len())
+	st.cost(costs, stats.C2S, stats.PhaseControl, sbuf.Len())
 	costs.Roundtrips++ // delta → ack
 
 	if len(failed) > 0 {
+		st.begin(obs.PhaseFull, 0)
 		fraw, err := fr.ExpectFrame(wire.FrameFull)
 		if err != nil {
 			return nil, err
 		}
-		addCost(costs, stats.S2C, stats.PhaseFull, len(fraw))
+		st.cost(costs, stats.S2C, stats.PhaseFull, len(fraw))
 		costs.Roundtrips++
 		fp := wire.NewParser(fraw)
 		nf, err := fp.Uvarint()
@@ -436,7 +459,7 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 // differing files. It returns the requested paths (in verdict order), the
 // local paths that stay untouched, and the local paths the server no longer
 // has.
-func treeDetect(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, manifest []ManifestEntry) (verdictPaths, kept, deletedPaths []string, err error) {
+func treeDetect(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, manifest []ManifestEntry, st *sessTrace) (verdictPaths, kept, deletedPaths []string, err error) {
 	entries := make([]merkle.Entry, len(manifest))
 	for i, e := range manifest {
 		entries[i] = merkle.Entry{Path: e.Path, Len: e.Len, Sum: e.Sum}
@@ -450,12 +473,12 @@ func treeDetect(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, 
 		if err := fw.Flush(); err != nil {
 			return nil, nil, nil, err
 		}
-		addCost(costs, stats.C2S, stats.PhaseControl, len(msg))
+		st.cost(costs, stats.C2S, stats.PhaseControl, len(msg))
 		payload, err := fr.ExpectFrame(wire.FrameTree)
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		addCost(costs, stats.S2C, stats.PhaseControl, len(payload))
+		st.cost(costs, stats.S2C, stats.PhaseControl, len(payload))
 		costs.Roundtrips++
 		if err := ini.Absorb(payload); err != nil {
 			return nil, nil, nil, err
@@ -497,7 +520,7 @@ func treeDetect(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, 
 	if err := fw.WriteFrame(wire.FrameWant, wb.Build()); err != nil {
 		return nil, nil, nil, err
 	}
-	addCost(costs, stats.C2S, stats.PhaseControl, wb.Len())
+	st.cost(costs, stats.C2S, stats.PhaseControl, wb.Len())
 	return verdictPaths, kept, diff.OnlyLocal, nil
 }
 

@@ -73,6 +73,15 @@ func TestCacheInvalidationMatrix(t *testing.T) {
 		t.Fatal("unchanged: sum drifted")
 	}
 
+	// Nanosecond-only mtime change, identical content: the cache keys on
+	// Unix nanoseconds, so even a same-second rewrite (common on filesystems
+	// with sub-second timestamps) is a miss, never a stale hit.
+	setFile(v1, base.Add(time.Nanosecond))
+	_, d, hashed = manifestDelta(t, dir, cache, fp, false)
+	if d.Misses != 1 || d.Hits != 0 || hashed != int64(len(v1)) {
+		t.Fatalf("mtime-nanosecond: %+v hashed=%d, want a recomputing miss", d, hashed)
+	}
+
 	// mtime-only change, identical content: the key no longer matches, so
 	// the file is re-hashed (to the same sum).
 	setFile(v1, later)

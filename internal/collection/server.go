@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"log/slog"
 	"sync"
 	"time"
 
 	"msync/internal/core"
 	"msync/internal/delta"
 	"msync/internal/merkle"
+	"msync/internal/obs"
 	"msync/internal/pool"
 	"msync/internal/stats"
 	"msync/internal/transport"
@@ -46,6 +48,13 @@ type Server struct {
 	// server goroutine forever. Requires a connection with deadline
 	// support (net.Conn, transport.PipeEnd) to interrupt blocked I/O.
 	RoundTimeout time.Duration
+	// Tracer, if set, receives span-like events per protocol phase; the
+	// summed frame bytes of a session's spans equal its Costs wire totals.
+	// Tracing never changes what goes on the wire.
+	Tracer obs.Tracer
+	// Logger, if set, receives structured session lifecycle logs. nil
+	// disables logging entirely.
+	Logger *slog.Logger
 }
 
 // NewServer creates a server over the given (path → content) collection.
@@ -141,7 +150,16 @@ func (s *Server) ServeContext(ctx context.Context, conn io.ReadWriter) (*stats.C
 	defer wire.PutFrameReader(fr)
 	fw := wire.GetFrameWriter(sess)
 	defer wire.PutFrameWriter(fw)
+	st := newSessTrace(s.Tracer, s.Logger, "server")
 
+	res, err := s.serveConn(ctx, fr, fw, costs, st)
+	st.end(costs, err, fr, fw, sess.Stats())
+	return res, err
+}
+
+// serveConn runs the session body of ServeContext: handshake, role dispatch,
+// then serving (or consuming, for a push) the collection.
+func (s *Server) serveConn(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, st *sessTrace) (*stats.Costs, error) {
 	fail := func(err error) (*stats.Costs, error) {
 		_ = fw.WriteFrame(wire.FrameError, []byte(err.Error()))
 		_ = fw.Flush()
@@ -153,7 +171,7 @@ func (s *Server) ServeContext(ctx context.Context, conn io.ReadWriter) (*stats.C
 	if err != nil {
 		return costs, err
 	}
-	addCost(costs, stats.C2S, stats.PhaseControl, len(hello))
+	st.cost(costs, stats.C2S, stats.PhaseControl, len(hello))
 	hp := wire.NewParser(hello)
 	ver, err := hp.Uvarint()
 	if err != nil || ver != protocolVersion {
@@ -175,7 +193,7 @@ func (s *Server) ServeContext(ctx context.Context, conn io.ReadWriter) (*stats.C
 		}
 		src := s.source()
 		acct := beginAccounting(src)
-		res, err := consume(ctx, fr, fw, costs, src, false, mode == modeTree, s.cfg.Workers)
+		res, err := consume(ctx, fr, fw, costs, src, false, mode == modeTree, s.cfg.Workers, st)
 		acct.finish(costs)
 		if err != nil {
 			return costs, err
@@ -189,12 +207,12 @@ func (s *Server) ServeContext(ctx context.Context, conn io.ReadWriter) (*stats.C
 	if role != rolePull {
 		return fail(fmt.Errorf("collection: unknown role %d", role))
 	}
-	return s.serveSession(ctx, fr, fw, costs, fail, mode)
+	return s.serveSession(ctx, fr, fw, costs, fail, mode, st)
 }
 
 // serveSession runs the serving role after the handshake header, checking
 // ctx at every round boundary.
-func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, fail func(error) (*stats.Costs, error), mode byte) (*stats.Costs, error) {
+func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, fail func(error) (*stats.Costs, error), mode byte, st *sessTrace) (*stats.Costs, error) {
 	// Accounting must start before sessionState so a first session's
 	// manifest build (cache misses, streamed hashing) is attributed to it.
 	acct := beginAccounting(s.source())
@@ -209,9 +227,9 @@ func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wir
 	var engines []syncFile
 	switch mode {
 	case modeManifest:
-		engines, err = s.manifestHandshake(fr, fw, costs, src, serverManifest, sbuf)
+		engines, err = s.manifestHandshake(fr, fw, costs, src, serverManifest, sbuf, st)
 	case modeTree:
-		engines, err = s.treeHandshake(fr, fw, costs, src, mtree, sbuf)
+		engines, err = s.treeHandshake(fr, fw, costs, src, mtree, sbuf, st)
 	default:
 		err = fmt.Errorf("collection: unknown manifest mode %d", mode)
 	}
@@ -220,6 +238,7 @@ func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wir
 	}
 
 	// Map-construction rounds, multiplexed across all sync files.
+	round := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return costs, fmt.Errorf("collection: session cancelled: %w", err)
@@ -233,6 +252,8 @@ func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wir
 		if len(active) == 0 {
 			break
 		}
+		round++
+		st.begin(obs.PhaseRound, round)
 		sections := make([][]byte, len(active))
 		parallelFiles(s.cfg.Workers, len(active), func(k int) error {
 			sections[k] = engines[active[k]].engine.EmitHashes()
@@ -251,13 +272,13 @@ func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wir
 		if err := fw.Flush(); err != nil {
 			return costs, err
 		}
-		addCost(costs, stats.S2C, stats.PhaseMap, len(payload))
+		st.cost(costs, stats.S2C, stats.PhaseMap, len(payload))
 
 		reply, err := fr.ExpectFrame(wire.FrameRoundReply)
 		if err != nil {
 			return costs, err
 		}
-		addCost(costs, stats.C2S, stats.PhaseMap, len(reply))
+		st.cost(costs, stats.C2S, stats.PhaseMap, len(reply))
 		costs.Roundtrips++
 		pending, err := s.absorbReplies(engines, reply, true)
 		if err != nil {
@@ -265,6 +286,7 @@ func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wir
 		}
 
 		for len(pending) > 0 {
+			st.begin(obs.PhaseVerify, round)
 			sbuf.Reset()
 			sbuf.Uvarint(uint64(len(pending)))
 			for _, i := range pending {
@@ -278,13 +300,13 @@ func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wir
 			if err := fw.Flush(); err != nil {
 				return costs, err
 			}
-			addCost(costs, stats.S2C, stats.PhaseMap, len(cp))
+			st.cost(costs, stats.S2C, stats.PhaseMap, len(cp))
 
 			batch, err := fr.ExpectFrame(wire.FrameRoundReply)
 			if err != nil {
 				return costs, err
 			}
-			addCost(costs, stats.C2S, stats.PhaseMap, len(batch))
+			st.cost(costs, stats.C2S, stats.PhaseMap, len(batch))
 			costs.Roundtrips++
 			pending, err = s.absorbReplies(engines, batch, false)
 			if err != nil {
@@ -294,6 +316,7 @@ func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wir
 	}
 
 	// Delta phase: one section per sync file.
+	st.begin(obs.PhaseDelta, 0)
 	deltaSections := make([][]byte, len(engines))
 	parallelFiles(s.cfg.Workers, len(engines), func(i int) error {
 		deltaSections[i] = engines[i].engine.EmitDelta()
@@ -311,14 +334,14 @@ func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wir
 	if err := fw.Flush(); err != nil {
 		return costs, err
 	}
-	addCost(costs, stats.S2C, stats.PhaseDelta, len(dp))
+	st.cost(costs, stats.S2C, stats.PhaseDelta, len(dp))
 
 	// ACK lists files whose whole-file check failed; send them in full.
 	ack, err := fr.ExpectFrame(wire.FrameAck)
 	if err != nil {
 		return costs, err
 	}
-	addCost(costs, stats.C2S, stats.PhaseControl, len(ack))
+	st.cost(costs, stats.C2S, stats.PhaseControl, len(ack))
 	costs.Roundtrips++
 	ap := wire.NewParser(ack)
 	nFail, err := ap.Uvarint()
@@ -326,6 +349,7 @@ func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wir
 		return fail(err)
 	}
 	if nFail > 0 {
+		st.begin(obs.PhaseFull, 0)
 		sbuf.Reset()
 		sbuf.Uvarint(nFail)
 		for k := uint64(0); k < nFail; k++ {
@@ -346,7 +370,7 @@ func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wir
 		if err := fw.Flush(); err != nil {
 			return costs, err
 		}
-		addCost(costs, stats.S2C, stats.PhaseFull, len(fp))
+		st.cost(costs, stats.S2C, stats.PhaseFull, len(fp))
 		costs.Roundtrips++
 	}
 
@@ -378,39 +402,44 @@ func (s *Server) PushContext(ctx context.Context, conn io.ReadWriter) (*stats.Co
 	costs := &stats.Costs{}
 	fr := wire.NewFrameReader(sess)
 	fw := wire.NewFrameWriter(sess)
+	st := newSessTrace(s.Tracer, s.Logger, "server")
 
-	hb := wire.NewBuffer(8)
-	hb.Uvarint(protocolVersion)
-	hb.Byte(rolePush)
-	mode := byte(modeManifest)
-	if s.TreeManifest {
-		mode = modeTree
-	}
-	hb.Byte(mode)
-	if err := fw.WriteFrame(wire.FrameHello, hb.Build()); err != nil {
-		return costs, err
-	}
-	if err := fw.Flush(); err != nil {
-		return costs, err
-	}
-	addCost(costs, stats.C2S, stats.PhaseControl, hb.Len())
+	res, err := func() (*stats.Costs, error) {
+		hb := wire.NewBuffer(8)
+		hb.Uvarint(protocolVersion)
+		hb.Byte(rolePush)
+		mode := byte(modeManifest)
+		if s.TreeManifest {
+			mode = modeTree
+		}
+		hb.Byte(mode)
+		if err := fw.WriteFrame(wire.FrameHello, hb.Build()); err != nil {
+			return costs, err
+		}
+		if err := fw.Flush(); err != nil {
+			return costs, err
+		}
+		st.cost(costs, stats.C2S, stats.PhaseControl, hb.Len())
 
-	fail := func(err error) (*stats.Costs, error) {
-		_ = fw.WriteFrame(wire.FrameError, []byte(err.Error()))
-		_ = fw.Flush()
-		return costs, err
-	}
-	return s.serveSession(ctx, fr, fw, costs, fail, mode)
+		fail := func(err error) (*stats.Costs, error) {
+			_ = fw.WriteFrame(wire.FrameError, []byte(err.Error()))
+			_ = fw.Flush()
+			return costs, err
+		}
+		return s.serveSession(ctx, fr, fw, costs, fail, mode, st)
+	}()
+	st.end(costs, err, fr, fw, sess.Stats())
+	return res, err
 }
 
 // manifestHandshake runs the flat-manifest handshake: read the client's
 // full manifest, reply with per-file verdicts plus new files.
-func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, serverManifest []ManifestEntry, vb *wire.Buffer) ([]syncFile, error) {
+func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, serverManifest []ManifestEntry, vb *wire.Buffer, st *sessTrace) ([]syncFile, error) {
 	manifestRaw, err := fr.ExpectFrame(wire.FrameManifest)
 	if err != nil {
 		return nil, err
 	}
-	addCost(costs, stats.C2S, stats.PhaseControl, len(manifestRaw))
+	st.cost(costs, stats.C2S, stats.PhaseControl, len(manifestRaw))
 	manifest, err := decodeManifest(manifestRaw)
 	if err != nil {
 		return nil, err
@@ -480,7 +509,7 @@ func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, c
 		fullBytes += len(newComp[i])
 		costs.FilesFull++
 	}
-	if err := s.sendVerdicts(fw, costs, vb.Build(), fullBytes); err != nil {
+	if err := s.sendVerdicts(fw, costs, vb.Build(), fullBytes, st); err != nil {
 		return nil, err
 	}
 	return engines, nil
@@ -488,7 +517,7 @@ func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, c
 
 // treeHandshake runs merkle reconciliation, then answers the client's WANT
 // list with verdicts for exactly those files.
-func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, mtree *merkle.TreeCache, vb *wire.Buffer) ([]syncFile, error) {
+func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, mtree *merkle.TreeCache, vb *wire.Buffer, st *sessTrace) ([]syncFile, error) {
 	resp := merkle.NewResponderCached(mtree)
 
 	var want []byte
@@ -499,7 +528,7 @@ func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs
 		}
 		switch ft {
 		case wire.FrameTree:
-			addCost(costs, stats.C2S, stats.PhaseControl, len(payload))
+			st.cost(costs, stats.C2S, stats.PhaseControl, len(payload))
 			reply, err := resp.Respond(payload)
 			if err != nil {
 				return nil, err
@@ -510,10 +539,10 @@ func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs
 			if err := fw.Flush(); err != nil {
 				return nil, err
 			}
-			addCost(costs, stats.S2C, stats.PhaseControl, len(reply))
+			st.cost(costs, stats.S2C, stats.PhaseControl, len(reply))
 			costs.Roundtrips++
 		case wire.FrameWant:
-			addCost(costs, stats.C2S, stats.PhaseControl, len(payload))
+			st.cost(costs, stats.C2S, stats.PhaseControl, len(payload))
 			want = payload
 		default:
 			return nil, fmt.Errorf("collection: unexpected frame %s during reconciliation", wire.FrameName(ft))
@@ -564,7 +593,7 @@ func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs
 		}
 	}
 	vb.Uvarint(0) // no trailing new-file section in tree mode
-	if err := s.sendVerdicts(fw, costs, vb.Build(), fullBytes); err != nil {
+	if err := s.sendVerdicts(fw, costs, vb.Build(), fullBytes, st); err != nil {
 		return nil, err
 	}
 	return engines, nil
@@ -595,15 +624,15 @@ func (s *Server) emitChangedVerdict(vb *wire.Buffer, src Source, path string, da
 }
 
 // sendVerdicts flushes the verdict frame with split cost attribution.
-func (s *Server) sendVerdicts(fw *wire.FrameWriter, costs *stats.Costs, verdicts []byte, fullBytes int) error {
+func (s *Server) sendVerdicts(fw *wire.FrameWriter, costs *stats.Costs, verdicts []byte, fullBytes int, st *sessTrace) error {
 	if err := fw.WriteFrame(wire.FrameVerdicts, verdicts); err != nil {
 		return err
 	}
 	if err := fw.Flush(); err != nil {
 		return err
 	}
-	addCost(costs, stats.S2C, stats.PhaseControl, len(verdicts)-fullBytes)
-	costs.Add(stats.S2C, stats.PhaseFull, fullBytes)
+	st.cost(costs, stats.S2C, stats.PhaseControl, len(verdicts)-fullBytes)
+	st.raw(costs, stats.S2C, stats.PhaseFull, fullBytes)
 	costs.Roundtrips++
 	return nil
 }

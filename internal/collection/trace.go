@@ -1,0 +1,177 @@
+package collection
+
+import (
+	"log/slog"
+	"time"
+
+	"msync/internal/obs"
+	"msync/internal/stats"
+	"msync/internal/transport"
+	"msync/internal/wire"
+)
+
+// sessTrace threads the optional observability hooks through one session:
+// span-like trace events per protocol phase and a structured log line at
+// session end. It shadows the session's cost accounting — every call that
+// adds bytes to stats.Costs goes through it — so a session's emitted spans
+// sum exactly to the Costs wire totals, by construction.
+//
+// A nil *sessTrace is the disabled state: every method is nil-receiver safe
+// and falls through to plain cost accounting, so sessions without a tracer
+// or logger allocate nothing and behave identically.
+type sessTrace struct {
+	tr   obs.Tracer
+	log  *slog.Logger
+	sid  uint64
+	side string // "client" or "server"
+
+	// Current span.
+	phase  string
+	round  int
+	start  time.Time
+	frames int
+	up     int64 // toward the data holder (stats.C2S)
+	down   int64 // from the data holder (stats.S2C)
+
+	// Session totals.
+	sessStart time.Time
+	totFrames int
+	totUp     int64
+	totDown   int64
+}
+
+// newSessTrace starts tracing one session, or returns nil when neither a
+// tracer nor a logger is configured.
+func newSessTrace(tr obs.Tracer, log *slog.Logger, side string) *sessTrace {
+	if tr == nil && log == nil {
+		return nil
+	}
+	now := time.Now()
+	st := &sessTrace{
+		tr:        tr,
+		log:       obs.OrNop(log),
+		sid:       obs.NextSessionID(),
+		side:      side,
+		phase:     obs.PhaseHandshake,
+		start:     now,
+		sessStart: now,
+	}
+	st.log.Debug("msync: session start", "session", st.sid, "side", side)
+	return st
+}
+
+// begin switches to a new span, flushing the current one. Re-entering the
+// same (phase, round) is a no-op, so loops may call it per iteration and
+// still produce one span per phase.
+func (t *sessTrace) begin(phase string, round int) {
+	if t == nil || (t.phase == phase && t.round == round) {
+		return
+	}
+	t.flush()
+	t.phase = phase
+	t.round = round
+	t.start = time.Now()
+}
+
+// flush emits the current span if it carried any traffic.
+func (t *sessTrace) flush() {
+	if t.frames == 0 && t.up == 0 && t.down == 0 {
+		return
+	}
+	t.emit(obs.Event{
+		Phase:     t.phase,
+		Round:     t.round,
+		Frames:    t.frames,
+		BytesUp:   t.up,
+		BytesDown: t.down,
+		Dur:       time.Since(t.start),
+	})
+	t.frames = 0
+	t.up = 0
+	t.down = 0
+}
+
+// emit stamps and sends one event.
+func (t *sessTrace) emit(e obs.Event) {
+	if t.tr == nil {
+		return
+	}
+	e.Time = time.Now()
+	e.Session = t.sid
+	e.Side = t.side
+	t.tr.Emit(e)
+}
+
+// cost accounts one frame: payload plus framing into costs (exactly what
+// the plain addCost helper does) and into the current span.
+func (t *sessTrace) cost(c *stats.Costs, d stats.Direction, p stats.Phase, payload int) {
+	addCost(c, d, p, payload)
+	if t == nil {
+		return
+	}
+	t.frames++
+	t.totFrames++
+	t.addBytes(d, int64(payload+frameOverhead(payload)))
+}
+
+// raw accounts bytes that are part of an already-counted frame (the
+// full-phase slice of a split verdict frame): no framing, no frame count.
+func (t *sessTrace) raw(c *stats.Costs, d stats.Direction, p stats.Phase, n int) {
+	c.Add(d, p, n)
+	if t == nil {
+		return
+	}
+	t.addBytes(d, int64(n))
+}
+
+func (t *sessTrace) addBytes(d stats.Direction, n int64) {
+	if d == stats.C2S {
+		t.up += n
+		t.totUp += n
+	} else {
+		t.down += n
+		t.totDown += n
+	}
+}
+
+// end closes the session: flushes the last span, emits the session summary
+// event, and writes the structured session log line with the transport- and
+// wire-level counters.
+func (t *sessTrace) end(costs *stats.Costs, err error, fr *wire.FrameReader, fw *wire.FrameWriter, ios transport.IOStats) {
+	if t == nil {
+		return
+	}
+	t.flush()
+	ev := obs.Event{
+		Phase:     obs.PhaseSession,
+		Frames:    t.totFrames,
+		BytesUp:   t.totUp,
+		BytesDown: t.totDown,
+		Dur:       time.Since(t.sessStart),
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	t.emit(ev)
+
+	framesRead, bytesRead := fr.Counts()
+	framesWritten, bytesWritten := fw.Counts()
+	attrs := []any{
+		"session", t.sid,
+		"side", t.side,
+		"bytes", costs.Total(),
+		"roundtrips", costs.Roundtrips,
+		"dur", time.Since(t.sessStart),
+		"frames_read", framesRead,
+		"frames_written", framesWritten,
+		"wire_bytes_read", bytesRead,
+		"wire_bytes_written", bytesWritten,
+		"io_reads", ios.Reads,
+		"io_writes", ios.Writes,
+	}
+	if err != nil {
+		t.log.Warn("msync: session failed", append(attrs, "err", err)...)
+		return
+	}
+	t.log.Info("msync: session done", attrs...)
+}

@@ -33,11 +33,19 @@ func (e *FileError) Error() string { return fmt.Sprintf("dirio: %s: %v", e.Path,
 // Unwrap returns the underlying cause.
 func (e *FileError) Unwrap() error { return e.Err }
 
-// WalkErrors aggregates the per-file failures of one tree walk or load. The
-// walk does not stop on them; callers that can tolerate a partial tree (the
-// CLI warns and continues) inspect the slice, strict callers treat the
-// aggregate as fatal.
+// WalkErrors aggregates the per-file failures of one tree walk or load,
+// sorted by path. The walk does not stop on them; callers that can tolerate
+// a partial tree (the CLI warns and continues) inspect the slice, strict
+// callers treat the aggregate as fatal. The ordering is deterministic even
+// when walk-level and read/stat-level failures interleave, so error output
+// and tests are stable across runs.
 type WalkErrors []*FileError
+
+// sortByPath orders w by path (ties keep insertion order) so aggregated
+// failures from different collection stages report deterministically.
+func (w WalkErrors) sortByPath() {
+	sort.SliceStable(w, func(i, j int) bool { return w[i].Path < w[j].Path })
+}
 
 // Error implements error.
 func (w WalkErrors) Error() string {
@@ -109,11 +117,13 @@ func Load(root string) (map[string][]byte, error) {
 }
 
 // werrsOrNil converts an empty WalkErrors to a nil error (a non-nil
-// interface holding an empty slice would read as a failure).
+// interface holding an empty slice would read as a failure) and sorts a
+// non-empty one by path.
 func werrsOrNil(w WalkErrors) error {
 	if len(w) == 0 {
 		return nil
 	}
+	w.sortByPath()
 	return w
 }
 
@@ -154,6 +164,7 @@ func OpenTree(root string) (t *Tree, werrs WalkErrors, err error) {
 		t.files = append(t.files, FileInfo{Path: rel, Size: info.Size(), MTime: info.ModTime()})
 	})
 	werrs = append(werrs, statErrs...)
+	werrs.sortByPath()
 	sort.Slice(t.files, func(i, j int) bool { return t.files[i].Path < t.files[j].Path })
 	return t, werrs, nil
 }

@@ -82,6 +82,66 @@ func TestOpenTreeCollectsStatErrors(t *testing.T) {
 	}
 }
 
+// TestWalkErrorsSortedByPath pins the aggregate error ordering. WalkDir
+// visits "a/y.txt" before "a.b/x.txt" (directory-entry order lists "a"
+// before "a.b"), which is the reverse of lexical path order ('.' sorts
+// before '/'), so without the explicit sort the failures would come back in
+// walk order and error output would depend on tree shape.
+func TestWalkErrorsSortedByPath(t *testing.T) {
+	newRoot := func() string {
+		root := t.TempDir()
+		write(t, root, "a/y.txt", "1")
+		write(t, root, "a.b/x.txt", "2")
+		write(t, root, "ok.txt", "3")
+		return root
+	}
+	wantPaths := func(werrs WalkErrors) {
+		t.Helper()
+		if len(werrs) != 2 || werrs[0].Path != "a.b/x.txt" || werrs[1].Path != "a/y.txt" {
+			t.Fatalf("werrs = %v, want [a.b/x.txt a/y.txt]", werrs)
+		}
+	}
+
+	// Load: multiple read failures.
+	root := newRoot()
+	origRead := readFile
+	readFile = func(path string) ([]byte, error) {
+		if filepath.Base(path) != "ok.txt" {
+			return nil, fs.ErrPermission
+		}
+		return origRead(path)
+	}
+	t.Cleanup(func() { readFile = origRead })
+	files, err := Load(root)
+	if len(files) != 1 {
+		t.Fatalf("files = %v, want the readable file only", keys(files))
+	}
+	var werrs WalkErrors
+	if !errors.As(err, &werrs) {
+		t.Fatalf("err = %v, want WalkErrors", err)
+	}
+	wantPaths(werrs)
+	readFile = origRead
+
+	// OpenTree: multiple stat failures.
+	origStat := statEntry
+	statEntry = func(d fs.DirEntry) (fs.FileInfo, error) {
+		if d.Name() != "ok.txt" {
+			return nil, fs.ErrPermission
+		}
+		return origStat(d)
+	}
+	t.Cleanup(func() { statEntry = origStat })
+	tree, werrs, err := OpenTree(newRoot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(tree.Files()); n != 1 {
+		t.Fatalf("files = %v, want the stattable file only", tree.Files())
+	}
+	wantPaths(werrs)
+}
+
 func TestOpenTreeMissingRoot(t *testing.T) {
 	if _, _, err := OpenTree(filepath.Join(t.TempDir(), "absent")); err == nil {
 		t.Fatal("missing root accepted")

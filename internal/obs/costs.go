@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+
+	"msync/internal/stats"
+)
+
+// Session-level metric names. Byte counters are named
+// "msync_bytes_<direction>_<phase>_total" per (direction, phase) cell of the
+// stats.Costs matrix.
+const (
+	MetricSessions       = "msync_sessions_total"
+	MetricSessionErrors  = "msync_session_errors_total"
+	MetricSessionsActive = "msync_sessions_active"
+	MetricSessionSeconds = "msync_session_duration_ns"
+	MetricRetries        = "msync_retries_total"
+)
+
+// costCounters maps the scalar stats.Costs fields onto counter names.
+var costCounters = []struct {
+	name string
+	get  func(*stats.Costs) int64
+	set  func(*stats.Costs, int64)
+}{
+	{"msync_roundtrips_total", func(c *stats.Costs) int64 { return int64(c.Roundtrips) }, func(c *stats.Costs, v int64) { c.Roundtrips = int(v) }},
+	{"msync_files_synced_total", func(c *stats.Costs) int64 { return int64(c.FilesSynced) }, func(c *stats.Costs, v int64) { c.FilesSynced = int(v) }},
+	{"msync_files_unchanged_total", func(c *stats.Costs) int64 { return int64(c.FilesUnchanged) }, func(c *stats.Costs, v int64) { c.FilesUnchanged = int(v) }},
+	{"msync_files_full_total", func(c *stats.Costs) int64 { return int64(c.FilesFull) }, func(c *stats.Costs, v int64) { c.FilesFull = int(v) }},
+	{"msync_hashes_sent_total", func(c *stats.Costs) int64 { return c.HashesSent }, func(c *stats.Costs, v int64) { c.HashesSent = v }},
+	{"msync_candidates_found_total", func(c *stats.Costs) int64 { return c.CandidatesFound }, func(c *stats.Costs, v int64) { c.CandidatesFound = v }},
+	{"msync_matches_confirmed_total", func(c *stats.Costs) int64 { return c.MatchesConfirmed }, func(c *stats.Costs, v int64) { c.MatchesConfirmed = v }},
+	{"msync_false_candidates_total", func(c *stats.Costs) int64 { return c.FalseCandidates }, func(c *stats.Costs, v int64) { c.FalseCandidates = v }},
+	{"msync_continuation_hashes_total", func(c *stats.Costs) int64 { return c.ContinuationHashes }, func(c *stats.Costs, v int64) { c.ContinuationHashes = v }},
+	{"msync_block_hashes_computed_total", func(c *stats.Costs) int64 { return c.BlockHashesComputed }, func(c *stats.Costs, v int64) { c.BlockHashesComputed = v }},
+	{"msync_bytes_hashed_total", func(c *stats.Costs) int64 { return c.BytesHashed }, func(c *stats.Costs, v int64) { c.BytesHashed = v }},
+	{"msync_cache_hits_total", func(c *stats.Costs) int64 { return c.CacheHits }, func(c *stats.Costs, v int64) { c.CacheHits = v }},
+	{"msync_cache_misses_total", func(c *stats.Costs) int64 { return c.CacheMisses }, func(c *stats.Costs, v int64) { c.CacheMisses = v }},
+	{"msync_cache_evictions_total", func(c *stats.Costs) int64 { return c.CacheEvictions }, func(c *stats.Costs, v int64) { c.CacheEvictions = v }},
+}
+
+// byteCounterName returns the counter name for one cell of the byte matrix.
+func byteCounterName(d stats.Direction, p stats.Phase) string {
+	return fmt.Sprintf("msync_bytes_%s_%s_total", d, p)
+}
+
+// directions and phases enumerate the cost matrix for RecordCosts/CostsView.
+var (
+	directions = []stats.Direction{stats.C2S, stats.S2C}
+	phases     = []stats.Phase{stats.PhaseControl, stats.PhaseMap, stats.PhaseDelta, stats.PhaseFull}
+)
+
+// RecordCosts folds one finished session's cost accounting into the
+// registry's instrumented counters. Sessions keep their private stats.Costs
+// (single-goroutine, allocation-free) during the run; this is the bridge
+// that turns them into live metrics afterwards. Safe on a nil registry.
+func RecordCosts(r *Registry, c *stats.Costs) {
+	if r == nil || c == nil {
+		return
+	}
+	for _, d := range directions {
+		for _, p := range phases {
+			r.Counter(byteCounterName(d, p)).Add(c.Bytes(d, p))
+		}
+	}
+	for _, cc := range costCounters {
+		r.Counter(cc.name).Add(cc.get(c))
+	}
+}
+
+// CostsView reconstructs an aggregate stats.Costs from the registry's
+// counters: the compatible snapshot view over everything recorded so far.
+// Code written against Costs keeps working unmodified on live metrics.
+func CostsView(r *Registry) stats.Costs {
+	var c stats.Costs
+	if r == nil {
+		return c
+	}
+	for _, d := range directions {
+		for _, p := range phases {
+			c.Add(d, p, int(r.Counter(byteCounterName(d, p)).Value()))
+		}
+	}
+	for _, cc := range costCounters {
+		cc.set(&c, r.Counter(cc.name).Value())
+	}
+	return c
+}

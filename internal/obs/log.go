@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+)
+
+// discardHandler is a slog.Handler that drops everything. (The stdlib gained
+// slog.DiscardHandler in Go 1.24; this module still declares go 1.22, so we
+// carry our own.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// NopLogger returns a logger that discards every record. Protocol code that
+// accepts an optional *slog.Logger normalizes nil to this, so call sites can
+// log unconditionally.
+func NopLogger() *slog.Logger { return slog.New(discardHandler{}) }
+
+// OrNop returns l, or the nop logger when l is nil.
+func OrNop(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return NopLogger()
+	}
+	return l
+}
+
+// ParseLevel maps the CLI's -log-level values onto slog levels. Accepted:
+// debug, info, warn, error (case-insensitive).
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+	}
+}

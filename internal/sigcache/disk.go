@@ -18,9 +18,18 @@ import (
 
 // diskMagic and diskVersion head every entry file. Bump diskVersion when the
 // layout changes; old files then read as misses and are rewritten.
+//
+// Version history:
+//
+//	1: initial layout; the stored signature length was decoded but never
+//	   cross-checked against the key's file size, so an entry whose key and
+//	   signature disagreed could be served.
+//	2: same byte layout, but decodeEntry requires the signature length to
+//	   equal the key's size; the bump forces every v1 entry to read as a
+//	   miss and be rewritten under the stricter rule.
 var diskMagic = [4]byte{'M', 'S', 'I', 'G'}
 
-const diskVersion = 1
+const diskVersion = 2
 
 // maxDiskEntry bounds how much of an entry file we are willing to read back,
 // as corruption armor for the length fields inside.
@@ -128,6 +137,13 @@ func decodeEntry(raw []byte, want Key) (*Sig, bool) {
 	}
 	got := Key{Path: string(path), Size: int64(size), MTime: mtime, Fingerprint: fp}
 	if got != want {
+		return nil, false
+	}
+	// The signature must have been computed over exactly the keyed content:
+	// size (here) and mtime nanoseconds (in the Key comparison above) both
+	// participate, so a same-second rewrite or a key/signature mismatch can
+	// never serve a stale signature.
+	if int64(sigLen) != want.Size {
 		return nil, false
 	}
 	var sum [md4.Size]byte

@@ -14,8 +14,11 @@ func key(path string) Key {
 	return Key{Path: path, Size: 100, MTime: 1_700_000_000_000_000_000, Fingerprint: 7}
 }
 
+// sig builds a signature consistent with key(): the disk store rejects
+// entries whose signature length disagrees with the key's file size, so the
+// fixture pins Len to key().Size while the sum still varies with content.
 func sig(content string) *Sig {
-	return NewSig(int64(len(content)), md4.Sum([]byte(content)))
+	return NewSig(key("").Size, md4.Sum([]byte(content)))
 }
 
 func TestGetPutAndKeyInvalidation(t *testing.T) {
@@ -260,19 +263,79 @@ func TestDiskVersionMismatchIsMiss(t *testing.T) {
 }
 
 func TestDiskKeyMismatchIsMiss(t *testing.T) {
+	// Every stat-visible change must invalidate the on-disk entry, down to a
+	// single nanosecond of mtime: filesystems with nanosecond timestamps can
+	// legally rewrite a file within the same second.
+	for name, tweak := range map[string]func(*Key){
+		"mtime-second":     func(k *Key) { k.MTime += int64(1e9) },
+		"mtime-nanosecond": func(k *Key) { k.MTime++ },
+		"size":             func(k *Key) { k.Size++ },
+		"fingerprint":      func(k *Key) { k.Fingerprint++ },
+	} {
+		dir := t.TempDir()
+		k := key("x.txt")
+		New(Options{Dir: dir}).Put(k, sig("data"))
+
+		changed := k
+		tweak(&changed)
+		c := New(Options{Dir: dir})
+		if _, ok := c.Get(changed, nil); ok {
+			t.Fatalf("%s: entry for the old key hit under the new key", name)
+		}
+		st := c.Stats()
+		if st.BadEntries != 1 || st.Misses != 1 {
+			t.Fatalf("%s: stats = %+v, want the stale entry discarded", name, st)
+		}
+	}
+}
+
+func TestDiskV1EntryIsMiss(t *testing.T) {
 	dir := t.TempDir()
 	k := key("x.txt")
 	New(Options{Dir: dir}).Put(k, sig("data"))
 
-	changed := k
-	changed.MTime += int64(1e9)
+	// Rewrite the entry as a byte-valid version-1 file (v1 and v2 share the
+	// layout; only the version byte and the decode rules differ) so exactly
+	// the version check can reject it.
+	path := entryFile(t, dir)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := raw[:len(raw)-md4.Size]
+	body[4] = 1
+	check := md4.Sum(body)
+	if err := os.WriteFile(path, append(body, check[:]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
 	c := New(Options{Dir: dir})
-	if _, ok := c.Get(changed, nil); ok {
-		t.Fatal("entry for the old mtime hit under the new key")
+	if _, ok := c.Get(k, nil); ok {
+		t.Fatal("version-1 entry served as a hit")
 	}
 	st := c.Stats()
 	if st.BadEntries != 1 || st.Misses != 1 {
-		t.Fatalf("stats = %+v, want the stale entry discarded", st)
+		t.Fatalf("stats = %+v, want the v1 entry discarded", st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("v1 entry not removed from the store")
+	}
+}
+
+func TestDiskSigLenMismatchIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	k := key("x.txt")
+	// An entry whose signature length disagrees with its own key's size is
+	// internally inconsistent (e.g. the file changed between stat and read).
+	inconsistent := NewSig(k.Size-1, md4.Sum([]byte("data")))
+	New(Options{Dir: dir}).Put(k, inconsistent)
+
+	c := New(Options{Dir: dir})
+	if _, ok := c.Get(k, nil); ok {
+		t.Fatal("entry with mismatched signature length served as a hit")
+	}
+	if c.Stats().BadEntries != 1 {
+		t.Fatal("signature/size mismatch not counted as a bad entry")
 	}
 }
 

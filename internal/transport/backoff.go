@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 )
@@ -40,7 +41,21 @@ func (p BackoffPolicy) attempts() int {
 
 // Delay returns the jittered delay to wait after the given 1-based failed
 // attempt. rng may be nil, in which case the global source is used.
+//
+// The exponential growth is capped even when MaxDelay is 0 (uncapped):
+// without the cap, high attempt numbers push the float64 product past
+// math.MaxInt64 and the conversion to time.Duration wraps negative, turning
+// the backoff into a hot retry loop. The ceiling leaves room for the ≤2×
+// jitter factor, so the returned delay is always in (0, MaxInt64].
 func (p BackoffPolicy) Delay(attempt int, rng *rand.Rand) time.Duration {
+	// Nominal delays beyond ~146 years are indistinguishable from "wait
+	// forever"; saturating there keeps every later multiply and the jitter
+	// inside int64 range.
+	const ceiling = float64(math.MaxInt64 / 2)
+	limit := ceiling
+	if p.MaxDelay > 0 && float64(p.MaxDelay) < limit {
+		limit = float64(p.MaxDelay)
+	}
 	d := float64(p.BaseDelay)
 	mult := p.Multiplier
 	if mult < 1 {
@@ -48,13 +63,12 @@ func (p BackoffPolicy) Delay(attempt int, rng *rand.Rand) time.Duration {
 	}
 	for i := 1; i < attempt; i++ {
 		d *= mult
-		if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
-			d = float64(p.MaxDelay)
+		if d >= limit {
 			break
 		}
 	}
-	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
-		d = float64(p.MaxDelay)
+	if d > limit || math.IsInf(d, 1) {
+		d = limit
 	}
 	j := p.Jitter
 	if j < 0 {
@@ -71,6 +85,12 @@ func (p BackoffPolicy) Delay(attempt int, rng *rand.Rand) time.Duration {
 			r = rand.Float64()
 		}
 		d *= 1 - j + 2*j*r
+	}
+	if d >= float64(math.MaxInt64) {
+		return math.MaxInt64
+	}
+	if d < 0 || math.IsNaN(d) {
+		return 0
 	}
 	return time.Duration(d)
 }

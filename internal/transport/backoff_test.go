@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestDelayHighAttemptsNeverOverflow pins the overflow fix: with MaxDelay 0
+// (uncapped) the exponential growth used to push the float64 product past
+// MaxInt64 and wrap time.Duration negative around attempt 40, turning the
+// backoff into a hot retry loop. Every attempt number must now yield a
+// positive, saturated delay.
+func TestDelayHighAttemptsNeverOverflow(t *testing.T) {
+	policies := map[string]BackoffPolicy{
+		"uncapped":        {BaseDelay: time.Second, Multiplier: 2},
+		"uncapped-jitter": {BaseDelay: time.Second, Multiplier: 2, Jitter: 0.5, Seed: 7},
+		"huge-multiplier": {BaseDelay: time.Second, Multiplier: 1e12},
+		"capped":          {BaseDelay: time.Second, Multiplier: 2, MaxDelay: 5 * time.Second},
+	}
+	for name, p := range policies {
+		var rng *rand.Rand
+		if p.Seed != 0 {
+			rng = rand.New(rand.NewSource(p.Seed)) //nolint:gosec // deterministic jitter
+		}
+		for _, attempt := range []int{40, 41, 63, 64, 65, 100, 1_000, 1 << 20} {
+			d := p.Delay(attempt, rng)
+			if d <= 0 {
+				t.Fatalf("%s: Delay(%d) = %v, overflowed to non-positive", name, attempt, d)
+			}
+			if p.MaxDelay > 0 {
+				// Jitterless capped policies must sit exactly at the cap.
+				if p.Jitter == 0 && d != p.MaxDelay {
+					t.Fatalf("%s: Delay(%d) = %v, want cap %v", name, attempt, d, p.MaxDelay)
+				}
+			}
+		}
+	}
+}
+
+// TestDelaySaturatesMonotonically: once the uncapped schedule hits the
+// ceiling it stays there — later attempts never shrink the delay.
+func TestDelaySaturatesMonotonically(t *testing.T) {
+	p := BackoffPolicy{BaseDelay: time.Second, Multiplier: 2}
+	var prev time.Duration
+	for attempt := 1; attempt <= 200; attempt++ {
+		d := p.Delay(attempt, nil)
+		if d < prev {
+			t.Fatalf("Delay(%d) = %v < Delay(%d) = %v", attempt, d, attempt-1, prev)
+		}
+		prev = d
+	}
+	if prev < time.Duration(math.MaxInt64/4) {
+		t.Fatalf("uncapped schedule saturated too low: %v", prev)
+	}
+}
+
+// TestDelayEarlyAttemptsUnchanged: the fix must not disturb the normal
+// schedule a real retry loop walks.
+func TestDelayEarlyAttemptsUnchanged(t *testing.T) {
+	p := BackoffPolicy{BaseDelay: 100 * time.Millisecond, Multiplier: 2, MaxDelay: time.Second}
+	want := []time.Duration{
+		100 * time.Millisecond, // attempt 1
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second, // capped
+		time.Second,
+	}
+	for i, w := range want {
+		if d := p.Delay(i+1, nil); d != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i+1, d, w)
+		}
+	}
+	// Zero base stays zero (the "no delay" degenerate policy).
+	zero := BackoffPolicy{Multiplier: 2}
+	if d := zero.Delay(50, nil); d != 0 {
+		t.Fatalf("zero-base Delay(50) = %v, want 0", d)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -39,6 +40,29 @@ type Session struct {
 
 	stop     chan struct{}
 	stopOnce sync.Once
+
+	// I/O counters for observability; atomics so a reader can snapshot
+	// them while the watcher or another half of a duplex caller is active.
+	reads, writes           atomic.Int64
+	bytesRead, bytesWritten atomic.Int64
+}
+
+// IOStats is a snapshot of a session's transport-level activity.
+type IOStats struct {
+	// Reads and Writes count individual I/O operations (syscalls for TCP).
+	Reads, Writes int64
+	// BytesRead and BytesWritten are raw connection bytes, framing included.
+	BytesRead, BytesWritten int64
+}
+
+// Stats snapshots the session's I/O counters.
+func (s *Session) Stats() IOStats {
+	return IOStats{
+		Reads:        s.reads.Load(),
+		Writes:       s.writes.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+	}
 }
 
 // NewSession wraps rw for the given context. opTimeout, if positive, bounds
@@ -107,8 +131,12 @@ func (s *Session) do(p []byte, read bool) (int, error) {
 	var err error
 	if read {
 		n, err = s.rw.Read(p)
+		s.reads.Add(1)
+		s.bytesRead.Add(int64(n))
 	} else {
 		n, err = s.rw.Write(p)
+		s.writes.Add(1)
+		s.bytesWritten.Add(int64(n))
 	}
 	if err != nil {
 		// Attribute the failure: a cancelled context beats the raw I/O

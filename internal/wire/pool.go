@@ -49,6 +49,7 @@ func (emptyReader) Read([]byte) (int, error) { return 0, io.EOF }
 func GetFrameWriter(w io.Writer) *FrameWriter {
 	fw := frameWriterPool.Get().(*FrameWriter)
 	fw.w.Reset(w)
+	fw.ResetCounts()
 	return fw
 }
 
@@ -67,6 +68,7 @@ func PutFrameWriter(fw *FrameWriter) {
 func GetFrameReader(r io.Reader) *FrameReader {
 	fr := frameReaderPool.Get().(*FrameReader)
 	fr.r.Reset(r)
+	fr.ResetCounts()
 	return fr
 }
 

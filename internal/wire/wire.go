@@ -222,9 +222,14 @@ func (p *Parser) Raw(n int) ([]byte, error) {
 func (p *Parser) Remaining() int { return len(p.b) - p.pos }
 
 // A FrameWriter writes typed, length-delimited frames to an io.Writer.
+// It counts the frames and bytes (headers included) it has written; the
+// counters are plain fields because a frame writer, like the session that
+// owns it, is single-goroutine by protocol design.
 type FrameWriter struct {
-	w   *bufio.Writer
-	hdr [binary.MaxVarintLen64 + 1]byte
+	w      *bufio.Writer
+	hdr    [binary.MaxVarintLen64 + 1]byte
+	frames int64
+	bytes  int64
 }
 
 // NewFrameWriter returns a FrameWriter wrapping w.
@@ -243,8 +248,19 @@ func (fw *FrameWriter) WriteFrame(frameType byte, payload []byte) error {
 		return err
 	}
 	_, err := fw.w.Write(payload)
+	if err == nil {
+		fw.frames++
+		fw.bytes += int64(1+n) + int64(len(payload))
+	}
 	return err
 }
+
+// Counts reports the frames and bytes (headers included) written so far.
+func (fw *FrameWriter) Counts() (frames, bytes int64) { return fw.frames, fw.bytes }
+
+// ResetCounts zeroes the frame/byte counters (pooled writers reset between
+// sessions).
+func (fw *FrameWriter) ResetCounts() { fw.frames, fw.bytes = 0, 0 }
 
 // Flush flushes buffered frames to the underlying writer. Protocol code calls
 // Flush exactly once per communication phase, which is what the transport
@@ -252,8 +268,12 @@ func (fw *FrameWriter) WriteFrame(frameType byte, payload []byte) error {
 func (fw *FrameWriter) Flush() error { return fw.w.Flush() }
 
 // A FrameReader reads typed, length-delimited frames from an io.Reader.
+// Like FrameWriter it counts frames and bytes (headers included); plain
+// fields, single-goroutine use.
 type FrameReader struct {
-	r *bufio.Reader
+	r      *bufio.Reader
+	frames int64
+	bytes  int64
 }
 
 // NewFrameReader returns a FrameReader wrapping r.
@@ -281,7 +301,26 @@ func (fr *FrameReader) ReadFrame() (frameType byte, payload []byte, err error) {
 	if _, err = io.ReadFull(fr.r, payload); err != nil {
 		return 0, nil, err
 	}
+	fr.frames++
+	fr.bytes += 1 + int64(uvarintLen(size)) + int64(size)
 	return frameType, payload, nil
+}
+
+// Counts reports the frames and bytes (headers included) read so far.
+func (fr *FrameReader) Counts() (frames, bytes int64) { return fr.frames, fr.bytes }
+
+// ResetCounts zeroes the frame/byte counters (pooled readers reset between
+// sessions).
+func (fr *FrameReader) ResetCounts() { fr.frames, fr.bytes = 0, 0 }
+
+// uvarintLen is the encoded size of v as an unsigned varint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		n++
+		v >>= 7
+	}
+	return n
 }
 
 // ExpectFrame reads the next frame and verifies its type.

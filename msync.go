@@ -43,6 +43,7 @@ import (
 	"msync/internal/collection"
 	"msync/internal/core"
 	"msync/internal/dirio"
+	"msync/internal/obs"
 	"msync/internal/sigcache"
 	"msync/internal/stats"
 	"msync/internal/transport"
@@ -156,6 +157,8 @@ func NewServer(files map[string][]byte, cfg Config, opts ...Option) (*Server, er
 	inner.RoundTimeout = s.opt.roundTimeout
 	inner.AllowPush = s.opt.allowPush
 	inner.OnUpdate = s.opt.onUpdate
+	inner.Tracer = s.opt.tracer
+	inner.Logger = s.opt.logger
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	return s, nil
 }
@@ -192,6 +195,8 @@ func NewDirServer(root string, cfg Config, opts ...Option) (*Server, []error, er
 	inner.RoundTimeout = s.opt.roundTimeout
 	inner.AllowPush = s.opt.allowPush
 	inner.OnUpdate = s.opt.onUpdate
+	inner.Tracer = s.opt.tracer
+	inner.Logger = s.opt.logger
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	return s, werrs, nil
 }
@@ -222,6 +227,28 @@ func (s *Server) Serve(conn io.ReadWriter) (*Costs, error) {
 	return s.ServeContext(context.Background(), conn)
 }
 
+// beginSession marks a session active in the metrics registry and returns
+// the closer that records its outcome. The no-op path (no registry) costs a
+// nil check.
+func (o *sessionOptions) beginSession() func(costs *Costs, err error, dur time.Duration) {
+	r := o.metrics
+	if r == nil {
+		return func(*Costs, error, time.Duration) {}
+	}
+	r.Gauge(obs.MetricSessionsActive).Inc()
+	return func(costs *Costs, err error, dur time.Duration) {
+		r.Gauge(obs.MetricSessionsActive).Dec()
+		r.Counter(obs.MetricSessions).Inc()
+		if err != nil {
+			r.Counter(obs.MetricSessionErrors).Inc()
+		}
+		r.Histogram(obs.MetricSessionSeconds, obs.DurationBuckets).Observe(int64(dur))
+		if costs != nil {
+			obs.RecordCosts(r, costs)
+		}
+	}
+}
+
 // ServeContext runs one session over conn under ctx: cancellation aborts
 // the session at the next protocol round, the WithTimeout option bounds the
 // whole session, and WithRoundTimeout bounds each round. The session hook,
@@ -233,7 +260,9 @@ func (s *Server) ServeContext(ctx context.Context, conn io.ReadWriter) (*Costs, 
 		defer cancel()
 	}
 	start := time.Now()
+	record := s.opt.beginSession()
 	costs, err := s.inner.ServeContext(ctx, conn)
+	record(costs, err, time.Since(start))
 	if s.opt.hook != nil {
 		ev := SessionEvent{Costs: costs, Err: err, Duration: time.Since(start)}
 		if nc, ok := conn.(net.Conn); ok {
@@ -398,7 +427,11 @@ func (s *Server) PushContext(ctx context.Context, conn io.ReadWriter) (*Costs, e
 		ctx, cancel = context.WithTimeout(ctx, s.opt.timeout)
 		defer cancel()
 	}
-	return s.inner.PushContext(ctx, conn)
+	start := time.Now()
+	record := s.opt.beginSession()
+	costs, err := s.inner.PushContext(ctx, conn)
+	record(costs, err, time.Since(start))
+	return costs, err
 }
 
 // PushTCP dials addr and pushes over TCP. It is PushTCPContext with a
@@ -437,6 +470,8 @@ func NewClient(files map[string][]byte, opts ...Option) *Client {
 	c.inner.TreeManifest = c.opt.treeManifest
 	c.inner.RoundTimeout = c.opt.roundTimeout
 	c.inner.Workers = c.opt.workers
+	c.inner.Tracer = c.opt.tracer
+	c.inner.Logger = c.opt.logger
 	return c
 }
 
@@ -461,6 +496,8 @@ func NewDirClient(root string, opts ...Option) (*Client, []error, error) {
 	c.inner.RoundTimeout = c.opt.roundTimeout
 	c.inner.Workers = c.opt.workers
 	c.inner.LazyResult = c.opt.lazyResult
+	c.inner.Tracer = c.opt.tracer
+	c.inner.Logger = c.opt.logger
 	return c, werrs, nil
 }
 
@@ -514,7 +551,14 @@ func (c *Client) SyncContext(ctx context.Context, conn io.ReadWriter) (*Result, 
 		ctx, cancel = context.WithTimeout(ctx, c.opt.timeout)
 		defer cancel()
 	}
+	start := time.Now()
+	record := c.opt.beginSession()
 	res, err := c.inner.SyncContext(ctx, conn)
+	var costs *Costs
+	if res != nil {
+		costs = res.Costs
+	}
+	record(costs, err, time.Since(start))
 	if err != nil {
 		return nil, err
 	}
@@ -540,7 +584,15 @@ func (c *Client) SyncTCP(addr string) (*Result, error) {
 // the handshake are returned immediately.
 func (c *Client) SyncTCPContext(ctx context.Context, addr string) (*Result, error) {
 	var res *Result
-	err := transport.Retry(ctx, c.opt.clock, c.opt.retry, func(int) error {
+	err := transport.Retry(ctx, c.opt.clock, c.opt.retry, func(n int) error {
+		if n > 1 {
+			if r := c.opt.metrics; r != nil {
+				r.Counter(obs.MetricRetries).Inc()
+			}
+			if l := c.opt.logger; l != nil {
+				l.Warn("msync: retrying sync", "attempt", n, "addr", addr)
+			}
+		}
 		d := net.Dialer{Timeout: c.opt.dialTimeout}
 		conn, err := d.DialContext(ctx, "tcp", addr)
 		if err != nil {

@@ -1,0 +1,48 @@
+package msync
+
+import (
+	"io"
+
+	"msync/internal/obs"
+)
+
+// Tracer receives span-like trace events as synchronization sessions run:
+// one event per protocol phase (handshake, each map-construction round,
+// group verification, delta transfer, full transfers) plus a session
+// summary. Tracing is purely observational — it never changes the bytes on
+// the wire — and the summed frame bytes of a session's spans equal its
+// Costs wire totals exactly. Implementations must be safe for concurrent
+// use; attach one with WithTracer.
+type Tracer = obs.Tracer
+
+// TraceEvent is one span emitted to a Tracer.
+type TraceEvent = obs.Event
+
+// RingTracer is a fixed-capacity in-memory Tracer that keeps the most
+// recent events; the zero-allocation choice for tests and for sampling a
+// live process.
+type RingTracer = obs.Ring
+
+// JSONLTracer appends events as JSON Lines to a writer or file.
+type JSONLTracer = obs.JSONL
+
+// NewRingTracer returns a Tracer retaining the last capacity events.
+func NewRingTracer(capacity int) *RingTracer { return obs.NewRing(capacity) }
+
+// NewJSONLTracer returns a Tracer writing one JSON object per event to w.
+// Write errors are sticky and reported by Err, never by panicking mid-sync.
+func NewJSONLTracer(w io.Writer) *JSONLTracer { return obs.NewJSONL(w) }
+
+// OpenJSONLTracer creates (truncating) path and returns a JSONLTracer that
+// owns the file; Close flushes and closes it.
+func OpenJSONLTracer(path string) (*JSONLTracer, error) { return obs.OpenJSONL(path) }
+
+// MetricsRegistry is a concurrency-safe registry of named counters, gauges
+// and histograms. Share one registry across clients and servers with
+// WithMetrics to aggregate their session and cost counters; expose it over
+// HTTP with its Handler method or inspect it with Snapshot. A nil registry
+// is valid everywhere and records nothing.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }

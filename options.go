@@ -1,6 +1,7 @@
 package msync
 
 import (
+	"log/slog"
 	"time"
 
 	"msync/internal/transport"
@@ -60,6 +61,10 @@ type sessionOptions struct {
 	cacheMem      int64
 	cacheParanoid bool
 	lazyResult    bool
+
+	logger  *slog.Logger
+	tracer  Tracer
+	metrics *MetricsRegistry
 }
 
 // Option configures a Client or Server at construction; see the With*
@@ -160,6 +165,30 @@ func WithParanoidCache() Option {
 // have the collection in memory anyway.
 func WithLazyResult() Option {
 	return func(o *sessionOptions) { o.lazyResult = true }
+}
+
+// WithLogger attaches a structured logger to the endpoint: session starts,
+// outcomes (bytes, roundtrips, wire and transport I/O counters) and retries
+// are logged through it at debug/info/warn levels. nil (the default)
+// disables logging entirely — there is no hidden default output.
+func WithLogger(l *slog.Logger) Option {
+	return func(o *sessionOptions) { o.logger = l }
+}
+
+// WithTracer attaches a Tracer receiving span-like events per protocol
+// phase; see Tracer for the guarantees. nil disables tracing at zero cost.
+func WithTracer(tr Tracer) Option {
+	return func(o *sessionOptions) { o.tracer = tr }
+}
+
+// WithMetrics folds every session's outcome into the given registry:
+// msync_sessions_total, msync_session_errors_total, the
+// msync_sessions_active gauge, a session-duration histogram, retry counts,
+// and the full per-direction/per-phase byte and technique counters mirrored
+// from each session's Costs. One registry may be shared by any number of
+// endpoints.
+func WithMetrics(r *MetricsRegistry) Option {
+	return func(o *sessionOptions) { o.metrics = r }
 }
 
 // WithWorkers bounds this endpoint's local parallelism: per-file engine
