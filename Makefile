@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-cache clean
+# fuzz-smoke budget per fuzz target; raise for a longer local fuzzing pass.
+FUZZTIME ?= 10s
+
+# Packages holding native Fuzz* targets (decoders and frame parsers).
+FUZZ_PKGS = ./internal/wire ./internal/delta ./internal/huffman \
+	./internal/collection ./internal/rsync ./internal/vcdiff
+
+.PHONY: all build test vet race check fuzz-smoke bench bench-cache clean
 
 all: check
 
@@ -24,9 +31,21 @@ race:
 # collection) and the observability layer (obs: shared metrics registries and
 # tracers must stay race-free) under vet and the race detector on their own,
 # so bugs there fail fast with a focused report before the full suite runs.
-check: vet race
+check: vet race fuzz-smoke
 	$(GO) vet ./internal/sigcache/ ./internal/dirio/ ./internal/collection/ ./internal/obs/
 	$(GO) test -race ./internal/sigcache/ ./internal/dirio/ ./internal/collection/ ./internal/obs/
+
+# fuzz-smoke runs every native fuzz target for FUZZTIME each (the toolchain
+# allows only one -fuzz pattern per invocation, hence the loop). The corpus
+# seeds include the regression inputs for the varint and frame-decoder
+# fixes, so this doubles as their regression gate.
+fuzz-smoke:
+	@set -e; for pkg in $(FUZZ_PKGS); do \
+		for t in $$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz'); do \
+			echo "fuzz $$pkg $$t ($(FUZZTIME))"; \
+			$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) $$pkg; \
+		done; \
+	done
 
 # bench runs the Go benchmarks once each, then regenerates BENCH_scan.json —
 # the scan-scaling report (serial vs parallel client map-construction

@@ -15,6 +15,13 @@
 // Clients bound each protocol round with -round-timeout and retry transient
 // dial/handshake failures -retry times with exponential backoff.
 //
+// Under load the server can bound its concurrency: -max-sessions caps the
+// sessions served at once, -max-queued lets a burst wait for a slot, and
+// anything beyond that is answered with a BUSY frame carrying a retry-after
+// hint that retrying clients honor automatically. -handshake-timeout evicts
+// dials that go idle before completing the opening exchange so they cannot
+// pin scarce slots.
+//
 // Both roles accept -workers to bound local hashing/scanning parallelism
 // (0 = all CPUs, 1 = serial). The setting never changes the bytes exchanged —
 // each side picks its own value independently.
@@ -66,6 +73,9 @@ func main() {
 		roundTO   = flag.Duration("round-timeout", 2*time.Minute, "per-round I/O deadline; stalled peers fail fast (0 = none)")
 		retries   = flag.Int("retry", 3, "client: attempts for dial/handshake failures (1 = no retry)")
 		grace     = flag.Duration("grace", 30*time.Second, "server: drain period for in-flight sessions on shutdown")
+		maxSess   = flag.Int("max-sessions", 0, "server: max concurrent sessions; over-capacity dials queue or get a BUSY answer (0 = unlimited)")
+		maxQueued = flag.Int("max-queued", 0, "server: connections allowed to wait for a session slot before shedding (0 = shed immediately)")
+		handshake = flag.Duration("handshake-timeout", 0, "server: deadline for a session's opening exchange; evicts idle dials pinning slots (0 = none)")
 		jsonOut   = flag.Bool("json", false, "client: print costs as JSON")
 		push      = flag.Bool("push", false, "client: push local (newer) data to the server instead of pulling")
 		allowPush = flag.Bool("allow-push", false, "server: accept pushes and update -dir")
@@ -79,7 +89,7 @@ func main() {
 	)
 	flag.Parse()
 
-	validateFlags(*workers, *retries, *cacheMem)
+	validateFlags(*workers, *retries, *cacheMem, *maxSess, *maxQueued)
 	extra := cacheOptions(*cacheDir, *cacheMem, *paranoid)
 	obsOpts, obsClose := obsSetup(*debugAddr, *traceOut, *logLevel)
 	extra = append(extra, obsOpts...)
@@ -87,6 +97,10 @@ func main() {
 	case *serve != "" && *connect != "":
 		fatalf("msync: -serve and -connect are mutually exclusive")
 	case *serve != "":
+		extra = append(extra,
+			msync.WithMaxSessions(*maxSess),
+			msync.WithMaxQueued(*maxQueued),
+			msync.WithHandshakeTimeout(*handshake))
 		code := runServer(*serve, *dir, buildConfig(*basic, *minB), *allowPush, *timeout, *roundTO, *grace, *workers, extra)
 		obsClose()
 		os.Exit(code)
@@ -111,7 +125,7 @@ func fatalf(format string, args ...any) {
 // validateFlags rejects numeric flag values the lower layers would otherwise
 // silently misinterpret (a negative worker count reads as "all CPUs", a
 // negative retry budget as "never even try").
-func validateFlags(workers, retries int, cacheMem int64) {
+func validateFlags(workers, retries int, cacheMem int64, maxSess, maxQueued int) {
 	if workers < 0 {
 		fatalf("msync: -workers must be >= 0 (got %d)", workers)
 	}
@@ -120,6 +134,15 @@ func validateFlags(workers, retries int, cacheMem int64) {
 	}
 	if cacheMem < 0 {
 		fatalf("msync: -cache-mem must be >= 0 (got %d)", cacheMem)
+	}
+	if maxSess < 0 {
+		fatalf("msync: -max-sessions must be >= 0 (got %d)", maxSess)
+	}
+	if maxQueued < 0 {
+		fatalf("msync: -max-queued must be >= 0 (got %d)", maxQueued)
+	}
+	if maxQueued > 0 && maxSess == 0 {
+		fatalf("msync: -max-queued requires -max-sessions")
 	}
 }
 

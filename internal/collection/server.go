@@ -48,6 +48,13 @@ type Server struct {
 	// server goroutine forever. Requires a connection with deadline
 	// support (net.Conn, transport.PipeEnd) to interrupt blocked I/O.
 	RoundTimeout time.Duration
+	// HandshakeTimeout, if positive, bounds the whole handshake phase
+	// (HELLO through the verdict exchange) with one absolute deadline, so
+	// an idle or deliberately slow dial cannot pin a session slot the way
+	// it could under the per-operation RoundTimeout alone. Cleared once
+	// per-file transfer begins. Requires deadline support on the
+	// connection, like RoundTimeout.
+	HandshakeTimeout time.Duration
 	// Tracer, if set, receives span-like events per protocol phase; the
 	// summed frame bytes of a session's spans equal its Costs wire totals.
 	// Tracing never changes what goes on the wire.
@@ -145,6 +152,9 @@ func (s *Server) Serve(conn io.ReadWriter) (*stats.Costs, error) {
 func (s *Server) ServeContext(ctx context.Context, conn io.ReadWriter) (*stats.Costs, error) {
 	sess := transport.NewSession(ctx, conn, s.RoundTimeout)
 	defer sess.Release()
+	if s.HandshakeTimeout > 0 {
+		sess.SetPhaseDeadline(time.Now().Add(s.HandshakeTimeout))
+	}
 	costs := &stats.Costs{}
 	fr := wire.GetFrameReader(sess)
 	defer wire.PutFrameReader(fr)
@@ -152,14 +162,15 @@ func (s *Server) ServeContext(ctx context.Context, conn io.ReadWriter) (*stats.C
 	defer wire.PutFrameWriter(fw)
 	st := newSessTrace(s.Tracer, s.Logger, "server")
 
-	res, err := s.serveConn(ctx, fr, fw, costs, st)
+	res, err := s.serveConn(ctx, sess, fr, fw, costs, st)
 	st.end(costs, err, fr, fw, sess.Stats())
 	return res, err
 }
 
 // serveConn runs the session body of ServeContext: handshake, role dispatch,
-// then serving (or consuming, for a push) the collection.
-func (s *Server) serveConn(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, st *sessTrace) (*stats.Costs, error) {
+// then serving (or consuming, for a push) the collection. sess carries the
+// handshake-phase deadline, lifted once the handshake is over.
+func (s *Server) serveConn(ctx context.Context, sess *transport.Session, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, st *sessTrace) (*stats.Costs, error) {
 	fail := func(err error) (*stats.Costs, error) {
 		_ = fw.WriteFrame(wire.FrameError, []byte(err.Error()))
 		_ = fw.Flush()
@@ -191,6 +202,9 @@ func (s *Server) serveConn(ctx context.Context, fr *wire.FrameReader, fw *wire.F
 		if !s.AllowPush {
 			return fail(fmt.Errorf("collection: push not allowed"))
 		}
+		// The pusher has identified itself and committed to a transfer; the
+		// anti-loris guard has done its job.
+		sess.SetPhaseDeadline(time.Time{})
 		src := s.source()
 		acct := beginAccounting(src)
 		res, err := consume(ctx, fr, fw, costs, src, false, mode == modeTree, s.cfg.Workers, st)
@@ -207,12 +221,13 @@ func (s *Server) serveConn(ctx context.Context, fr *wire.FrameReader, fw *wire.F
 	if role != rolePull {
 		return fail(fmt.Errorf("collection: unknown role %d", role))
 	}
-	return s.serveSession(ctx, fr, fw, costs, fail, mode, st)
+	return s.serveSession(ctx, sess, fr, fw, costs, fail, mode, st)
 }
 
 // serveSession runs the serving role after the handshake header, checking
-// ctx at every round boundary.
-func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, fail func(error) (*stats.Costs, error), mode byte, st *sessTrace) (*stats.Costs, error) {
+// ctx at every round boundary. sess may be nil (outbound push: no admission
+// guard to lift).
+func (s *Server) serveSession(ctx context.Context, sess *transport.Session, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, fail func(error) (*stats.Costs, error), mode byte, st *sessTrace) (*stats.Costs, error) {
 	// Accounting must start before sessionState so a first session's
 	// manifest build (cache misses, streamed hashing) is attributed to it.
 	acct := beginAccounting(s.source())
@@ -235,6 +250,11 @@ func (s *Server) serveSession(ctx context.Context, fr *wire.FrameReader, fw *wir
 	}
 	if err != nil {
 		return fail(err)
+	}
+	if sess != nil {
+		// Verdicts are out: the client is real and transfer has begun, so
+		// the handshake deadline no longer applies.
+		sess.SetPhaseDeadline(time.Time{})
 	}
 
 	// Map-construction rounds, multiplexed across all sync files.
@@ -426,7 +446,7 @@ func (s *Server) PushContext(ctx context.Context, conn io.ReadWriter) (*stats.Co
 			_ = fw.Flush()
 			return costs, err
 		}
-		return s.serveSession(ctx, fr, fw, costs, fail, mode, st)
+		return s.serveSession(ctx, nil, fr, fw, costs, fail, mode, st)
 	}()
 	st.end(costs, err, fr, fw, sess.Stats())
 	return res, err

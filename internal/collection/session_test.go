@@ -223,3 +223,128 @@ func TestContextVariantsDelegate(t *testing.T) {
 		}
 	}
 }
+
+// TestHandshakeDeadlineUnpinsIdleDial: a dial that connects and never sends
+// HELLO must fail the server session once the handshake deadline fires —
+// even with no round timeout configured — so admission slots cannot be
+// pinned by slow-loris peers.
+func TestHandshakeDeadlineUnpinsIdleDial(t *testing.T) {
+	serverFiles, _ := sessionTestFiles()
+	srv, err := NewServer(serverFiles, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.HandshakeTimeout = 150 * time.Millisecond
+
+	a, b := transport.Pipe()
+	defer a.Close()
+	defer b.Close() // the "client": connected, forever silent
+
+	start := time.Now()
+	_, err = srv.ServeContext(context.Background(), a)
+	elapsed := time.Since(start)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("want deadline error from silent dial, got %v", err)
+	}
+	if elapsed < 140*time.Millisecond || elapsed > 5*time.Second {
+		t.Fatalf("handshake deadline fired after %v, configured 150ms", elapsed)
+	}
+}
+
+// TestHandshakeDeadlineLiftedAfterVerdicts: once the handshake completes,
+// the deadline must not abort a session whose transfer legitimately
+// outlives it. The client is throttled so each round takes real time and
+// the whole session comfortably exceeds the handshake budget.
+func TestHandshakeDeadlineLiftedAfterVerdicts(t *testing.T) {
+	serverFiles, clientFiles := sessionTestFiles()
+	srv, err := NewServer(serverFiles, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.HandshakeTimeout = 250 * time.Millisecond
+
+	a, b := transport.Pipe()
+	srvDone := make(chan error, 1)
+	go func() {
+		_, err := srv.ServeContext(context.Background(), a)
+		a.Close()
+		srvDone <- err
+	}()
+
+	c := NewClient(clientFiles)
+	res, err := c.SyncContext(context.Background(), &throttledConn{PipeEnd: b, delay: 60 * time.Millisecond})
+	b.Close()
+	if err != nil {
+		t.Fatalf("throttled sync failed: %v", err)
+	}
+	if err := <-srvDone; err != nil {
+		t.Fatalf("server session failed after handshake: %v", err)
+	}
+	if err := VerifyAgainst(res.Files, serverFiles); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// throttledConn delays every write, stretching the session without ever
+// stalling it.
+type throttledConn struct {
+	*transport.PipeEnd
+	delay time.Duration
+}
+
+func (c *throttledConn) Write(p []byte) (int, error) {
+	time.Sleep(c.delay)
+	return c.PipeEnd.Write(p)
+}
+
+// TestBusyAnswerIsTypedAndRetrySafe: a client whose dial is answered with
+// BUSY gets a *wire.BusyError carrying the retry-after hint, tagged as a
+// handshake-phase (retry-safe) failure.
+func TestBusyAnswerIsTypedAndRetrySafe(t *testing.T) {
+	a, b := transport.Pipe()
+	defer a.Close()
+	go func() {
+		fw := wire.NewFrameWriter(a)
+		_ = fw.WriteFrame(wire.FrameBusy, wire.EncodeBusy(750*time.Millisecond))
+		_ = fw.Flush()
+	}()
+
+	_, clientFiles := sessionTestFiles()
+	_, err := NewClient(clientFiles).SyncContext(context.Background(), b)
+	b.Close()
+	var busy *wire.BusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("want BusyError, got %v", err)
+	}
+	if busy.RetryAfter != 750*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want 750ms", busy.RetryAfter)
+	}
+	if !errors.Is(err, ErrHandshake) {
+		t.Fatalf("busy refusal must be retry-safe (ErrHandshake), got %v", err)
+	}
+}
+
+// TestBusyAnswerTreeMode: the same classification holds for tree-manifest
+// clients, whose first expected frame is TREE rather than VERDICTS.
+func TestBusyAnswerTreeMode(t *testing.T) {
+	a, b := transport.Pipe()
+	defer a.Close()
+	go func() {
+		fw := wire.NewFrameWriter(a)
+		_ = fw.WriteFrame(wire.FrameBusy, wire.EncodeBusy(time.Second))
+		_ = fw.Flush()
+	}()
+
+	_, clientFiles := sessionTestFiles()
+	c := NewClient(clientFiles)
+	c.TreeManifest = true
+	_, err := c.SyncContext(context.Background(), b)
+	b.Close()
+	var busy *wire.BusyError
+	if !errors.As(err, &busy) || busy.RetryAfter != time.Second {
+		t.Fatalf("tree-mode busy = %v, want BusyError{1s}", err)
+	}
+	if !errors.Is(err, ErrHandshake) {
+		t.Fatalf("tree-mode busy must be ErrHandshake, got %v", err)
+	}
+}

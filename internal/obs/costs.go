@@ -17,6 +17,32 @@ const (
 	MetricRetries        = "msync_retries_total"
 )
 
+// Admission-control and accept-loop metric names (server side unless noted).
+// The invariant dashboards lean on: conns_accepted == sessions_admitted +
+// sessions_shed once the accept path has quiesced.
+const (
+	// MetricConnsAccepted counts connections the accept loop handed to the
+	// admission layer.
+	MetricConnsAccepted = "msync_conns_accepted_total"
+	// MetricSessionsAdmitted counts connections that won a session slot.
+	MetricSessionsAdmitted = "msync_sessions_admitted_total"
+	// MetricSessionsShed counts connections refused with a BUSY answer
+	// (queue full, or queued when shutdown began).
+	MetricSessionsShed = "msync_sessions_shed_total"
+	// MetricSessionsQueued gauges connections waiting for a session slot.
+	MetricSessionsQueued = "msync_sessions_queued"
+	// MetricAcceptRetries counts transient Accept failures survived via
+	// backoff (EMFILE, ECONNABORTED, ...).
+	MetricAcceptRetries = "msync_accept_retries_total"
+	// MetricClientAborts counts sessions that died to a peer hang-up or
+	// reset; MetricSessionFailures counts the server-side remainder.
+	MetricClientAborts    = "msync_session_client_aborts_total"
+	MetricSessionFailures = "msync_session_server_errors_total"
+	// MetricBusyResponses counts BUSY answers observed by a client's
+	// SyncTCP retry loop (client side).
+	MetricBusyResponses = "msync_busy_responses_total"
+)
+
 // costCounters maps the scalar stats.Costs fields onto counter names.
 var costCounters = []struct {
 	name string

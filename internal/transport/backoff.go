@@ -95,6 +95,29 @@ func (p BackoffPolicy) Delay(attempt int, rng *rand.Rand) time.Duration {
 	return time.Duration(d)
 }
 
+// hintedError carries a server-provided retry-after hint alongside a
+// retryable error. Retry honors the hint by waiting at least that long
+// before the next attempt.
+type hintedError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *hintedError) Error() string { return e.err.Error() }
+func (e *hintedError) Unwrap() error { return e.err }
+
+// RetryAfterHint wraps a retryable err with a server-suggested minimum wait
+// before the next attempt (e.g. from a BUSY load-shedding answer). Retry
+// sleeps max(policy delay, hint), so an overloaded server can stretch the
+// schedule without the client abandoning its jittered backoff. A nil err
+// stays nil; a non-positive hint leaves the schedule untouched.
+func RetryAfterHint(err error, after time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return &hintedError{err: err, after: after}
+}
+
 // permanentError marks an error that Retry must not retry.
 type permanentError struct{ err error }
 
@@ -142,7 +165,12 @@ func Retry(ctx context.Context, clock Clock, p BackoffPolicy, attempt func(n int
 		if n == max {
 			break
 		}
-		if err := clock.Sleep(ctx, p.Delay(n, rng)); err != nil {
+		delay := p.Delay(n, rng)
+		var hinted *hintedError
+		if errors.As(last, &hinted) && hinted.after > delay {
+			delay = hinted.after
+		}
+		if err := clock.Sleep(ctx, delay); err != nil {
 			return fmt.Errorf("transport: retry cancelled after %d attempts (%w): last error: %v", n, err, last)
 		}
 	}

@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -77,5 +79,48 @@ func TestDelayEarlyAttemptsUnchanged(t *testing.T) {
 	zero := BackoffPolicy{Multiplier: 2}
 	if d := zero.Delay(50, nil); d != 0 {
 		t.Fatalf("zero-base Delay(50) = %v, want 0", d)
+	}
+}
+
+// TestRetryAfterHintStretchesSchedule: a hint longer than the policy delay
+// wins; a shorter one leaves the jittered schedule untouched.
+func TestRetryAfterHintStretchesSchedule(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	p := BackoffPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, Multiplier: 2}
+	calls := 0
+	err := Retry(context.Background(), clock, p, func(n int) error {
+		calls++
+		if n == 1 {
+			return RetryAfterHint(errors.New("busy"), 500*time.Millisecond)
+		}
+		if n == 2 {
+			return RetryAfterHint(errors.New("busy"), time.Millisecond)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("retry = %v after %d calls", err, calls)
+	}
+	slept := clock.Slept()
+	if len(slept) != 2 {
+		t.Fatalf("want 2 sleeps, got %v", slept)
+	}
+	if slept[0] != 500*time.Millisecond {
+		t.Fatalf("hinted sleep = %v, want the 500ms hint", slept[0])
+	}
+	if slept[1] != 20*time.Millisecond {
+		t.Fatalf("short hint sleep = %v, want the 20ms policy delay", slept[1])
+	}
+}
+
+// TestRetryAfterHintNil: nil in, nil out.
+func TestRetryAfterHintNil(t *testing.T) {
+	if RetryAfterHint(nil, time.Second) != nil {
+		t.Fatal("RetryAfterHint(nil) != nil")
+	}
+	// The wrapped cause stays inspectable.
+	cause := errors.New("boom")
+	if !errors.Is(RetryAfterHint(cause, time.Second), cause) {
+		t.Fatal("hint wrapper hides the cause")
 	}
 }

@@ -38,6 +38,14 @@ type Session struct {
 	ds        deadlineSetter // nil when rw has no deadline support
 	opTimeout time.Duration
 
+	// phaseDeadline, when non-zero, caps every operation's effective
+	// deadline in addition to opTimeout and the context deadline. The
+	// server's admission layer uses it to bound the handshake phase so an
+	// idle or slow-loris dial cannot pin a session slot; the serving loop
+	// clears it once the handshake completes. Owned by the session's
+	// protocol goroutine (never touched by the watcher), so a plain field.
+	phaseDeadline time.Time
+
 	stop     chan struct{}
 	stopOnce sync.Once
 
@@ -103,6 +111,13 @@ func (s *Session) Release() {
 	})
 }
 
+// SetPhaseDeadline installs an absolute deadline applied to every
+// subsequent operation until cleared with the zero time. It composes with
+// the per-operation timeout and the context deadline: the earliest wins.
+// Effective only on connections with deadline support; call it from the
+// session's own protocol goroutine.
+func (s *Session) SetPhaseDeadline(t time.Time) { s.phaseDeadline = t }
+
 // Read implements io.Reader with context and round-timeout checks.
 func (s *Session) Read(p []byte) (int, error) { return s.do(p, true) }
 
@@ -120,6 +135,9 @@ func (s *Session) do(p []byte, read bool) (int, error) {
 		}
 		if cd, ok := s.ctx.Deadline(); ok && (dl.IsZero() || cd.Before(dl)) {
 			dl = cd
+		}
+		if !s.phaseDeadline.IsZero() && (dl.IsZero() || s.phaseDeadline.Before(dl)) {
+			dl = s.phaseDeadline
 		}
 		if read {
 			_ = s.ds.SetReadDeadline(dl)
@@ -145,6 +163,9 @@ func (s *Session) do(p []byte, read bool) (int, error) {
 		// as a round timeout.
 		if cerr := s.ctx.Err(); cerr != nil {
 			return n, fmt.Errorf("transport: session: %w", cerr)
+		}
+		if !s.phaseDeadline.IsZero() && errors.Is(err, os.ErrDeadlineExceeded) && !time.Now().Before(s.phaseDeadline) {
+			return n, fmt.Errorf("transport: handshake deadline exceeded: %w", err)
 		}
 		if s.opTimeout > 0 && errors.Is(err, os.ErrDeadlineExceeded) {
 			return n, fmt.Errorf("transport: round timeout after %v: %w", s.opTimeout, err)

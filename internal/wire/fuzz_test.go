@@ -16,12 +16,19 @@ func FuzzFrameReader(f *testing.F) {
 	fw.Flush()
 	f.Add(buf.Bytes())
 	f.Add([]byte{FrameRoundHashes, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02})
+	// Overlong length varint: 10 continuation bytes followed by more — must
+	// fail with ErrVarintOverflow, not a bogus length.
+	f.Add([]byte{FrameHello, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01})
+	// Tenth byte with more than one value bit set: also an overflow.
+	f.Add([]byte{FrameHello, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	// Truncated mid-varint: stream ends inside the length prefix.
+	f.Add([]byte{FrameDelta, 0xFF, 0x90})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr := NewFrameReader(bytes.NewReader(data))
 		for {
 			_, payload, err := fr.ReadFrame()
 			if err != nil {
-				if err != io.EOF && err != io.ErrUnexpectedEOF && err != ErrFrameTooLarge {
+				if err != io.EOF && err != io.ErrUnexpectedEOF && err != ErrFrameTooLarge && err != ErrVarintOverflow {
 					// Any other error type is fine too; just never panic.
 					_ = err
 				}
@@ -41,10 +48,18 @@ func FuzzParser(f *testing.F) {
 	b.String("hello")
 	b.Bytes([]byte{1, 2, 3})
 	f.Add(b.Build())
+	// Overlong varint (11 bytes of continuation) and a truncated one: both
+	// must surface typed errors, never a misleading value.
+	f.Add(bytes.Repeat([]byte{0xFF}, 11))
+	f.Add([]byte{0x80})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p := NewParser(data)
-		p.Uvarint()
-		p.Varint()
+		if _, err := p.Uvarint(); err != nil && err != ErrTruncated && err != ErrVarintOverflow {
+			t.Fatalf("Uvarint error %v, want ErrTruncated or ErrVarintOverflow", err)
+		}
+		if _, err := p.Varint(); err != nil && err != ErrTruncated && err != ErrVarintOverflow {
+			t.Fatalf("Varint error %v, want ErrTruncated or ErrVarintOverflow", err)
+		}
 		p.Byte()
 		p.Bool()
 		p.Bytes()

@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"time"
 )
 
 // MaxFrameSize bounds a single frame payload. Frames carry per-round batches
@@ -38,6 +40,11 @@ const (
 	FrameTree
 	// FrameWant lists the files a tree-mode client asks to receive.
 	FrameWant
+	// FrameBusy is the server's load-shedding answer to an over-capacity
+	// dial: the session is refused before any state is exchanged and the
+	// payload carries a retry-after hint. Appended after every pre-existing
+	// type so admitted sessions stay byte-identical across versions.
+	FrameBusy
 )
 
 // FrameName returns a human-readable name for a frame type.
@@ -69,6 +76,8 @@ func FrameName(t byte) string {
 		return "TREE"
 	case FrameWant:
 		return "WANT"
+	case FrameBusy:
+		return "BUSY"
 	default:
 		return fmt.Sprintf("UNKNOWN(%d)", t)
 	}
@@ -77,6 +86,50 @@ func FrameName(t byte) string {
 // ErrFrameTooLarge is returned when a frame header declares a payload larger
 // than MaxFrameSize.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// ErrVarintOverflow is returned for overlong varints: encodings that run
+// past the 10-byte maximum or whose tenth byte carries more than one value
+// bit. encoding/binary reports these with a negative length that a naive
+// caller can mistake for truncation; surfacing a distinct error keeps
+// "corrupt stream" and "short stream" diagnosable apart.
+var ErrVarintOverflow = errors.New("wire: varint overflows 64 bits")
+
+// ErrTruncated is returned when a message ends in the middle of a value.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// BusyError is the decoded form of a BUSY frame: the server refused the
+// session at admission (over capacity) and suggests retrying after the
+// embedded hint. It reaches callers as an error so retry loops can
+// recognize it with errors.As and honor RetryAfter.
+type BusyError struct {
+	// RetryAfter is the server's backoff hint; 0 means "whenever".
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("wire: server busy, retry after %v", e.RetryAfter)
+}
+
+// EncodeBusy builds the BUSY frame payload: the retry-after hint in
+// milliseconds as a uvarint. Sub-millisecond hints round up so a positive
+// hint never encodes as zero.
+func EncodeBusy(retryAfter time.Duration) []byte {
+	ms := int64(0)
+	if retryAfter > 0 {
+		ms = int64((retryAfter + time.Millisecond - 1) / time.Millisecond)
+	}
+	return AppendUvarint(nil, uint64(ms))
+}
+
+// DecodeBusy parses a BUSY payload. A malformed payload degrades to a zero
+// hint rather than failing: the session is refused either way.
+func DecodeBusy(payload []byte) *BusyError {
+	ms, n := binary.Uvarint(payload)
+	if n <= 0 || ms > uint64(math.MaxInt64/int64(time.Millisecond)) {
+		return &BusyError{}
+	}
+	return &BusyError{RetryAfter: time.Duration(ms) * time.Millisecond}
+}
 
 // AppendUvarint appends v to buf using the standard varint encoding.
 func AppendUvarint(buf []byte, v uint64) []byte {
@@ -149,23 +202,30 @@ type Parser struct {
 func NewParser(p []byte) *Parser { return &Parser{b: p} }
 
 // errShort is the generic truncation error.
-var errShort = errors.New("wire: truncated message")
+var errShort = ErrTruncated
 
-// Uvarint reads an unsigned varint.
+// Uvarint reads an unsigned varint. A buffer ending mid-varint returns
+// ErrTruncated; an overlong encoding returns ErrVarintOverflow.
 func (p *Parser) Uvarint() (uint64, error) {
 	v, n := binary.Uvarint(p.b[p.pos:])
-	if n <= 0 {
+	if n == 0 {
 		return 0, errShort
+	}
+	if n < 0 {
+		return 0, ErrVarintOverflow
 	}
 	p.pos += n
 	return v, nil
 }
 
-// Varint reads a signed varint.
+// Varint reads a signed varint, with the same error split as Uvarint.
 func (p *Parser) Varint() (int64, error) {
 	v, n := binary.Varint(p.b[p.pos:])
-	if n <= 0 {
+	if n == 0 {
 		return 0, errShort
+	}
+	if n < 0 {
+		return 0, ErrVarintOverflow
 	}
 	p.pos += n
 	return v, nil
@@ -281,13 +341,16 @@ func NewFrameReader(r io.Reader) *FrameReader {
 	return &FrameReader{r: bufio.NewReaderSize(r, 64<<10)}
 }
 
-// ReadFrame reads the next frame. The payload is freshly allocated.
+// ReadFrame reads the next frame. The payload is freshly allocated. A
+// length prefix with an overlong varint encoding fails with
+// ErrVarintOverflow instead of desynchronizing the stream; a stream that
+// ends inside the header or payload fails with io.ErrUnexpectedEOF.
 func (fr *FrameReader) ReadFrame() (frameType byte, payload []byte, err error) {
 	frameType, err = fr.r.ReadByte()
 	if err != nil {
 		return 0, nil, err
 	}
-	size, err := binary.ReadUvarint(fr.r)
+	size, sizeLen, err := readUvarint(fr.r)
 	if err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
@@ -302,8 +365,31 @@ func (fr *FrameReader) ReadFrame() (frameType byte, payload []byte, err error) {
 		return 0, nil, err
 	}
 	fr.frames++
-	fr.bytes += 1 + int64(uvarintLen(size)) + int64(size)
+	fr.bytes += 1 + int64(sizeLen) + int64(size)
 	return frameType, payload, nil
+}
+
+// readUvarint reads a varint byte-by-byte so overlong encodings surface as
+// ErrVarintOverflow (binary.ReadUvarint reports them with a private error
+// value that callers cannot test for). It also returns the encoded length.
+func readUvarint(r *bufio.Reader) (uint64, int, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, 0, err
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, 0, ErrVarintOverflow
+			}
+			return x | uint64(b)<<s, i + 1, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, 0, ErrVarintOverflow
 }
 
 // Counts reports the frames and bytes (headers included) read so far.
@@ -313,17 +399,9 @@ func (fr *FrameReader) Counts() (frames, bytes int64) { return fr.frames, fr.byt
 // sessions).
 func (fr *FrameReader) ResetCounts() { fr.frames, fr.bytes = 0, 0 }
 
-// uvarintLen is the encoded size of v as an unsigned varint.
-func uvarintLen(v uint64) int {
-	n := 1
-	for v >= 0x80 {
-		n++
-		v >>= 7
-	}
-	return n
-}
-
-// ExpectFrame reads the next frame and verifies its type.
+// ExpectFrame reads the next frame and verifies its type. A BUSY answer in
+// place of the expected frame decodes to a *BusyError so retry loops can
+// recognize admission refusals wherever they land in the handshake.
 func (fr *FrameReader) ExpectFrame(want byte) ([]byte, error) {
 	got, payload, err := fr.ReadFrame()
 	if err != nil {
@@ -332,6 +410,9 @@ func (fr *FrameReader) ExpectFrame(want byte) ([]byte, error) {
 	if got != want {
 		if got == FrameError {
 			return nil, fmt.Errorf("wire: remote error: %s", payload)
+		}
+		if got == FrameBusy {
+			return nil, DecodeBusy(payload)
 		}
 		return nil, fmt.Errorf("wire: expected frame %s, got %s", FrameName(want), FrameName(got))
 	}

@@ -2,10 +2,12 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"msync/internal/bitio"
 )
@@ -210,5 +212,100 @@ func TestBitmapDecodeShort(t *testing.T) {
 	r := bitio.NewReader([]byte{0xFF})
 	if _, err := DecodeBitmap(r, 9); err == nil {
 		t.Fatal("no error for short input")
+	}
+}
+
+// TestVarintTypedErrors: overlong and truncated varints are told apart by
+// distinct typed errors instead of a shared "truncated" catch-all.
+func TestVarintTypedErrors(t *testing.T) {
+	overlong := bytes.Repeat([]byte{0x80}, 10)
+	overlong = append(overlong, 0x01) // 11 bytes: past MaxVarintLen64
+	if _, err := NewParser(overlong).Uvarint(); err != ErrVarintOverflow {
+		t.Fatalf("overlong Uvarint error = %v, want ErrVarintOverflow", err)
+	}
+	if _, err := NewParser(overlong).Varint(); err != ErrVarintOverflow {
+		t.Fatalf("overlong Varint error = %v, want ErrVarintOverflow", err)
+	}
+	// Tenth byte with more than one value bit: overflows uint64.
+	hot := append(bytes.Repeat([]byte{0xFF}, 9), 0x7F)
+	if _, err := NewParser(hot).Uvarint(); err != ErrVarintOverflow {
+		t.Fatalf("hot-tail Uvarint error = %v, want ErrVarintOverflow", err)
+	}
+	truncated := []byte{0xFF, 0x90}
+	if _, err := NewParser(truncated).Uvarint(); err != ErrTruncated {
+		t.Fatalf("truncated Uvarint error = %v, want ErrTruncated", err)
+	}
+	if _, err := NewParser(truncated).Varint(); err != ErrTruncated {
+		t.Fatalf("truncated Varint error = %v, want ErrTruncated", err)
+	}
+	if _, err := NewParser(nil).Uvarint(); err != ErrTruncated {
+		t.Fatalf("empty Uvarint error = %v, want ErrTruncated", err)
+	}
+}
+
+// TestFrameReaderVarintErrors: the frame length prefix gets the same
+// treatment — overlong headers fail typed, truncated ones as unexpected EOF.
+func TestFrameReaderVarintErrors(t *testing.T) {
+	overlong := append([]byte{FrameHello}, bytes.Repeat([]byte{0x80}, 10)...)
+	overlong = append(overlong, 0x01)
+	if _, _, err := NewFrameReader(bytes.NewReader(overlong)).ReadFrame(); err != ErrVarintOverflow {
+		t.Fatalf("overlong frame length error = %v, want ErrVarintOverflow", err)
+	}
+	hot := append([]byte{FrameHello}, bytes.Repeat([]byte{0xFF}, 9)...)
+	hot = append(hot, 0x7F)
+	if _, _, err := NewFrameReader(bytes.NewReader(hot)).ReadFrame(); err != ErrVarintOverflow {
+		t.Fatalf("hot-tail frame length error = %v, want ErrVarintOverflow", err)
+	}
+	truncated := []byte{FrameHello, 0xFF}
+	if _, _, err := NewFrameReader(bytes.NewReader(truncated)).ReadFrame(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated frame length error = %v, want ErrUnexpectedEOF", err)
+	}
+	// A valid max-length encoding still decodes (counts must match too).
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.WriteFrame(FrameAck, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	fw.Flush()
+	fr := NewFrameReader(bytes.NewReader(buf.Bytes()))
+	if _, payload, err := fr.ReadFrame(); err != nil || len(payload) != 3 {
+		t.Fatalf("round-trip frame = (%v, %v)", payload, err)
+	}
+	if _, b := fr.Counts(); b != int64(buf.Len()) {
+		t.Fatalf("reader counted %d bytes, wrote %d", b, buf.Len())
+	}
+}
+
+// TestBusyRoundTrip: BUSY payload encoding, decoding and the ExpectFrame
+// classification that turns it into a typed error.
+func TestBusyRoundTrip(t *testing.T) {
+	for _, d := range []time.Duration{0, time.Millisecond, 250 * time.Millisecond, 30 * time.Second} {
+		got := DecodeBusy(EncodeBusy(d))
+		if got.RetryAfter != d {
+			t.Fatalf("busy round-trip %v -> %v", d, got.RetryAfter)
+		}
+	}
+	// Sub-millisecond hints round up, never to zero.
+	if got := DecodeBusy(EncodeBusy(100 * time.Microsecond)); got.RetryAfter != time.Millisecond {
+		t.Fatalf("sub-ms hint decoded to %v, want 1ms", got.RetryAfter)
+	}
+	// Malformed payloads degrade to a zero hint.
+	if got := DecodeBusy([]byte{0xFF}); got.RetryAfter != 0 {
+		t.Fatalf("malformed busy payload decoded to %v", got.RetryAfter)
+	}
+
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.WriteFrame(FrameBusy, EncodeBusy(2*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	fw.Flush()
+	_, err := NewFrameReader(bytes.NewReader(buf.Bytes())).ExpectFrame(FrameVerdicts)
+	var busy *BusyError
+	if !errors.As(err, &busy) || busy.RetryAfter != 2*time.Second {
+		t.Fatalf("ExpectFrame on BUSY = %v, want BusyError{2s}", err)
+	}
+	if FrameName(FrameBusy) != "BUSY" {
+		t.Fatalf("FrameName(FrameBusy) = %q", FrameName(FrameBusy))
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"syscall"
 	"time"
 
 	"msync/internal/collection"
@@ -47,6 +48,7 @@ import (
 	"msync/internal/sigcache"
 	"msync/internal/stats"
 	"msync/internal/transport"
+	"msync/internal/wire"
 )
 
 // Config tunes the synchronization protocol; see the field documentation in
@@ -115,6 +117,14 @@ func BroadcastFile(current []byte, olds [][]byte, cfg Config) (*BroadcastResult,
 // Shutdown or Close.
 var ErrServerClosed = errors.New("msync: server closed")
 
+// BusyError is the typed refusal a Server sends when admission control
+// sheds a connection (WithMaxSessions/WithMaxQueued): RetryAfter carries
+// the server's suggested minimum wait before redialing. Sync and
+// SyncContext surface it wrapped (inspect with errors.As); SyncTCP and
+// SyncTCPContext with a WithRetry policy consume it themselves, folding
+// the hint into the backoff schedule.
+type BusyError = wire.BusyError
+
 // Server serves the current version of a collection to synchronizing
 // clients. Configure it at construction with Options (timeouts, push,
 // session observation); control its listeners' lifecycle with Shutdown and
@@ -128,11 +138,35 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
+	// Admission control (WithMaxSessions/WithMaxQueued): sem holds one
+	// token per running session, queue one per connection waiting for a
+	// slot. Both nil when admission is unlimited. done closes when
+	// shutdown begins so queued waiters shed instead of waiting forever.
+	sem   chan struct{}
+	queue chan struct{}
+	done  chan struct{}
+
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
 	sessions  sync.WaitGroup
 	shutdown  bool
+}
+
+// initServing finishes construction of the serving path once options are
+// applied: base context, shutdown signal, and the admission semaphore/queue.
+func (s *Server) initServing() {
+	if s.opt.busyRetryAfter <= 0 {
+		s.opt.busyRetryAfter = time.Second
+	}
+	if n := s.opt.maxSessions; n > 0 {
+		s.sem = make(chan struct{}, n)
+		if q := s.opt.maxQueued; q > 0 {
+			s.queue = make(chan struct{}, q)
+		}
+	}
+	s.done = make(chan struct{})
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 }
 
 // NewServer creates a Server over a path-keyed collection. Options configure
@@ -155,11 +189,12 @@ func NewServer(files map[string][]byte, cfg Config, opts ...Option) (*Server, er
 	s.inner = inner
 	inner.TreeManifest = s.opt.treeManifest
 	inner.RoundTimeout = s.opt.roundTimeout
+	inner.HandshakeTimeout = s.opt.handshakeTimeout
 	inner.AllowPush = s.opt.allowPush
 	inner.OnUpdate = s.opt.onUpdate
 	inner.Tracer = s.opt.tracer
 	inner.Logger = s.opt.logger
-	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.initServing()
 	return s, nil
 }
 
@@ -193,11 +228,12 @@ func NewDirServer(root string, cfg Config, opts ...Option) (*Server, []error, er
 	s.inner = inner
 	inner.TreeManifest = s.opt.treeManifest
 	inner.RoundTimeout = s.opt.roundTimeout
+	inner.HandshakeTimeout = s.opt.handshakeTimeout
 	inner.AllowPush = s.opt.allowPush
 	inner.OnUpdate = s.opt.onUpdate
 	inner.Tracer = s.opt.tracer
 	inner.Logger = s.opt.logger
-	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.initServing()
 	return s, werrs, nil
 }
 
@@ -289,6 +325,13 @@ func (s *Server) ListenAndServe(addr string) error {
 // the server is shut down (ErrServerClosed). Every session goroutine is
 // tracked: Shutdown drains them gracefully and Close reaps them, so none
 // leak past the server's lifecycle.
+//
+// Transient Accept failures — file-descriptor exhaustion (EMFILE/ENFILE),
+// connections aborted before accept (ECONNABORTED) and anything a net.Error
+// self-reports as temporary — do not end the loop; they are retried with
+// exponential backoff from 5ms up to 1s. Each accepted connection passes
+// admission control (WithMaxSessions/WithMaxQueued) before being served;
+// over-capacity connections are refused with a BUSY answer.
 func (s *Server) ServeListener(l net.Listener) error {
 	s.mu.Lock()
 	if s.shutdown {
@@ -304,13 +347,38 @@ func (s *Server) ServeListener(l net.Listener) error {
 		s.mu.Unlock()
 	}()
 
+	var acceptDelay time.Duration
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			if s.closing() {
 				return ErrServerClosed
 			}
-			return err
+			if !isTemporaryAccept(err) {
+				return err
+			}
+			if acceptDelay == 0 {
+				acceptDelay = 5 * time.Millisecond
+			} else if acceptDelay *= 2; acceptDelay > time.Second {
+				acceptDelay = time.Second
+			}
+			if r := s.opt.metrics; r != nil {
+				r.Counter(obs.MetricAcceptRetries).Inc()
+			}
+			if lg := s.opt.logger; lg != nil {
+				lg.Warn("msync: transient accept error; retrying",
+					"error", err, "backoff", acceptDelay)
+			}
+			select {
+			case <-time.After(acceptDelay):
+			case <-s.done:
+				return ErrServerClosed
+			}
+			continue
+		}
+		acceptDelay = 0
+		if r := s.opt.metrics; r != nil {
+			r.Counter(obs.MetricConnsAccepted).Inc()
 		}
 		s.mu.Lock()
 		if s.shutdown {
@@ -321,17 +389,153 @@ func (s *Server) ServeListener(l net.Listener) error {
 		s.conns[conn] = struct{}{}
 		s.sessions.Add(1)
 		s.mu.Unlock()
-		go func(c net.Conn) {
-			defer s.sessions.Done()
-			defer func() {
-				s.mu.Lock()
-				delete(s.conns, c)
-				s.mu.Unlock()
-				c.Close()
-			}()
-			_, _ = s.ServeContext(s.baseCtx, c)
-		}(conn)
+		go s.handleConn(conn)
 	}
+}
+
+// isTemporaryAccept reports whether an Accept error is worth retrying:
+// descriptor exhaustion and racily-aborted connections are load conditions
+// that pass, not listener failures.
+func isTemporaryAccept(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Temporary() { //nolint:staticcheck // the accept-retry idiom net/http uses
+		return true
+	}
+	for _, errno := range []syscall.Errno{
+		syscall.ECONNABORTED, syscall.ECONNRESET,
+		syscall.EMFILE, syscall.ENFILE, syscall.EINTR,
+	} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}
+
+// handleConn owns one accepted connection for its whole lifetime: admission
+// (waiting in the queue if configured), the session itself, then outcome
+// classification. It runs on its own goroutine, tracked by s.sessions.
+func (s *Server) handleConn(c net.Conn) {
+	defer s.sessions.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	release, ok := s.admit()
+	if !ok {
+		s.shed(c)
+		return
+	}
+	defer release()
+	if r := s.opt.metrics; r != nil {
+		r.Counter(obs.MetricSessionsAdmitted).Inc()
+	}
+	_, err := s.ServeContext(s.baseCtx, c)
+	s.recordSessionError(c, err)
+}
+
+// admit acquires a session slot, waiting in the bounded queue when the
+// server is at capacity. ok=false means the connection must be shed: the
+// queue was full, or shutdown began while waiting. The returned release
+// frees the slot and must be called exactly once when ok.
+func (s *Server) admit() (release func(), ok bool) {
+	if s.sem == nil {
+		return func() {}, true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return s.releaseSlot, true
+	default:
+	}
+	if s.queue == nil {
+		return nil, false
+	}
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		return nil, false
+	}
+	if r := s.opt.metrics; r != nil {
+		r.Gauge(obs.MetricSessionsQueued).Inc()
+	}
+	defer func() {
+		if r := s.opt.metrics; r != nil {
+			r.Gauge(obs.MetricSessionsQueued).Dec()
+		}
+		<-s.queue
+	}()
+	select {
+	case s.sem <- struct{}{}:
+		return s.releaseSlot, true
+	case <-s.done:
+		return nil, false
+	}
+}
+
+func (s *Server) releaseSlot() { <-s.sem }
+
+// shed refuses an over-capacity connection: a BUSY frame with the
+// configured retry-after hint, then a brief drain of the peer's unread
+// input before close. The drain matters — the client has already sent its
+// hello and manifest, and closing with unread receive data makes TCP reset
+// the connection, destroying the BUSY answer in the peer's buffer before
+// it can be read.
+func (s *Server) shed(c net.Conn) {
+	if r := s.opt.metrics; r != nil {
+		r.Counter(obs.MetricSessionsShed).Inc()
+	}
+	if lg := s.opt.logger; lg != nil {
+		lg.Warn("msync: shedding connection: server at capacity",
+			"remote", c.RemoteAddr().String(), "retry_after", s.opt.busyRetryAfter)
+	}
+	_ = c.SetWriteDeadline(time.Now().Add(time.Second))
+	fw := wire.NewFrameWriter(c)
+	if fw.WriteFrame(wire.FrameBusy, wire.EncodeBusy(s.opt.busyRetryAfter)) != nil || fw.Flush() != nil {
+		return
+	}
+	_ = c.SetReadDeadline(time.Now().Add(time.Second))
+	_, _ = io.Copy(io.Discard, c)
+}
+
+// recordSessionError classifies and logs one finished session's error —
+// the serving loop used to discard these outright, hiding both client
+// hang-ups and genuine server-side failures. Client aborts (peer hung up
+// or reset mid-session) and server-side errors feed separate counters so
+// an unhealthy server is distinguishable from unreliable clients.
+func (s *Server) recordSessionError(c net.Conn, err error) {
+	if err == nil {
+		return
+	}
+	abort := isClientAbort(err)
+	if r := s.opt.metrics; r != nil {
+		if abort {
+			r.Counter(obs.MetricClientAborts).Inc()
+		} else {
+			r.Counter(obs.MetricSessionFailures).Inc()
+		}
+	}
+	if lg := s.opt.logger; lg != nil {
+		if abort {
+			lg.Warn("msync: session aborted by client",
+				"remote", c.RemoteAddr().String(), "error", err)
+		} else {
+			lg.Error("msync: session failed",
+				"remote", c.RemoteAddr().String(), "error", err)
+		}
+	}
+}
+
+// isClientAbort reports whether a session error traces back to the peer
+// going away (EOF, reset, broken pipe, or our own shutdown closing the
+// conn) rather than a protocol or local failure.
+func isClientAbort(err error) bool {
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE)
 }
 
 // closing reports whether Shutdown or Close has begun.
@@ -373,10 +577,17 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// beginShutdown marks the server closing and stops all listeners.
+// beginShutdown marks the server closing, stops all listeners, and wakes
+// queued admission waiters so they shed with BUSY instead of waiting for
+// slots that will never free up for them.
 func (s *Server) beginShutdown() {
 	s.mu.Lock()
-	s.shutdown = true
+	if !s.shutdown {
+		s.shutdown = true
+		if s.done != nil {
+			close(s.done)
+		}
+	}
 	for l := range s.listeners {
 		l.Close()
 	}
@@ -581,7 +792,9 @@ func (c *Client) SyncTCP(addr string) (*Result, error) {
 // WithRetry policy, dial failures and handshake failures (any error before
 // file content is exchanged, including round timeouts while waiting for
 // verdicts) are retried with exponential backoff and jitter; failures after
-// the handshake are returned immediately.
+// the handshake are returned immediately. A BUSY load-shedding answer from
+// the server is likewise retried, waiting at least the server's RetryAfter
+// hint before the next attempt.
 func (c *Client) SyncTCPContext(ctx context.Context, addr string) (*Result, error) {
 	var res *Result
 	err := transport.Retry(ctx, c.opt.clock, c.opt.retry, func(n int) error {
@@ -601,6 +814,19 @@ func (c *Client) SyncTCPContext(ctx context.Context, addr string) (*Result, erro
 		defer conn.Close()
 		r, err := c.SyncContext(ctx, conn)
 		if err != nil {
+			var busy *BusyError
+			if errors.As(err, &busy) {
+				// Load-shedding answer: retry, waiting at least the
+				// server's hint before the next attempt.
+				if reg := c.opt.metrics; reg != nil {
+					reg.Counter(obs.MetricBusyResponses).Inc()
+				}
+				if l := c.opt.logger; l != nil {
+					l.Warn("msync: server busy", "attempt", n, "addr", addr,
+						"retry_after", busy.RetryAfter)
+				}
+				return transport.RetryAfterHint(err, busy.RetryAfter)
+			}
 			if errors.Is(err, collection.ErrHandshake) {
 				return err // no content exchanged: retry-safe
 			}

@@ -56,6 +56,11 @@ type sessionOptions struct {
 	hook         func(SessionEvent)
 	workers      int
 
+	maxSessions      int           // concurrent-session cap; 0 = unlimited
+	maxQueued        int           // admission wait-queue depth; 0 = no queue
+	handshakeTimeout time.Duration // server-side handshake phase deadline
+	busyRetryAfter   time.Duration // retry-after hint carried by BUSY answers
+
 	cacheEnabled  bool
 	cacheDir      string
 	cacheMem      int64
@@ -129,6 +134,46 @@ func WithPush(onUpdate func(map[string][]byte)) Option {
 // logging and metrics.
 func WithSessionHook(fn func(SessionEvent)) Option {
 	return func(o *sessionOptions) { o.hook = fn }
+}
+
+// WithMaxSessions caps the number of synchronization sessions a Server runs
+// concurrently across all of its listeners. Connections arriving past the
+// cap wait in the admission queue (see WithMaxQueued) and, when that is also
+// full, are refused with a BUSY answer carrying a retry-after hint instead
+// of being served. n <= 0 (the default) leaves admission unlimited.
+//
+// The cap bounds the serving path only — it never changes the bytes an
+// admitted session exchanges. Clients built with WithRetry fold the BUSY
+// hint into their backoff schedule automatically.
+func WithMaxSessions(n int) Option {
+	return func(o *sessionOptions) { o.maxSessions = n }
+}
+
+// WithMaxQueued bounds how many over-capacity connections may wait for a
+// session slot before the server starts shedding with BUSY. The queue
+// preserves work during short bursts without letting the backlog grow
+// unboundedly. n <= 0 (the default) disables queueing: every over-capacity
+// connection is shed immediately. Ignored unless WithMaxSessions is set.
+func WithMaxQueued(n int) Option {
+	return func(o *sessionOptions) { o.maxQueued = n }
+}
+
+// WithHandshakeTimeout bounds the server-side handshake phase of each
+// admitted session: a connection that has not completed the opening
+// exchange (through the verdicts for pulls, the hello for pushes) within d
+// is dropped, so an idle or deliberately slow dial cannot pin a session
+// slot that WithMaxSessions has made scarce. Zero (the default) leaves the
+// handshake bounded only by WithTimeout/WithRoundTimeout.
+func WithHandshakeTimeout(d time.Duration) Option {
+	return func(o *sessionOptions) { o.handshakeTimeout = d }
+}
+
+// WithBusyRetryAfter sets the retry-after hint a Server encodes into BUSY
+// load-shedding answers. Retrying clients wait at least this long before
+// the next attempt (their own jittered backoff still applies when longer).
+// d <= 0 (the default) uses one second.
+func WithBusyRetryAfter(d time.Duration) Option {
+	return func(o *sessionOptions) { o.busyRetryAfter = d }
 }
 
 // WithSignatureCache enables the persistent signature cache for a
