@@ -7,7 +7,7 @@ FUZZTIME ?= 10s
 FUZZ_PKGS = ./internal/wire ./internal/delta ./internal/huffman \
 	./internal/collection ./internal/rsync ./internal/vcdiff
 
-.PHONY: all build test vet race check fuzz-smoke bench bench-cache clean
+.PHONY: all build test vet race check fuzz-smoke bench bench-cache bench-store api api-check clean
 
 all: check
 
@@ -31,9 +31,17 @@ race:
 # collection) and the observability layer (obs: shared metrics registries and
 # tracers must stay race-free) under vet and the race detector on their own,
 # so bugs there fail fast with a focused report before the full suite runs.
-check: vet race fuzz-smoke
-	$(GO) vet ./internal/sigcache/ ./internal/dirio/ ./internal/collection/ ./internal/obs/
-	$(GO) test -race ./internal/sigcache/ ./internal/dirio/ ./internal/collection/ ./internal/obs/
+check: vet race fuzz-smoke api-check
+	$(GO) vet ./internal/sigcache/ ./internal/dirio/ ./internal/collection/ ./internal/store/ ./internal/obs/
+	$(GO) test -race ./internal/sigcache/ ./internal/dirio/ ./internal/collection/ ./internal/store/ ./internal/obs/
+
+# api-check diffs the package's exported surface against the committed
+# API.txt; regenerate with `make api` after an intentional API change.
+api-check:
+	$(GO) run ./cmd/apidiff -check API.txt
+
+api:
+	$(GO) run ./cmd/apidiff -write API.txt
 
 # fuzz-smoke runs every native fuzz target for FUZZTIME each (the toolchain
 # allows only one -fuzz pattern per invocation, hence the loop). The corpus
@@ -51,7 +59,7 @@ fuzz-smoke:
 # the scan-scaling report (serial vs parallel client map-construction
 # wall-clock and bytes on the wire; see internal/bench/parallel.go) — and
 # BENCH_cache.json via bench-cache.
-bench: bench-cache
+bench: bench-cache bench-store
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 	$(GO) run ./cmd/msbench -scan-json BENCH_scan.json
 
@@ -60,6 +68,12 @@ bench: bench-cache
 # allocations, and the wire-determinism check (see internal/bench/cache.go).
 bench-cache:
 	$(GO) run ./cmd/msbench -cache-json BENCH_cache.json
+
+# bench-store regenerates BENCH_store.json: cold full sync versus
+# journal-delta sync from one and five versions back on a 10k-file corpus
+# (see internal/bench/store.go).
+bench-store:
+	$(GO) run ./cmd/msbench -store-json BENCH_store.json
 
 clean:
 	$(GO) clean ./...

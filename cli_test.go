@@ -176,6 +176,8 @@ func TestCLIFlagValidation(t *testing.T) {
 		{"malformed debug-addr", []string{"-debug-addr", "not an address"}, "-debug-addr"},
 		{"unknown log-level", []string{"-log-level", "loud"}, "-log-level"},
 		{"serve and connect", []string{"-serve", ":0", "-connect", "x:1"}, "mutually exclusive"},
+		{"snapshot without store-dir", []string{"-snapshot"}, "-store-dir"},
+		{"negative store-budget", []string{"-store-budget", "-3"}, "-store-budget"},
 	}
 	for _, c := range cases {
 		c := c
@@ -358,5 +360,97 @@ func TestCLIPush(t *testing.T) {
 			t.Fatalf("replica not updated: %v", got)
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestCLIVersionedStore drives the -store-dir / -snapshot / -base-version
+// flags end to end: an offline snapshot cuts v1, a serving process over an
+// updated tree cuts v2 at startup, and an announcing client converges and is
+// told the version to announce next time.
+func TestCLIVersionedStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the CLI")
+	}
+	bin := buildCLI(t)
+	serverDir, clientDir, storeDir := t.TempDir(), t.TempDir(), t.TempDir()
+	oldTree := map[string][]byte{
+		"keep.txt": bytes.Repeat([]byte("stable content "), 200),
+		"mod.txt":  bytes.Repeat([]byte("version one body "), 150),
+	}
+	if err := dirio.Apply(serverDir, nil, oldTree); err != nil {
+		t.Fatal(err)
+	}
+	if err := dirio.Apply(clientDir, nil, oldTree); err != nil {
+		t.Fatal(err)
+	}
+
+	// Offline snapshot of the current tree: v1.
+	out, err := exec.Command(bin, "-snapshot", "-dir", serverDir, "-store-dir", storeDir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("-snapshot failed: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("v1")) {
+		t.Fatalf("-snapshot did not report v1:\n%s", out)
+	}
+
+	// The tree moves on; a serving process cuts v2 at startup.
+	newTree := map[string][]byte{
+		"keep.txt": oldTree["keep.txt"],
+		"mod.txt":  append(append([]byte{}, oldTree["mod.txt"]...), []byte("edited tail\n")...),
+		"new.txt":  []byte("a brand new file\n"),
+	}
+	if err := dirio.Apply(serverDir, oldTree, newTree); err != nil {
+		t.Fatal(err)
+	}
+	addr := freePort(t)
+	server := exec.Command(bin, "-serve", addr, "-dir", serverDir, "-store-dir", storeDir)
+	var serverOut bytes.Buffer
+	server.Stdout, server.Stderr = &serverOut, &serverOut
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		server.Process.Kill()
+		server.Wait()
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never listened: %s", serverOut.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The client holds v1 and announces it: the journal answers, the client
+	// converges, and the report names v2 for next time.
+	out, err = exec.Command(bin, "-connect", addr, "-dir", clientDir, "-base-version", "1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("client failed: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("-base-version 2")) {
+		t.Fatalf("client report missing the next base version:\n%s", out)
+	}
+	got, err := dirio.Load(clientDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path, want := range newTree {
+		if !bytes.Equal(got[path], want) {
+			t.Fatalf("content mismatch for %s after journal sync", path)
+		}
+	}
+	if len(got) != len(newTree) {
+		t.Fatalf("client has %d files, want %d", len(got), len(newTree))
+	}
+
+	// Announcing the now-current version again is a no-op sync.
+	out, err = exec.Command(bin, "-connect", addr, "-dir", clientDir, "-base-version", "2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("repeat client failed: %v\n%s", err, out)
 	}
 }

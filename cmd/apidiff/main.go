@@ -1,0 +1,227 @@
+// Command apidiff records and checks the exported API surface of the root
+// msync package. `make api` regenerates API.txt; `make check` runs the
+// -check mode so an accidental exported-surface change fails the build with
+// a line-level diff instead of slipping into a release.
+//
+// The surface is purely syntactic (go/parser, no type checking): one sorted
+// line per exported func, method, type, struct field, interface method,
+// const and var, with types rendered from the source expression. That is
+// enough to catch additions, removals and signature changes.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var (
+		write = flag.String("write", "", "write the API surface to this file")
+		check = flag.String("check", "", "compare the API surface against this file, exit 1 on drift")
+		dir   = flag.String("dir", ".", "package directory to scan")
+	)
+	flag.Parse()
+	if (*write == "") == (*check == "") {
+		fmt.Fprintln(os.Stderr, "apidiff: exactly one of -write or -check is required")
+		os.Exit(2)
+	}
+
+	lines, err := surface(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apidiff:", err)
+		os.Exit(1)
+	}
+	got := strings.Join(lines, "\n") + "\n"
+
+	if *write != "" {
+		if err := os.WriteFile(*write, []byte(got), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "apidiff:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("apidiff: wrote %d entries to %s\n", len(lines), *write)
+		return
+	}
+
+	wantRaw, err := os.ReadFile(*check)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apidiff:", err)
+		os.Exit(1)
+	}
+	if diff := diffLines(splitLines(string(wantRaw)), lines); len(diff) > 0 {
+		fmt.Fprintf(os.Stderr, "apidiff: exported API drifted from %s (run `make api` if intentional):\n", *check)
+		for _, d := range diff {
+			fmt.Fprintln(os.Stderr, "  "+d)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("apidiff: %s matches (%d entries)\n", *check, len(lines))
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if l = strings.TrimRight(l, "\r"); l != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// diffLines reports want/got set differences as "-"/"+" prefixed lines.
+func diffLines(want, got []string) []string {
+	in := func(set []string) map[string]bool {
+		m := make(map[string]bool, len(set))
+		for _, l := range set {
+			m[l] = true
+		}
+		return m
+	}
+	wantSet, gotSet := in(want), in(got)
+	var diff []string
+	for _, l := range want {
+		if !gotSet[l] {
+			diff = append(diff, "- "+l)
+		}
+	}
+	for _, l := range got {
+		if !wantSet[l] {
+			diff = append(diff, "+ "+l)
+		}
+	}
+	return diff
+}
+
+// surface parses the non-test files of the package in dir and renders its
+// exported declarations as sorted, deduplicated lines.
+func surface(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var lines []string
+	add := func(format string, args ...any) {
+		l := fmt.Sprintf(format, args...)
+		if !seen[l] {
+			seen[l] = true
+			lines = append(lines, l)
+		}
+	}
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") || name == "main" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				collect(fset, decl, add)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+func collect(fset *token.FileSet, decl ast.Decl, add func(string, ...any)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return
+		}
+		if d.Recv != nil {
+			recv := exprString(fset, d.Recv.List[0].Type)
+			if !ast.IsExported(strings.TrimPrefix(recv, "*")) {
+				return
+			}
+			add("method (%s) %s%s", recv, d.Name.Name, sigString(fset, d.Type))
+			return
+		}
+		add("func %s%s", d.Name.Name, sigString(fset, d.Type))
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				collectType(fset, s, add)
+			case *ast.ValueSpec:
+				kw := "var"
+				if d.Tok == token.CONST {
+					kw = "const"
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						add("%s %s", kw, n.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func collectType(fset *token.FileSet, s *ast.TypeSpec, add func(string, ...any)) {
+	if !s.Name.IsExported() {
+		return
+	}
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		add("type %s struct", s.Name.Name)
+		for _, fld := range t.Fields.List {
+			typ := exprString(fset, fld.Type)
+			if len(fld.Names) == 0 { // embedded field
+				if ast.IsExported(strings.TrimPrefix(typ, "*")) {
+					add("field %s.%s (embedded)", s.Name.Name, typ)
+				}
+				continue
+			}
+			for _, n := range fld.Names {
+				if n.IsExported() {
+					add("field %s.%s %s", s.Name.Name, n.Name, typ)
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		add("type %s interface", s.Name.Name)
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 { // embedded interface
+				add("iface %s embeds %s", s.Name.Name, exprString(fset, m.Type))
+				continue
+			}
+			for _, n := range m.Names {
+				if n.IsExported() {
+					add("imethod %s.%s %s", s.Name.Name, n.Name, exprString(fset, m.Type))
+				}
+			}
+		}
+	default:
+		add("type %s %s", s.Name.Name, exprString(fset, s.Type))
+	}
+}
+
+// exprString renders a type expression as written in the source.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return fmt.Sprintf("<%v>", err)
+	}
+	return normalize(buf.String())
+}
+
+// sigString renders a function signature without the leading "func".
+func sigString(fset *token.FileSet, ft *ast.FuncType) string {
+	return strings.TrimPrefix(exprString(fset, ft), "func")
+}
+
+// normalize collapses the whitespace printer.Fprint introduces for multi-line
+// source types so every entry stays on one line.
+func normalize(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

@@ -30,6 +30,7 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		scanJSON  = flag.String("scan-json", "", "write the parallel.scan report as JSON to this file and exit")
 		cacheJSON = flag.String("cache-json", "", "write the cache.sync (repeat-sync signature cache) report as JSON to this file and exit")
+		storeJSON = flag.String("store-json", "", "write the store.journal (versioned store, journal fast path) report as JSON to this file and exit")
 		cacheMode = flag.String("cache", "off", "signature-cache condition for parallel.scan: off, cold or warm (never changes wire bytes)")
 	)
 	flag.Parse()
@@ -60,6 +61,10 @@ func main() {
 	}
 	if *cacheJSON != "" {
 		writeReport(*cacheJSON, bench.CacheJSON)
+		return
+	}
+	if *storeJSON != "" {
+		writeReport(*storeJSON, bench.StoreJSON)
 		return
 	}
 

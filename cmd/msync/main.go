@@ -39,6 +39,15 @@
 //	-log-level info          structured logs (slog) to stderr
 //	-trace-out trace.jsonl   per-phase span events as JSON Lines
 //	-debug-addr 127.0.0.1:0  HTTP /metrics, /debug/vars and /debug/pprof/*
+//
+// With -store-dir the server keeps a persistent version store: immutable
+// snapshots of the collection with precomputed per-version change journals.
+// A serving process cuts a snapshot at startup; -snapshot cuts one and exits
+// (printing the version) without serving. -store-budget bounds the store in
+// MiB — oldest versions are garbage-collected first, the latest never is.
+// Clients pass -base-version N (from a previous run's report) to be answered
+// with the stored journal delta instead of fresh map construction; servers
+// that cannot honor it fall back to the normal protocol automatically.
 package main
 
 import (
@@ -86,28 +95,43 @@ func main() {
 		logLevel  = flag.String("log-level", "", "structured logging to stderr at this level (debug, info, warn, error); empty disables")
 		traceOut  = flag.String("trace-out", "", "write per-phase trace events as JSON Lines to this file")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this HTTP address (e.g. 127.0.0.1:6060)")
+
+		storeDir    = flag.String("store-dir", "", "server: persistent version-store directory; snapshots with change journals answer announcing clients without map construction")
+		storeBudget = flag.Int64("store-budget", 0, "server: version-store size budget in MiB; oldest versions are garbage-collected first (0 = unlimited)")
+		snapshot    = flag.Bool("snapshot", false, "cut one store version from -dir into -store-dir, print it, and exit (no serving)")
+		baseVersion = flag.Int64("base-version", -1, "client: announce this store version as the local copy's base; a server holding it answers from its journal (-1 = no announcement)")
 	)
 	flag.Parse()
 
 	validateFlags(*workers, *retries, *cacheMem, *maxSess, *maxQueued)
+	if *storeBudget < 0 {
+		fatalf("msync: -store-budget must be >= 0 (got %d)", *storeBudget)
+	}
+	if (*storeBudget > 0 || *snapshot) && *storeDir == "" {
+		fatalf("msync: -store-budget and -snapshot require -store-dir")
+	}
 	extra := cacheOptions(*cacheDir, *cacheMem, *paranoid)
 	obsOpts, obsClose := obsSetup(*debugAddr, *traceOut, *logLevel)
 	extra = append(extra, obsOpts...)
+	extra = append(extra, storeOptions(*storeDir, *storeBudget)...)
 	switch {
 	case *serve != "" && *connect != "":
 		fatalf("msync: -serve and -connect are mutually exclusive")
+	case *snapshot:
+		runSnapshot(*dir, buildConfig(*basic, *minB), *workers, extra)
+		obsClose()
 	case *serve != "":
 		extra = append(extra,
 			msync.WithMaxSessions(*maxSess),
 			msync.WithMaxQueued(*maxQueued),
 			msync.WithHandshakeTimeout(*handshake))
-		code := runServer(*serve, *dir, buildConfig(*basic, *minB), *allowPush, *timeout, *roundTO, *grace, *workers, extra)
+		code := runServer(*serve, *dir, buildConfig(*basic, *minB), *allowPush, *storeDir != "", *timeout, *roundTO, *grace, *workers, extra)
 		obsClose()
 		os.Exit(code)
 	case *connect != "" && *push:
 		runPush(*connect, *dir, buildConfig(*basic, *minB), *tree, *timeout, *roundTO, *workers, extra)
 	case *connect != "":
-		runClient(*connect, *dir, *dry, *tree, *timeout, *roundTO, *retries, *jsonOut, *workers, extra)
+		runClient(*connect, *dir, *dry, *tree, *timeout, *roundTO, *retries, *baseVersion, *jsonOut, *workers, extra)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -189,6 +213,41 @@ func obsSetup(debugAddr, traceOut, logLevel string) ([]msync.Option, func()) {
 	return opts, cleanup
 }
 
+// storeOptions translates the -store-* flags into Options.
+func storeOptions(dir string, budgetMiB int64) []msync.Option {
+	if dir == "" {
+		return nil
+	}
+	opts := []msync.Option{msync.WithStore(dir)}
+	if budgetMiB > 0 {
+		opts = append(opts, msync.WithStoreBudget(budgetMiB<<20))
+	}
+	return opts
+}
+
+// runSnapshot cuts one store version from dir and exits: the offline way to
+// record history between serving runs (the serving path snapshots at
+// startup by itself).
+func runSnapshot(dir string, cfg msync.Config, workers int, extra []msync.Option) {
+	opts := append([]msync.Option{msync.WithWorkers(workers)}, extra...)
+	srv, werrs, err := msync.NewDirServer(dir, cfg, opts...)
+	for _, we := range werrs {
+		log.Printf("msync: warning: %v", we)
+	}
+	if err != nil {
+		log.Fatalf("msync: opening %s: %v", dir, err)
+	}
+	v, err := srv.Snapshot()
+	if err != nil {
+		srv.Close()
+		log.Fatalf("msync: snapshot: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatalf("msync: closing store: %v", err)
+	}
+	fmt.Printf("v%d\n", v)
+}
+
 // cacheOptions translates the -cache-* flags into Options. The cache is
 // enabled only when -cache-dir is set: without persistence, one-shot CLI
 // processes have nothing to warm.
@@ -214,7 +273,7 @@ func buildConfig(basic bool, minBlock int) msync.Config {
 	return cfg
 }
 
-func runServer(addr, dir string, cfg msync.Config, allowPush bool, timeout, roundTO, grace time.Duration, workers int, extra []msync.Option) int {
+func runServer(addr, dir string, cfg msync.Config, allowPush, store bool, timeout, roundTO, grace time.Duration, workers int, extra []msync.Option) int {
 	opts := []msync.Option{
 		msync.WithTimeout(timeout),
 		msync.WithRoundTimeout(roundTO),
@@ -262,6 +321,15 @@ func runServer(addr, dir string, cfg msync.Config, allowPush bool, timeout, roun
 			log.Fatalf("msync: opening %s: %v", dir, err)
 		}
 		log.Printf("msync: serving %s on %s (streamed)", dir, addr)
+	}
+	if store {
+		// Record the state being served so announcing clients can ride the
+		// journal from here on.
+		v, err := srv.Snapshot()
+		if err != nil {
+			log.Fatalf("msync: snapshot: %v", err)
+		}
+		log.Printf("msync: store version v%d", v)
 	}
 
 	// SIGINT/SIGTERM trigger a graceful drain bounded by -grace. The
@@ -312,7 +380,7 @@ func runPush(addr, dir string, cfg msync.Config, tree bool, timeout, roundTO tim
 	log.Printf("msync: pushed %s to %s", dir, addr)
 }
 
-func runClient(addr, dir string, dry, tree bool, timeout, roundTO time.Duration, retries int, jsonOut bool, workers int, extra []msync.Option) {
+func runClient(addr, dir string, dry, tree bool, timeout, roundTO time.Duration, retries int, baseVersion int64, jsonOut bool, workers int, extra []msync.Option) {
 	retry := msync.DefaultRetryPolicy()
 	retry.MaxAttempts = retries
 	opts := []msync.Option{
@@ -326,6 +394,9 @@ func runClient(addr, dir string, dry, tree bool, timeout, roundTO time.Duration,
 	opts = append(opts, extra...)
 	if tree {
 		opts = append(opts, msync.WithTreeManifest())
+	}
+	if baseVersion >= 0 {
+		opts = append(opts, msync.WithBaseVersion(uint64(baseVersion)))
 	}
 	cl, werrs, err := msync.NewDirClient(dir, opts...)
 	for _, we := range werrs {
@@ -355,4 +426,8 @@ func runClient(addr, dir string, dry, tree bool, timeout, roundTO time.Duration,
 	}
 	log.Printf("msync: %s updated (%d written, %d unchanged, %d deleted)",
 		dir, len(res.Files), len(res.Unchanged), len(res.Deleted))
+	if res.Version > 0 {
+		log.Printf("msync: server store version v%d (pass -base-version %d next time)",
+			res.Version, res.Version)
+	}
 }

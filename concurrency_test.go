@@ -37,10 +37,11 @@ func TestConcurrentSessions(t *testing.T) {
 					errs <- fmt.Errorf("server session %d: %w", i, err)
 				}
 			}()
-			cli := msync.NewClient(old)
+			var copts []msync.Option
 			if i%2 == 1 {
-				cli.SetTreeManifest(true)
+				copts = append(copts, msync.WithTreeManifest())
 			}
+			cli := msync.NewClient(old, copts...)
 			res, err := cli.Sync(clientEnd)
 			clientEnd.Close()
 			if err != nil {
@@ -115,7 +116,11 @@ func TestRandomizedCollectionProperty(t *testing.T) {
 				defer serverEnd.Close()
 				_, serveErr = srv.Serve(serverEnd)
 			}()
-			cli := msync.NewClient(clientFiles).SetTreeManifest(trial%2 == 0)
+			var copts []msync.Option
+			if trial%2 == 0 {
+				copts = append(copts, msync.WithTreeManifest())
+			}
+			cli := msync.NewClient(clientFiles, copts...)
 			res, err := cli.Sync(clientEnd)
 			clientEnd.Close()
 			<-done

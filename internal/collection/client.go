@@ -65,6 +65,16 @@ type Client struct {
 	// serial. Purely an execution knob — the wire output is bit-identical
 	// for every value.
 	Workers int
+	// AnnounceVersion adds the optional version extension to the hello:
+	// the client announces BaseVersion (0 = none known) and a versioned
+	// server may answer with a precomputed journal delta instead of map
+	// construction. Servers without a store ignore the extension; the
+	// session is unchanged beyond the few extension bytes. The server's
+	// current version is reported back in Result.Version.
+	AnnounceVersion bool
+	// BaseVersion is the stored version this client's collection matches,
+	// as learned from a previous Result.Version.
+	BaseVersion uint64
 	// Tracer, if set, receives span-like events per protocol phase; the
 	// summed frame bytes of a session's spans equal its Costs wire totals.
 	// Tracing never changes what goes on the wire.
@@ -106,6 +116,11 @@ type Result struct {
 	// (map-construction sections, deltas and full transfers; shared framing
 	// and control traffic are not attributed).
 	PerFile map[string]int64
+	// Version is the server's current store version, reported when the
+	// client announced one (Client.AnnounceVersion) and the server is
+	// versioned; 0 otherwise. Announce it as BaseVersion on the next sync
+	// of the updated collection to receive a journal delta.
+	Version uint64
 }
 
 // Sync runs one session over conn and returns the updated collection.
@@ -140,11 +155,18 @@ func (c *Client) SyncContext(ctx context.Context, conn io.ReadWriter) (*Result, 
 		} else {
 			hb.Byte(modeManifest)
 		}
+		if c.AnnounceVersion {
+			ext := wire.NewBuffer(8)
+			ext.Uvarint(c.BaseVersion)
+			hb.Uvarint(1) // one hello extension
+			hb.Uvarint(helloExtVersion)
+			hb.Bytes(ext.Build())
+		}
 		if err := fw.WriteFrame(wire.FrameHello, hb.Build()); err != nil {
 			return nil, asHandshake(err)
 		}
 		st.cost(costs, stats.C2S, stats.PhaseControl, hb.Len())
-		return consume(ctx, fr, fw, costs, c.src, c.LazyResult, c.TreeManifest, c.Workers, st)
+		return consume(ctx, fr, fw, costs, c.src, c.LazyResult, c.TreeManifest, c.AnnounceVersion, c.Workers, st)
 	}()
 	st.end(costs, err, fr, fw, sess.Stats())
 	return res, err
@@ -163,7 +185,11 @@ func (c *Client) SyncContext(ctx context.Context, conn io.ReadWriter) (*Result, 
 // With lazy set (sources that can re-read their own files), unchanged
 // content is never materialized: the result lists unchanged and deleted
 // paths by name and Files holds only what the session wrote.
-func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, lazy, treeManifest bool, workers int, st *sessTrace) (*Result, error) {
+//
+// announced reports whether this side's hello carried the version
+// extension: only then are journal verdicts and the trailing version in the
+// verdict frame expected.
+func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, lazy, treeManifest, announced bool, workers int, st *sessTrace) (*Result, error) {
 	sbuf := wire.GetBuffer(1024) // session scratch for every frame we assemble
 	defer wire.PutBuffer(sbuf)
 
@@ -240,7 +266,11 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 	}
 
 	var engines []clientFile
+	var jfiles []journalFile // verdictJournal entries, in verdict order
+	var jfailed []int        // journal ordinals whose delta did not apply
+	jbytes := make(map[string]int64)
 	fullBytes := 0
+	deltaBytes := 0
 	for _, path := range verdictPaths {
 		verdict, err := vp.Byte()
 		if err != nil {
@@ -288,9 +318,48 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 			}
 			engines = append(engines, clientFile{path, eng})
 			costs.FilesSynced++
+		case verdictJournal:
+			newLen, err := vp.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			sumRaw, err := vp.Raw(md4.Size)
+			if err != nil {
+				return nil, err
+			}
+			payload, err := vp.Bytes()
+			if err != nil {
+				return nil, err
+			}
+			var sum [md4.Size]byte
+			copy(sum[:], sumRaw)
+			deltaBytes += len(payload)
+			jbytes[path] = int64(len(payload))
+			// Apply the precomputed delta against the local copy; any
+			// failure (missing file, corrupt payload, content drift) lands
+			// on the ack list for a whole-file fallback, exactly like a
+			// failed engine verification.
+			applied := false
+			if old, err := src.Load(path); err == nil {
+				if data, err := delta.Decode(old, payload); err == nil &&
+					len(data) == int(newLen) && md4.Sum(data) == sum {
+					out[path] = data
+					applied = true
+				}
+			}
+			if !applied {
+				jfailed = append(jfailed, len(jfiles))
+			}
+			jfiles = append(jfiles, journalFile{path, int(newLen), sum})
+			costs.FilesJournal++
 		default:
 			return nil, fmt.Errorf("collection: unknown verdict %d", verdict)
 		}
+	}
+	if len(engines) > 0 && len(jfiles) > 0 {
+		// Journal sessions never run engines; a server mixing the two would
+		// make ack indexes ambiguous.
+		return nil, fmt.Errorf("collection: mixed journal and sync verdicts")
 	}
 	nNew, err := vp.Uvarint()
 	if err != nil {
@@ -313,8 +382,18 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 		out[path] = data
 		costs.FilesFull++
 	}
-	st.cost(costs, stats.S2C, stats.PhaseControl, len(vraw)-fullBytes)
+	if announced && !treeManifest && vp.Remaining() > 0 {
+		// Versioned servers append their current version for announcing
+		// clients; its absence just means the server has no store.
+		if v, err := vp.Uvarint(); err == nil {
+			res.Version = v
+		}
+	}
+	st.cost(costs, stats.S2C, stats.PhaseControl, len(vraw)-fullBytes-deltaBytes)
 	st.raw(costs, stats.S2C, stats.PhaseFull, fullBytes)
+	if deltaBytes > 0 {
+		st.raw(costs, stats.S2C, stats.PhaseDelta, deltaBytes)
+	}
 
 	perEngine := make([]int64, len(engines))
 
@@ -402,6 +481,11 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 			out[engines[i].path] = results[i]
 		}
 	}
+	if len(jfiles) > 0 {
+		// Journal session: ack indexes are ordinals into the journal-file
+		// list (there are no engines to index).
+		failed = jfailed
+	}
 	sbuf.Reset()
 	sbuf.Uvarint(uint64(len(failed)))
 	for _, i := range failed {
@@ -429,9 +513,13 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 		if err != nil || int(nf) != len(failed) {
 			return nil, fmt.Errorf("collection: full-transfer count mismatch")
 		}
+		nIdx := len(engines)
+		if len(jfiles) > 0 {
+			nIdx = len(jfiles)
+		}
 		for k := uint64(0); k < nf; k++ {
 			idx, err := fp.Uvarint()
-			if err != nil || int(idx) >= len(engines) {
+			if err != nil || int(idx) >= nIdx {
 				return nil, fmt.Errorf("collection: bad full index")
 			}
 			comp, err := fp.Bytes()
@@ -442,14 +530,22 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 			if err != nil {
 				return nil, err
 			}
-			out[engines[idx].path] = data
-			perEngine[idx] += int64(len(comp))
+			if len(jfiles) > 0 {
+				out[jfiles[idx].path] = data
+				jbytes[jfiles[idx].path] += int64(len(comp))
+			} else {
+				out[engines[idx].path] = data
+				perEngine[idx] += int64(len(comp))
+			}
 			costs.FilesFull++
 		}
 	}
-	perFile := make(map[string]int64, len(engines))
+	perFile := make(map[string]int64, len(engines)+len(jfiles))
 	for i := range engines {
 		perFile[engines[i].path] = perEngine[i]
+	}
+	for path, n := range jbytes {
+		perFile[path] = n
 	}
 	res.PerFile = perFile
 	return res, nil

@@ -100,4 +100,17 @@ const (
 	verdictSync           // changed: run the map+delta protocol
 	verdictDelete         // no longer on the server
 	verdictFull           // changed but too small to bother mapping; sent full
+	verdictJournal        // changed: precomputed journal delta attached inline
+)
+
+// Hello extensions: an optional trailer after the mode byte, encoded as
+// uvarint count followed by (uvarint id, length-prefixed payload) pairs.
+// Servers ignore unknown extensions and pre-extension servers ignore the
+// trailer entirely, so the hello stays backward- and forward-compatible.
+const (
+	// helloExtVersion announces the client's stored collection version as a
+	// uvarint (0 = none known). A versioned server answers with journal
+	// verdicts when it can serve the announced version's delta, and appends
+	// its current version to the verdict frame either way.
+	helloExtVersion = 1
 )

@@ -13,10 +13,12 @@ import (
 
 	"msync/internal/core"
 	"msync/internal/delta"
+	"msync/internal/md4"
 	"msync/internal/merkle"
 	"msync/internal/obs"
 	"msync/internal/pool"
 	"msync/internal/stats"
+	"msync/internal/store"
 	"msync/internal/transport"
 	"msync/internal/wire"
 )
@@ -107,10 +109,16 @@ func (s *Server) sessionState() (Source, []ManifestEntry, *merkle.TreeCache, err
 	return s.src, s.manifest, s.mtree, nil
 }
 
-// setFiles replaces the collection and invalidates the manifest cache.
+// setFiles replaces the collection and invalidates the manifest cache. A
+// version store wrapped around the old source carries over to the new one,
+// so push adoption keeps the server versioned.
 func (s *Server) setFiles(files map[string][]byte) {
 	s.mu.Lock()
-	s.src = MapSource(files)
+	if ss, ok := s.src.(*StoreSource); ok {
+		s.src = ss.WithInner(MapSource(files))
+	} else {
+		s.src = MapSource(files)
+	}
 	s.manifest = nil
 	s.mtree = nil
 	s.mu.Unlock()
@@ -196,6 +204,7 @@ func (s *Server) serveConn(ctx context.Context, sess *transport.Session, fr *wir
 	if err != nil {
 		return fail(fmt.Errorf("collection: missing manifest mode"))
 	}
+	announce := parseHelloExtensions(hp)
 	if role == rolePush {
 		// The remote side holds the newer data and plays the serving role;
 		// we consume the session and adopt the result.
@@ -207,7 +216,7 @@ func (s *Server) serveConn(ctx context.Context, sess *transport.Session, fr *wir
 		sess.SetPhaseDeadline(time.Time{})
 		src := s.source()
 		acct := beginAccounting(src)
-		res, err := consume(ctx, fr, fw, costs, src, false, mode == modeTree, s.cfg.Workers, st)
+		res, err := consume(ctx, fr, fw, costs, src, false, mode == modeTree, false, s.cfg.Workers, st)
 		acct.finish(costs)
 		if err != nil {
 			return costs, err
@@ -221,13 +230,45 @@ func (s *Server) serveConn(ctx context.Context, sess *transport.Session, fr *wir
 	if role != rolePull {
 		return fail(fmt.Errorf("collection: unknown role %d", role))
 	}
-	return s.serveSession(ctx, sess, fr, fw, costs, fail, mode, st)
+	return s.serveSession(ctx, sess, fr, fw, costs, fail, mode, announce, st)
+}
+
+// parseHelloExtensions reads the optional extension trailer after the mode
+// byte and returns the announced version (-1: none). A malformed trailer is
+// treated as absent — extensions are an optimization hint, never a reason to
+// fail a session.
+func parseHelloExtensions(hp *wire.Parser) int64 {
+	announce := int64(-1)
+	if hp.Remaining() == 0 {
+		return announce
+	}
+	n, err := hp.Uvarint()
+	if err != nil {
+		return announce
+	}
+	for i := uint64(0); i < n; i++ {
+		id, err := hp.Uvarint()
+		if err != nil {
+			return announce
+		}
+		ext, err := hp.Bytes()
+		if err != nil {
+			return announce
+		}
+		if id == helloExtVersion {
+			if v, err := wire.NewParser(ext).Uvarint(); err == nil {
+				announce = int64(v)
+			}
+		}
+	}
+	return announce
 }
 
 // serveSession runs the serving role after the handshake header, checking
 // ctx at every round boundary. sess may be nil (outbound push: no admission
-// guard to lift).
-func (s *Server) serveSession(ctx context.Context, sess *transport.Session, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, fail func(error) (*stats.Costs, error), mode byte, st *sessTrace) (*stats.Costs, error) {
+// guard to lift). announce is the client's hello-announced store version
+// (-1: absent); it only matters when the source is versioned.
+func (s *Server) serveSession(ctx context.Context, sess *transport.Session, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, fail func(error) (*stats.Costs, error), mode byte, announce int64, st *sessTrace) (*stats.Costs, error) {
 	// Accounting must start before sessionState so a first session's
 	// manifest build (cache misses, streamed hashing) is attributed to it.
 	acct := beginAccounting(s.source())
@@ -240,9 +281,10 @@ func (s *Server) serveSession(ctx context.Context, sess *transport.Session, fr *
 	defer wire.PutBuffer(sbuf)
 
 	var engines []syncFile
+	var jfiles []journalFile
 	switch mode {
 	case modeManifest:
-		engines, err = s.manifestHandshake(fr, fw, costs, src, serverManifest, sbuf, st)
+		engines, jfiles, err = s.manifestHandshake(fr, fw, costs, src, serverManifest, sbuf, announce, st)
 	case modeTree:
 		engines, err = s.treeHandshake(fr, fw, costs, src, mtree, sbuf, st)
 	default:
@@ -370,17 +412,33 @@ func (s *Server) serveSession(ctx context.Context, sess *transport.Session, fr *
 	}
 	if nFail > 0 {
 		st.begin(obs.PhaseFull, 0)
+		nAcked := len(engines)
+		if len(jfiles) > 0 {
+			// Journal sessions run no engines: ack indexes are ordinals into
+			// the journal-file list, answered from stored version content.
+			nAcked = len(jfiles)
+		}
+		vs, _ := src.(VersionedSource)
 		sbuf.Reset()
 		sbuf.Uvarint(nFail)
 		for k := uint64(0); k < nFail; k++ {
 			idx, err := ap.Uvarint()
-			if err != nil || int(idx) >= len(engines) {
+			if err != nil || int(idx) >= nAcked {
 				return fail(fmt.Errorf("collection: bad ack index"))
 			}
 			sbuf.Uvarint(idx)
-			// Send the exact bytes the engine synced from, so a fallback is
-			// always consistent with the session even if the source changed.
-			sbuf.Bytes(delta.Compress(engines[idx].data))
+			if len(jfiles) > 0 {
+				data, err := vs.VersionContent(jfiles[idx].sum)
+				if err != nil {
+					return fail(fmt.Errorf("collection: journal fallback %q: %w", jfiles[idx].path, err))
+				}
+				sbuf.Bytes(delta.Compress(data))
+			} else {
+				// Send the exact bytes the engine synced from, so a fallback
+				// is always consistent with the session even if the source
+				// changed.
+				sbuf.Bytes(delta.Compress(engines[idx].data))
+			}
 			costs.FilesFull++
 		}
 		fp := sbuf.Build()
@@ -446,23 +504,46 @@ func (s *Server) PushContext(ctx context.Context, conn io.ReadWriter) (*stats.Co
 			_ = fw.Flush()
 			return costs, err
 		}
-		return s.serveSession(ctx, nil, fr, fw, costs, fail, mode, st)
+		return s.serveSession(ctx, nil, fr, fw, costs, fail, mode, -1, st)
 	}()
 	st.end(costs, err, fr, fw, sess.Stats())
 	return res, err
 }
 
+// journalFile is one verdictJournal entry of a journal session, in verdict
+// order: ack indexes and full-transfer fallbacks reference this list the way
+// a normal session references its engines.
+type journalFile struct {
+	path string
+	len  int
+	sum  [16]byte
+}
+
 // manifestHandshake runs the flat-manifest handshake: read the client's
-// full manifest, reply with per-file verdicts plus new files.
-func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, serverManifest []ManifestEntry, vb *wire.Buffer, st *sessTrace) ([]syncFile, error) {
+// full manifest, reply with per-file verdicts plus new files. When the
+// client announced a stored version and the source is versioned, a
+// precomputed journal delta replaces map construction entirely (journal
+// verdicts carry the payloads inline); any miss falls back to the normal
+// path and only appends the server's current version to the verdict frame.
+func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, serverManifest []ManifestEntry, vb *wire.Buffer, announce int64, st *sessTrace) ([]syncFile, []journalFile, error) {
 	manifestRaw, err := fr.ExpectFrame(wire.FrameManifest)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	st.cost(costs, stats.C2S, stats.PhaseControl, len(manifestRaw))
 	manifest, err := decodeManifest(manifestRaw)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+
+	vs, versioned := src.(VersionedSource)
+	if announce >= 0 && versioned {
+		if vd, ok := vs.VersionDelta(uint64(announce), md4.Sum(manifestRaw), ManifestDigest(serverManifest)); ok {
+			costs.JournalHits++
+			jfiles, err := s.journalVerdicts(fw, costs, manifest, vd, vb, st)
+			return nil, jfiles, err
+		}
+		costs.JournalMisses++
 	}
 
 	serverByPath := make(map[string]int, len(serverManifest))
@@ -495,11 +576,11 @@ func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, c
 			continue
 		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		eng, err := s.emitChangedVerdict(vb, src, e.Path, data, costs, &fullBytes)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if eng != nil {
 			engines = append(engines, syncFile{e.Path, eng, data})
@@ -517,7 +598,7 @@ func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, c
 			continue // vanished since the manifest was built
 		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		newPaths = append(newPaths, e.Path)
 		newComp = append(newComp, delta.Compress(data))
@@ -529,10 +610,65 @@ func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, c
 		fullBytes += len(newComp[i])
 		costs.FilesFull++
 	}
-	if err := s.sendVerdicts(fw, costs, vb.Build(), fullBytes, st); err != nil {
+	if announce >= 0 && versioned {
+		// The announcing client learns the server's current version even on
+		// a journal miss, so its next sync can announce something useful.
+		vb.Uvarint(vs.CurrentVersion())
+	}
+	if err := s.sendVerdicts(fw, costs, vb.Build(), fullBytes, 0, st); err != nil {
+		return nil, nil, err
+	}
+	return engines, nil, nil
+}
+
+// journalVerdicts answers an announced client from a precomputed journal
+// delta: every client-manifest entry gets unchanged/delete/journal verdicts
+// (the journal verdict carries the delta payload inline), adds ride in the
+// new-files trailer, and the current version is appended. No engines run —
+// the whole transfer happens in this one frame plus the empty delta round.
+func (s *Server) journalVerdicts(fw *wire.FrameWriter, costs *stats.Costs, clientManifest []ManifestEntry, vd *store.Delta, vb *wire.Buffer, st *sessTrace) ([]journalFile, error) {
+	vb.Reset()
+	vb.Bytes(encodeConfig(&s.cfg))
+	vb.Uvarint(uint64(len(clientManifest)))
+	var jfiles []journalFile
+	fullBytes, deltaBytes := 0, 0
+	for _, e := range clientManifest {
+		ch, ok := vd.Changes[e.Path]
+		if !ok {
+			vb.Byte(verdictUnchanged)
+			costs.FilesUnchanged++
+			continue
+		}
+		switch ch.Op {
+		case store.OpDelete:
+			vb.Byte(verdictDelete)
+		case store.OpModify:
+			vb.Byte(verdictJournal)
+			vb.Uvarint(uint64(ch.Len))
+			vb.Raw(ch.Sum[:])
+			vb.Bytes(ch.Payload)
+			deltaBytes += len(ch.Payload)
+			jfiles = append(jfiles, journalFile{e.Path, ch.Len, ch.Sum})
+			costs.FilesJournal++
+		default:
+			// An add for a path the client's digest-matched manifest already
+			// holds cannot happen; fail loudly rather than desynchronize.
+			return nil, fmt.Errorf("collection: journal delta inconsistent at %q", e.Path)
+		}
+	}
+	vb.Uvarint(uint64(len(vd.Added)))
+	for _, p := range vd.Added {
+		ch := vd.Changes[p]
+		vb.String(p)
+		vb.Bytes(ch.Payload)
+		fullBytes += len(ch.Payload)
+		costs.FilesFull++
+	}
+	vb.Uvarint(vd.Current)
+	if err := s.sendVerdicts(fw, costs, vb.Build(), fullBytes, deltaBytes, st); err != nil {
 		return nil, err
 	}
-	return engines, nil
+	return jfiles, nil
 }
 
 // treeHandshake runs merkle reconciliation, then answers the client's WANT
@@ -613,7 +749,7 @@ func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs
 		}
 	}
 	vb.Uvarint(0) // no trailing new-file section in tree mode
-	if err := s.sendVerdicts(fw, costs, vb.Build(), fullBytes, st); err != nil {
+	if err := s.sendVerdicts(fw, costs, vb.Build(), fullBytes, 0, st); err != nil {
 		return nil, err
 	}
 	return engines, nil
@@ -643,16 +779,21 @@ func (s *Server) emitChangedVerdict(vb *wire.Buffer, src Source, path string, da
 	return eng, nil
 }
 
-// sendVerdicts flushes the verdict frame with split cost attribution.
-func (s *Server) sendVerdicts(fw *wire.FrameWriter, costs *stats.Costs, verdicts []byte, fullBytes int, st *sessTrace) error {
+// sendVerdicts flushes the verdict frame with split cost attribution:
+// full payloads count as PhaseFull, journal delta payloads as PhaseDelta,
+// and the remainder (verdict bytes, lengths, framing) as control.
+func (s *Server) sendVerdicts(fw *wire.FrameWriter, costs *stats.Costs, verdicts []byte, fullBytes, deltaBytes int, st *sessTrace) error {
 	if err := fw.WriteFrame(wire.FrameVerdicts, verdicts); err != nil {
 		return err
 	}
 	if err := fw.Flush(); err != nil {
 		return err
 	}
-	st.cost(costs, stats.S2C, stats.PhaseControl, len(verdicts)-fullBytes)
+	st.cost(costs, stats.S2C, stats.PhaseControl, len(verdicts)-fullBytes-deltaBytes)
 	st.raw(costs, stats.S2C, stats.PhaseFull, fullBytes)
+	if deltaBytes > 0 {
+		st.raw(costs, stats.S2C, stats.PhaseDelta, deltaBytes)
+	}
 	costs.Roundtrips++
 	return nil
 }

@@ -252,18 +252,28 @@ func Apply(root string, before, after map[string][]byte) error {
 
 // ApplyChanges applies a lazy sync result: changed holds only the files
 // whose content was written by the session, deleted the paths to remove.
-// Unlike Apply it needs no before-map of the whole tree.
+// Unlike Apply it needs no before-map of the whole tree. Written files are
+// fsynced and so are the touched directories up to root, so an applied sync
+// survives power loss.
 func ApplyChanges(root string, changed map[string][]byte, deleted []string) error {
+	dirs := make(map[string]struct{})
 	for rel, data := range changed {
 		if err := checkPath(rel); err != nil {
 			return err
 		}
-		if err := writeFile(root, rel, data); err != nil {
+		if err := writeFileDurable(root, rel, data); err != nil {
 			return err
 		}
+		markParents(dirs, root, rel)
 	}
 	for _, rel := range deleted {
 		if err := removeFile(root, rel); err != nil {
+			return err
+		}
+		markParents(dirs, root, rel)
+	}
+	for dir := range dirs {
+		if err := syncDir(dir); err != nil {
 			return err
 		}
 	}
@@ -277,6 +287,64 @@ func writeFile(root, rel string, data []byte) error {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
+}
+
+// writeFileDurable is writeFile plus an fsync before close, so the content
+// is on stable storage when it returns. Directory entries still need their
+// own sync — see syncDir.
+func writeFileDurable(root, rel string, data []byte) error {
+	path := filepath.Join(root, filepath.FromSlash(rel))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// markParents records every ancestor directory of rel, up to and including
+// root, for a post-apply fsync pass. checkPath has already confined rel to
+// the tree.
+func markParents(dirs map[string]struct{}, root, rel string) {
+	rootClean := filepath.Clean(root)
+	dir := filepath.Dir(filepath.Join(root, filepath.FromSlash(rel)))
+	for {
+		dirs[dir] = struct{}{}
+		if filepath.Clean(dir) == rootClean {
+			return
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return
+		}
+		dir = parent
+	}
+}
+
+// syncDir fsyncs a directory so entry creations and removals inside it are
+// durable. Directories pruned since the apply pass are skipped, and sync
+// errors are ignored — some platforms and filesystems refuse directory
+// fsync, which must not fail the apply.
+func syncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	_ = d.Sync()
+	return d.Close()
 }
 
 // removeFile deletes rel under root and prunes emptied parent directories.

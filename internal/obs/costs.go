@@ -17,6 +17,15 @@ const (
 	MetricRetries        = "msync_retries_total"
 )
 
+// Version-store gauge names (see internal/store): updated by the msync layer
+// after store opens and snapshots.
+const (
+	// MetricStoreVersions gauges the number of retained store versions.
+	MetricStoreVersions = "msync_store_versions"
+	// MetricStoreBytes gauges total store bytes on disk (segments + journal).
+	MetricStoreBytes = "msync_store_bytes"
+)
+
 // Admission-control and accept-loop metric names (server side unless noted).
 // The invariant dashboards lean on: conns_accepted == sessions_admitted +
 // sessions_shed once the accept path has quiesced.
@@ -53,6 +62,9 @@ var costCounters = []struct {
 	{"msync_files_synced_total", func(c *stats.Costs) int64 { return int64(c.FilesSynced) }, func(c *stats.Costs, v int64) { c.FilesSynced = int(v) }},
 	{"msync_files_unchanged_total", func(c *stats.Costs) int64 { return int64(c.FilesUnchanged) }, func(c *stats.Costs, v int64) { c.FilesUnchanged = int(v) }},
 	{"msync_files_full_total", func(c *stats.Costs) int64 { return int64(c.FilesFull) }, func(c *stats.Costs, v int64) { c.FilesFull = int(v) }},
+	{"msync_files_journal_total", func(c *stats.Costs) int64 { return int64(c.FilesJournal) }, func(c *stats.Costs, v int64) { c.FilesJournal = int(v) }},
+	{"msync_store_journal_hits_total", func(c *stats.Costs) int64 { return c.JournalHits }, func(c *stats.Costs, v int64) { c.JournalHits = v }},
+	{"msync_store_journal_misses_total", func(c *stats.Costs) int64 { return c.JournalMisses }, func(c *stats.Costs, v int64) { c.JournalMisses = v }},
 	{"msync_hashes_sent_total", func(c *stats.Costs) int64 { return c.HashesSent }, func(c *stats.Costs, v int64) { c.HashesSent = v }},
 	{"msync_candidates_found_total", func(c *stats.Costs) int64 { return c.CandidatesFound }, func(c *stats.Costs, v int64) { c.CandidatesFound = v }},
 	{"msync_matches_confirmed_total", func(c *stats.Costs) int64 { return c.MatchesConfirmed }, func(c *stats.Costs, v int64) { c.MatchesConfirmed = v }},

@@ -80,6 +80,12 @@ type Costs struct {
 	FilesUnchanged int
 	// Files transferred whole (new at the client, or fallback).
 	FilesFull int
+	// Files updated by a precomputed journal delta (versioned store path).
+	FilesJournal int
+	// Journal fast-path outcomes on the server: a hit serves the session
+	// from the version store, a miss falls back to the full protocol.
+	JournalHits   int64
+	JournalMisses int64
 	// Candidate/verification bookkeeping for harvest-rate reporting.
 	HashesSent         int64
 	CandidatesFound    int64
@@ -133,6 +139,9 @@ func (c *Costs) Merge(other *Costs) {
 	c.FilesSynced += other.FilesSynced
 	c.FilesUnchanged += other.FilesUnchanged
 	c.FilesFull += other.FilesFull
+	c.FilesJournal += other.FilesJournal
+	c.JournalHits += other.JournalHits
+	c.JournalMisses += other.JournalMisses
 	c.HashesSent += other.HashesSent
 	c.CandidatesFound += other.CandidatesFound
 	c.MatchesConfirmed += other.MatchesConfirmed
@@ -168,6 +177,10 @@ func (c *Costs) String() string {
 	}
 	fmt.Fprintf(&b, "  files: %d synced, %d unchanged, %d full",
 		c.FilesSynced, c.FilesUnchanged, c.FilesFull)
+	if c.FilesJournal+int(c.JournalHits+c.JournalMisses) > 0 {
+		fmt.Fprintf(&b, "\n  journal: %d files, %d hits, %d misses",
+			c.FilesJournal, c.JournalHits, c.JournalMisses)
+	}
 	if c.CacheHits+c.CacheMisses+c.BytesHashed > 0 {
 		fmt.Fprintf(&b, "\n  sigcache: %d hits, %d misses, %d evictions; hashed %s in %d block hashes",
 			c.CacheHits, c.CacheMisses, c.CacheEvictions,
@@ -184,6 +197,9 @@ func (c *Costs) MarshalJSON() ([]byte, error) {
 		"files_synced":          int64(c.FilesSynced),
 		"files_unchanged":       int64(c.FilesUnchanged),
 		"files_full":            int64(c.FilesFull),
+		"files_journal":         int64(c.FilesJournal),
+		"journal_hits":          c.JournalHits,
+		"journal_misses":        c.JournalMisses,
 		"hashes_sent":           c.HashesSent,
 		"candidates_found":      c.CandidatesFound,
 		"matches_confirmed":     c.MatchesConfirmed,

@@ -47,6 +47,7 @@ import (
 	"msync/internal/obs"
 	"msync/internal/sigcache"
 	"msync/internal/stats"
+	"msync/internal/store"
 	"msync/internal/transport"
 	"msync/internal/wire"
 )
@@ -117,6 +118,10 @@ func BroadcastFile(current []byte, olds [][]byte, cfg Config) (*BroadcastResult,
 // Shutdown or Close.
 var ErrServerClosed = errors.New("msync: server closed")
 
+// ErrNotVersioned is returned by Server.Snapshot when the server was built
+// without a version store (no WithStore option).
+var ErrNotVersioned = collection.ErrNotVersioned
+
 // BusyError is the typed refusal a Server sends when admission control
 // sheds a connection (WithMaxSessions/WithMaxQueued): RetryAfter carries
 // the server's suggested minimum wait before redialing. Sync and
@@ -132,6 +137,11 @@ type BusyError = wire.BusyError
 type Server struct {
 	inner *collection.Server
 	opt   sessionOptions
+
+	// st is the version store attached with WithStore, nil otherwise. It is
+	// closed exactly once when the server shuts down.
+	st        *store.Store
+	storeOnce sync.Once
 
 	// baseCtx is the parent of every session context; baseCancel fires on
 	// forced shutdown so in-flight sessions abort at their next round.
@@ -170,7 +180,8 @@ func (s *Server) initServing() {
 }
 
 // NewServer creates a Server over a path-keyed collection. Options configure
-// timeouts, push acceptance and session observation; see Option.
+// timeouts, push acceptance, the version store and session observation; see
+// Option. Invalid options are reported wrapped in ErrBadOption.
 func NewServer(files map[string][]byte, cfg Config, opts ...Option) (*Server, error) {
 	s := &Server{
 		listeners: make(map[net.Listener]struct{}),
@@ -179,13 +190,28 @@ func NewServer(files map[string][]byte, cfg Config, opts ...Option) (*Server, er
 	for _, o := range opts {
 		o(&s.opt)
 	}
+	if s.opt.err != nil {
+		return nil, s.opt.err
+	}
 	if s.opt.workers != 0 {
 		cfg.Workers = s.opt.workers
 	}
-	inner, err := collection.NewServer(files, cfg)
+	src, err := s.attachStore(collection.MapSource(files))
 	if err != nil {
 		return nil, err
 	}
+	inner, err := collection.NewServerSource(src, cfg)
+	if err != nil {
+		s.closeStore()
+		return nil, err
+	}
+	s.finishServer(inner)
+	return s, nil
+}
+
+// finishServer wires the applied options into the inner collection server
+// and initializes the serving path.
+func (s *Server) finishServer(inner *collection.Server) {
 	s.inner = inner
 	inner.TreeManifest = s.opt.treeManifest
 	inner.RoundTimeout = s.opt.roundTimeout
@@ -195,7 +221,59 @@ func NewServer(files map[string][]byte, cfg Config, opts ...Option) (*Server, er
 	inner.Tracer = s.opt.tracer
 	inner.Logger = s.opt.logger
 	s.initServing()
-	return s, nil
+}
+
+// attachStore opens the version store configured with WithStore (if any) and
+// wraps src so the server can answer announced versions from the journal.
+func (s *Server) attachStore(src collection.Source) (collection.Source, error) {
+	if s.opt.storeDir == "" {
+		return src, nil
+	}
+	st, err := store.Open(s.opt.storeDir, store.Options{Budget: s.opt.storeBudget})
+	if err != nil {
+		return nil, err
+	}
+	s.st = st
+	s.updateStoreGauges()
+	return collection.NewStoreSource(src, st), nil
+}
+
+// updateStoreGauges refreshes the msync_store_versions and msync_store_bytes
+// gauges from the store's current stats.
+func (s *Server) updateStoreGauges() {
+	r := s.opt.metrics
+	if r == nil || s.st == nil {
+		return
+	}
+	st := s.st.Stats()
+	r.Gauge(obs.MetricStoreVersions).Set(int64(st.Versions))
+	r.Gauge(obs.MetricStoreBytes).Set(st.SegmentBytes + st.JournalBytes)
+}
+
+// closeStore closes the attached version store exactly once; further
+// Snapshot calls fail. No-op without WithStore.
+func (s *Server) closeStore() error {
+	var err error
+	s.storeOnce.Do(func() {
+		if s.st != nil {
+			err = s.st.Close()
+		}
+	})
+	return err
+}
+
+// Snapshot commits the server's current collection to the version store as a
+// new immutable version and returns its number (idempotent when nothing
+// changed since the last snapshot). Clients that announce a snapshotted
+// version with WithBaseVersion are served its precomputed journal delta.
+// Returns ErrNotVersioned when the server was built without WithStore.
+func (s *Server) Snapshot() (uint64, error) {
+	v, err := s.inner.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	s.updateStoreGauges()
+	return v, nil
 }
 
 // NewDirServer creates a Server that streams the collection from a directory
@@ -214,27 +292,36 @@ func NewDirServer(root string, cfg Config, opts ...Option) (*Server, []error, er
 	for _, o := range opts {
 		o(&s.opt)
 	}
+	if s.opt.err != nil {
+		return nil, nil, s.opt.err
+	}
 	if s.opt.workers != 0 {
 		cfg.Workers = s.opt.workers
 	}
-	src, werrs, err := newTreeSource(root, &s.opt, collection.ConfigFingerprint(&cfg))
+	tree, werrs, err := newTreeSource(root, &s.opt, collection.ConfigFingerprint(&cfg))
+	if err != nil {
+		return nil, werrs, err
+	}
+	src, err := s.attachStore(tree)
 	if err != nil {
 		return nil, werrs, err
 	}
 	inner, err := collection.NewServerSource(src, cfg)
 	if err != nil {
+		s.closeStore()
 		return nil, werrs, err
 	}
-	s.inner = inner
-	inner.TreeManifest = s.opt.treeManifest
-	inner.RoundTimeout = s.opt.roundTimeout
-	inner.HandshakeTimeout = s.opt.handshakeTimeout
-	inner.AllowPush = s.opt.allowPush
-	inner.OnUpdate = s.opt.onUpdate
-	inner.Tracer = s.opt.tracer
-	inner.Logger = s.opt.logger
-	s.initServing()
+	s.finishServer(inner)
 	return s, werrs, nil
+}
+
+// NewStoreServer creates a directory-backed Server with a version store at
+// storeDir: NewDirServer plus WithStore(storeDir). Cut versions with
+// Server.Snapshot; clients announcing one with WithBaseVersion receive its
+// precomputed journal delta instead of a fresh map construction.
+func NewStoreServer(root, storeDir string, cfg Config, opts ...Option) (*Server, []error, error) {
+	opts = append(opts[:len(opts):len(opts)], WithStore(storeDir))
+	return NewDirServer(root, cfg, opts...)
 }
 
 // newTreeSource opens root as a lazily streamed tree and wires in the
@@ -559,10 +646,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		return s.closeStore()
 	case <-ctx.Done():
 		s.forceClose()
 		<-done
+		s.closeStore()
 		return ctx.Err()
 	}
 }
@@ -574,7 +662,7 @@ func (s *Server) Close() error {
 	s.beginShutdown()
 	s.forceClose()
 	s.sessions.Wait()
-	return nil
+	return s.closeStore()
 }
 
 // beginShutdown marks the server closing, stops all listeners, and wakes
@@ -603,24 +691,6 @@ func (s *Server) forceClose() {
 		c.Close()
 	}
 	s.mu.Unlock()
-}
-
-// EnablePush allows clients to push newer collections into this server.
-// onUpdate (optional) receives the adopted collection after each push.
-//
-// Deprecated: pass WithPush(onUpdate) to NewServer instead.
-func (s *Server) EnablePush(onUpdate func(map[string][]byte)) {
-	s.inner.AllowPush = true
-	s.inner.OnUpdate = onUpdate
-}
-
-// SetTreeManifest selects merkle-tree change detection for this server's
-// outgoing pushes (see Client.SetTreeManifest).
-//
-// Deprecated: pass WithTreeManifest() to NewServer instead.
-func (s *Server) SetTreeManifest(on bool) *Server {
-	s.inner.TreeManifest = on
-	return s
 }
 
 // Push updates a remote replica with this server's newer collection — the
@@ -672,18 +742,46 @@ type Client struct {
 }
 
 // NewClient creates a Client over the local path-keyed collection. Options
-// configure change detection, timeouts and retry; see Option.
+// configure change detection, timeouts and retry; see Option. NewClient
+// cannot report invalid options — it ignores them, keeping the defaults; use
+// NewClientE to have them checked.
 func NewClient(files map[string][]byte, opts ...Option) *Client {
+	c, _ := newClient(files, opts...)
+	return c
+}
+
+// NewClientE is NewClient with option validation: it returns the first
+// invalid option wrapped in ErrBadOption instead of silently ignoring it.
+func NewClientE(files map[string][]byte, opts ...Option) (*Client, error) {
+	c, err := newClient(files, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// newClient builds a map-backed client, returning the collected option
+// error, if any; the client is usable either way (invalid options keep
+// their defaults).
+func newClient(files map[string][]byte, opts ...Option) (*Client, error) {
 	c := &Client{inner: collection.NewClient(files)}
 	for _, o := range opts {
 		o(&c.opt)
 	}
+	c.applyClientOptions()
+	return c, c.opt.err
+}
+
+// applyClientOptions wires the applied options into the inner collection
+// client.
+func (c *Client) applyClientOptions() {
 	c.inner.TreeManifest = c.opt.treeManifest
 	c.inner.RoundTimeout = c.opt.roundTimeout
 	c.inner.Workers = c.opt.workers
+	c.inner.AnnounceVersion = c.opt.announce
+	c.inner.BaseVersion = c.opt.baseVersion
 	c.inner.Tracer = c.opt.tracer
 	c.inner.Logger = c.opt.logger
-	return c
 }
 
 // NewDirClient creates a Client whose local copy is streamed from a
@@ -698,29 +796,17 @@ func NewDirClient(root string, opts ...Option) (*Client, []error, error) {
 	for _, o := range opts {
 		o(&c.opt)
 	}
+	if c.opt.err != nil {
+		return nil, nil, c.opt.err
+	}
 	src, werrs, err := newTreeSource(root, &c.opt, 0)
 	if err != nil {
 		return nil, werrs, err
 	}
 	c.inner = collection.NewClientSource(src)
-	c.inner.TreeManifest = c.opt.treeManifest
-	c.inner.RoundTimeout = c.opt.roundTimeout
-	c.inner.Workers = c.opt.workers
+	c.applyClientOptions()
 	c.inner.LazyResult = c.opt.lazyResult
-	c.inner.Tracer = c.opt.tracer
-	c.inner.Logger = c.opt.logger
 	return c, werrs, nil
-}
-
-// SetTreeManifest switches change detection from the flat per-file
-// fingerprint manifest to merkle-tree reconciliation. With n files of which
-// c changed, the manifest costs O(n) bytes while the tree costs
-// O(c·log n) — prefer it for large, mostly-unchanged collections.
-//
-// Deprecated: pass WithTreeManifest() to NewClient instead.
-func (c *Client) SetTreeManifest(on bool) *Client {
-	c.inner.TreeManifest = on
-	return c
 }
 
 // Result is the outcome of a collection synchronization.
@@ -737,6 +823,10 @@ type Result struct {
 	Costs *Costs
 	// PerFile attributes payload bytes to individual synchronized files.
 	PerFile map[string]int64
+	// Version is the server's current store version, when the client
+	// announced one with WithBaseVersion against a versioned server; 0
+	// otherwise. Announce it on the next sync to ride the journal fast path.
+	Version uint64
 }
 
 // Apply writes the result to a directory tree: Files are written (parent
@@ -779,6 +869,7 @@ func (c *Client) SyncContext(ctx context.Context, conn io.ReadWriter) (*Result, 
 		Deleted:   res.Deleted,
 		Costs:     res.Costs,
 		PerFile:   res.PerFile,
+		Version:   res.Version,
 	}, nil
 }
 

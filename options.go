@@ -1,11 +1,20 @@
 package msync
 
 import (
+	"errors"
+	"fmt"
 	"log/slog"
 	"time"
 
 	"msync/internal/transport"
 )
+
+// ErrBadOption is wrapped by every constructor error caused by an invalid
+// Option argument (negative duration, nil logger, ...). NewServer, NewClientE
+// and the other error-returning constructors surface it; inspect with
+// errors.Is. NewClient, which cannot return an error, ignores invalid options
+// and keeps the defaults instead.
+var ErrBadOption = errors.New("msync: bad option")
 
 // Clock abstracts time for retry/backoff scheduling; inject a fake in tests
 // via WithClock to exercise backoff without real sleeping.
@@ -67,14 +76,32 @@ type sessionOptions struct {
 	cacheParanoid bool
 	lazyResult    bool
 
+	storeDir    string // version-store directory; "" = no store (server side)
+	storeBudget int64  // GC byte budget for the store; 0 = unlimited
+	announce    bool   // client announces a base version in its hello
+	baseVersion uint64 // the version announced
+
 	logger  *slog.Logger
 	tracer  Tracer
 	metrics *MetricsRegistry
+
+	// err records the first invalid option; error-returning constructors
+	// surface it wrapped in ErrBadOption, NewClient drops it.
+	err error
+}
+
+// badf records the first option-validation failure, wrapped in ErrBadOption.
+// The offending option leaves its field at the default.
+func (o *sessionOptions) badf(format string, args ...any) {
+	if o.err == nil {
+		o.err = fmt.Errorf("%w: %s", ErrBadOption, fmt.Sprintf(format, args...))
+	}
 }
 
 // Option configures a Client or Server at construction; see the With*
-// functions. Options replace the deprecated boolean chain-setters
-// (SetTreeManifest, EnablePush).
+// functions. Every option validates its argument: error-returning
+// constructors report the first invalid one wrapped in ErrBadOption, while
+// NewClient ignores it and keeps the default.
 type Option func(*sessionOptions)
 
 // WithTreeManifest selects merkle-tree change detection instead of the flat
@@ -90,19 +117,37 @@ func WithTreeManifest() Option {
 // final ack) by d. Zero means unbounded. On a Client it covers every Sync*
 // call; on a Server, every accepted session.
 func WithTimeout(d time.Duration) Option {
-	return func(o *sessionOptions) { o.timeout = d }
+	return func(o *sessionOptions) {
+		if d < 0 {
+			o.badf("WithTimeout: negative duration %v", d)
+			return
+		}
+		o.timeout = d
+	}
 }
 
 // WithRoundTimeout bounds each protocol round (every frame-level read and
 // write) by d, so a stalled peer fails fast instead of hanging the session.
 // Effective on connections with deadline support (TCP, Pipe).
 func WithRoundTimeout(d time.Duration) Option {
-	return func(o *sessionOptions) { o.roundTimeout = d }
+	return func(o *sessionOptions) {
+		if d < 0 {
+			o.badf("WithRoundTimeout: negative duration %v", d)
+			return
+		}
+		o.roundTimeout = d
+	}
 }
 
 // WithDialTimeout bounds each TCP dial attempt by d (client side).
 func WithDialTimeout(d time.Duration) Option {
-	return func(o *sessionOptions) { o.dialTimeout = d }
+	return func(o *sessionOptions) {
+		if d < 0 {
+			o.badf("WithDialTimeout: negative duration %v", d)
+			return
+		}
+		o.dialTimeout = d
+	}
 }
 
 // WithRetry makes Client.SyncTCP / SyncTCPContext retry dial and handshake
@@ -110,14 +155,35 @@ func WithDialTimeout(d time.Duration) Option {
 // (mid-transfer) are never retried automatically. Use DefaultRetryPolicy()
 // as a starting point.
 func WithRetry(p RetryPolicy) Option {
-	return func(o *sessionOptions) { o.retry = p }
+	return func(o *sessionOptions) {
+		switch {
+		case p.MaxAttempts < 0:
+			o.badf("WithRetry: negative MaxAttempts %d", p.MaxAttempts)
+		case p.BaseDelay < 0:
+			o.badf("WithRetry: negative BaseDelay %v", p.BaseDelay)
+		case p.MaxDelay < 0:
+			o.badf("WithRetry: negative MaxDelay %v", p.MaxDelay)
+		case p.Multiplier < 0:
+			o.badf("WithRetry: negative Multiplier %g", p.Multiplier)
+		case p.Jitter < 0 || p.Jitter > 1:
+			o.badf("WithRetry: Jitter %g outside [0, 1]", p.Jitter)
+		default:
+			o.retry = p
+		}
+	}
 }
 
 // WithClock injects the clock used for retry backoff sleeps; tests pass a
 // fake to assert schedules without real delays. Defaults to the system
-// clock.
+// clock; passing nil is an error — omit the option instead.
 func WithClock(c Clock) Option {
-	return func(o *sessionOptions) { o.clock = c }
+	return func(o *sessionOptions) {
+		if c == nil {
+			o.badf("WithClock: nil clock")
+			return
+		}
+		o.clock = c
+	}
 }
 
 // WithPush allows clients to push newer collections into a Server. onUpdate
@@ -131,31 +197,51 @@ func WithPush(onUpdate func(map[string][]byte)) Option {
 
 // WithSessionHook installs an observer called after every server session
 // (successful or not) with its outcome — the hook for connection accounting,
-// logging and metrics.
+// logging and metrics. Passing nil is an error — omit the option instead.
 func WithSessionHook(fn func(SessionEvent)) Option {
-	return func(o *sessionOptions) { o.hook = fn }
+	return func(o *sessionOptions) {
+		if fn == nil {
+			o.badf("WithSessionHook: nil hook")
+			return
+		}
+		o.hook = fn
+	}
 }
 
 // WithMaxSessions caps the number of synchronization sessions a Server runs
 // concurrently across all of its listeners. Connections arriving past the
 // cap wait in the admission queue (see WithMaxQueued) and, when that is also
 // full, are refused with a BUSY answer carrying a retry-after hint instead
-// of being served. n <= 0 (the default) leaves admission unlimited.
+// of being served. n = 0 (the default) leaves admission unlimited; negative
+// n is an error.
 //
 // The cap bounds the serving path only — it never changes the bytes an
 // admitted session exchanges. Clients built with WithRetry fold the BUSY
 // hint into their backoff schedule automatically.
 func WithMaxSessions(n int) Option {
-	return func(o *sessionOptions) { o.maxSessions = n }
+	return func(o *sessionOptions) {
+		if n < 0 {
+			o.badf("WithMaxSessions: negative cap %d", n)
+			return
+		}
+		o.maxSessions = n
+	}
 }
 
 // WithMaxQueued bounds how many over-capacity connections may wait for a
 // session slot before the server starts shedding with BUSY. The queue
 // preserves work during short bursts without letting the backlog grow
-// unboundedly. n <= 0 (the default) disables queueing: every over-capacity
-// connection is shed immediately. Ignored unless WithMaxSessions is set.
+// unboundedly. n = 0 (the default) disables queueing: every over-capacity
+// connection is shed immediately; negative n is an error. Ignored unless
+// WithMaxSessions is set.
 func WithMaxQueued(n int) Option {
-	return func(o *sessionOptions) { o.maxQueued = n }
+	return func(o *sessionOptions) {
+		if n < 0 {
+			o.badf("WithMaxQueued: negative depth %d", n)
+			return
+		}
+		o.maxQueued = n
+	}
 }
 
 // WithHandshakeTimeout bounds the server-side handshake phase of each
@@ -165,15 +251,27 @@ func WithMaxQueued(n int) Option {
 // slot that WithMaxSessions has made scarce. Zero (the default) leaves the
 // handshake bounded only by WithTimeout/WithRoundTimeout.
 func WithHandshakeTimeout(d time.Duration) Option {
-	return func(o *sessionOptions) { o.handshakeTimeout = d }
+	return func(o *sessionOptions) {
+		if d < 0 {
+			o.badf("WithHandshakeTimeout: negative duration %v", d)
+			return
+		}
+		o.handshakeTimeout = d
+	}
 }
 
 // WithBusyRetryAfter sets the retry-after hint a Server encodes into BUSY
 // load-shedding answers. Retrying clients wait at least this long before
 // the next attempt (their own jittered backoff still applies when longer).
-// d <= 0 (the default) uses one second.
+// d = 0 (the default) uses one second; negative d is an error.
 func WithBusyRetryAfter(d time.Duration) Option {
-	return func(o *sessionOptions) { o.busyRetryAfter = d }
+	return func(o *sessionOptions) {
+		if d < 0 {
+			o.badf("WithBusyRetryAfter: negative duration %v", d)
+			return
+		}
+		o.busyRetryAfter = d
+	}
 }
 
 // WithSignatureCache enables the persistent signature cache for a
@@ -181,13 +279,18 @@ func WithBusyRetryAfter(d time.Duration) Option {
 // hash tables are remembered across sessions, keyed by (path, size, mtime,
 // engine config), so repeat syncs of unchanged files cost a stat instead of
 // a hash. dir is the on-disk store directory ("" keeps the cache in memory
-// only); memBytes bounds the in-memory layer (<= 0 selects a 64 MB default).
+// only); memBytes bounds the in-memory layer (0 selects a 64 MB default,
+// negative is an error).
 // The cache is purely a local accelerator — cached values are identical to
 // freshly computed ones and nothing about it is ever serialized into the
 // protocol, so the bytes on the wire are bit-identical with the cache on,
 // off, cold or warm. Ignored by the map-backed NewClient/NewServer.
 func WithSignatureCache(dir string, memBytes int64) Option {
 	return func(o *sessionOptions) {
+		if memBytes < 0 {
+			o.badf("WithSignatureCache: negative memory bound %d", memBytes)
+			return
+		}
 		o.cacheEnabled = true
 		o.cacheDir = dir
 		o.cacheMem = memBytes
@@ -214,16 +317,30 @@ func WithLazyResult() Option {
 
 // WithLogger attaches a structured logger to the endpoint: session starts,
 // outcomes (bytes, roundtrips, wire and transport I/O counters) and retries
-// are logged through it at debug/info/warn levels. nil (the default)
-// disables logging entirely — there is no hidden default output.
+// are logged through it at debug/info/warn levels. Logging is disabled by
+// default — there is no hidden output — and passing nil is an error: omit
+// the option to keep it off.
 func WithLogger(l *slog.Logger) Option {
-	return func(o *sessionOptions) { o.logger = l }
+	return func(o *sessionOptions) {
+		if l == nil {
+			o.badf("WithLogger: nil logger")
+			return
+		}
+		o.logger = l
+	}
 }
 
 // WithTracer attaches a Tracer receiving span-like events per protocol
-// phase; see Tracer for the guarantees. nil disables tracing at zero cost.
+// phase; see Tracer for the guarantees. Tracing is off by default at zero
+// cost; passing nil is an error — omit the option instead.
 func WithTracer(tr Tracer) Option {
-	return func(o *sessionOptions) { o.tracer = tr }
+	return func(o *sessionOptions) {
+		if tr == nil {
+			o.badf("WithTracer: nil tracer")
+			return
+		}
+		o.tracer = tr
+	}
 }
 
 // WithMetrics folds every session's outcome into the given registry:
@@ -231,16 +348,75 @@ func WithTracer(tr Tracer) Option {
 // msync_sessions_active gauge, a session-duration histogram, retry counts,
 // and the full per-direction/per-phase byte and technique counters mirrored
 // from each session's Costs. One registry may be shared by any number of
-// endpoints.
+// endpoints. Passing nil is an error — omit the option instead.
 func WithMetrics(r *MetricsRegistry) Option {
-	return func(o *sessionOptions) { o.metrics = r }
+	return func(o *sessionOptions) {
+		if r == nil {
+			o.badf("WithMetrics: nil registry")
+			return
+		}
+		o.metrics = r
+	}
 }
 
 // WithWorkers bounds this endpoint's local parallelism: per-file engine
 // fan-out across synchronized files, sharded old-file scans, and batched
 // verification hashing. n = 0 (the default) uses runtime.GOMAXPROCS(0);
-// n = 1 runs fully serially. The setting is local to each endpoint and never
-// negotiated: the bytes on the wire are bit-identical for every value.
+// n = 1 runs fully serially; negative n is an error. The setting is local to
+// each endpoint and never negotiated: the bytes on the wire are bit-identical
+// for every value.
 func WithWorkers(n int) Option {
-	return func(o *sessionOptions) { o.workers = n }
+	return func(o *sessionOptions) {
+		if n < 0 {
+			o.badf("WithWorkers: negative worker count %d", n)
+			return
+		}
+		o.workers = n
+	}
+}
+
+// WithStore attaches a persistent version store to a Server: an append-only,
+// checksummed local store at dir capturing immutable snapshots of the
+// collection (cut with Server.Snapshot) with per-version change journals. A
+// client that announces a stored version (WithBaseVersion) is answered with
+// the precomputed journal delta instead of fresh map construction; unknown or
+// garbage-collected versions fall back to the full protocol. Empty dir is an
+// error. Ignored by clients.
+func WithStore(dir string) Option {
+	return func(o *sessionOptions) {
+		if dir == "" {
+			o.badf("WithStore: empty directory")
+			return
+		}
+		o.storeDir = dir
+	}
+}
+
+// WithStoreBudget bounds the version store's on-disk size: when segment bytes
+// exceed n, oldest versions are garbage-collected (content still reachable
+// from surviving versions is rescued first, and the latest version is never
+// evicted). n = 0 (the default) disables GC; negative n is an error. Ignored
+// without WithStore.
+func WithStoreBudget(n int64) Option {
+	return func(o *sessionOptions) {
+		if n < 0 {
+			o.badf("WithStoreBudget: negative budget %d", n)
+			return
+		}
+		o.storeBudget = n
+	}
+}
+
+// WithBaseVersion makes a Client announce v as the store version its local
+// copy corresponds to. A server holding that version in its store answers
+// with the precomputed journal delta — no map-construction rounds — and any
+// server (versioned or not) that cannot honor the announcement simply runs
+// the normal protocol. The session's Result.Version reports the server's
+// current version for the next sync's announcement. v = 0 announces "no
+// known version" (useful to just learn the server's current version).
+func WithBaseVersion(v uint64) Option {
+	return func(o *sessionOptions) {
+		o.announce = true
+		o.baseVersion = v
+	}
 }
