@@ -7,7 +7,7 @@ FUZZTIME ?= 10s
 FUZZ_PKGS = ./internal/wire ./internal/delta ./internal/huffman \
 	./internal/collection ./internal/rsync ./internal/vcdiff
 
-.PHONY: all build test vet race check fuzz-smoke bench bench-cache bench-store api api-check clean
+.PHONY: all build test vet race check fuzz-smoke bench bench-cache bench-store bench-mux api api-check clean
 
 all: check
 
@@ -28,12 +28,14 @@ race:
 	$(GO) test -race ./...
 
 # check additionally sweeps the signature-cache layers (sigcache, dirio,
-# collection) and the observability layer (obs: shared metrics registries and
-# tracers must stay race-free) under vet and the race detector on their own,
-# so bugs there fail fast with a focused report before the full suite runs.
+# collection), the observability layer (obs: shared metrics registries and
+# tracers must stay race-free) and the benchmark harness (bench: drives
+# multiplexed sessions concurrently) under vet and the race detector on their
+# own, so bugs there fail fast with a focused report before the full suite
+# runs.
 check: vet race fuzz-smoke api-check
-	$(GO) vet ./internal/sigcache/ ./internal/dirio/ ./internal/collection/ ./internal/store/ ./internal/obs/
-	$(GO) test -race ./internal/sigcache/ ./internal/dirio/ ./internal/collection/ ./internal/store/ ./internal/obs/
+	$(GO) vet ./internal/sigcache/ ./internal/dirio/ ./internal/collection/ ./internal/store/ ./internal/obs/ ./internal/bench/
+	$(GO) test -race ./internal/sigcache/ ./internal/dirio/ ./internal/collection/ ./internal/store/ ./internal/obs/ ./internal/bench/
 
 # api-check diffs the package's exported surface against the committed
 # API.txt; regenerate with `make api` after an intentional API change.
@@ -57,9 +59,13 @@ fuzz-smoke:
 
 # bench runs the Go benchmarks once each, then regenerates BENCH_scan.json —
 # the scan-scaling report (serial vs parallel client map-construction
-# wall-clock and bytes on the wire; see internal/bench/parallel.go) — and
-# BENCH_cache.json via bench-cache.
-bench: bench-cache bench-store
+# wall-clock and bytes on the wire; see internal/bench/parallel.go) — plus
+# BENCH_cache.json, BENCH_store.json and BENCH_mux.json via their targets.
+# GOMAXPROCS is pinned to the host's CPU count (unless already set) so the
+# scan sweep measures real parallelism rather than a clamped-to-1 runtime.
+NPROC := $(shell nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)
+bench: export GOMAXPROCS ?= $(NPROC)
+bench: bench-cache bench-store bench-mux
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 	$(GO) run ./cmd/msbench -scan-json BENCH_scan.json
 
@@ -74,6 +80,12 @@ bench-cache:
 # (see internal/bench/store.go).
 bench-store:
 	$(GO) run ./cmd/msbench -store-json BENCH_store.json
+
+# bench-mux regenerates BENCH_mux.json: per-file sessions versus one lockstep
+# session versus multiplexed streams at widths 4/16/64 over a 10k-small-file
+# corpus, with wall-clock modeled at 50–200 ms RTT (see internal/bench/mux.go).
+bench-mux:
+	$(GO) run ./cmd/msbench -mux-json BENCH_mux.json
 
 clean:
 	$(GO) clean ./...

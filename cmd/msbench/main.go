@@ -19,21 +19,30 @@ import (
 	"time"
 
 	"msync/internal/bench"
+	"msync/internal/pool"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id (default: all)")
-		scale    = flag.Float64("scale", 1.0, "corpus scale factor")
-		seed     = flag.Int64("seed", 42, "corpus seed")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
+		exp       = flag.String("exp", "", "experiment id (default: all)")
+		scale     = flag.Float64("scale", 1.0, "corpus scale factor")
+		seed      = flag.Int64("seed", 42, "corpus seed")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		scanJSON  = flag.String("scan-json", "", "write the parallel.scan report as JSON to this file and exit")
 		cacheJSON = flag.String("cache-json", "", "write the cache.sync (repeat-sync signature cache) report as JSON to this file and exit")
 		storeJSON = flag.String("store-json", "", "write the store.journal (versioned store, journal fast path) report as JSON to this file and exit")
+		muxJSON   = flag.String("mux-json", "", "write the mux.pipeline (multiplexed streams vs per-file/lockstep sessions) report as JSON to this file and exit")
 		cacheMode = flag.String("cache", "off", "signature-cache condition for parallel.scan: off, cold or warm (never changes wire bytes)")
 	)
 	flag.Parse()
+
+	if pool.Parallelism() == 1 {
+		fmt.Fprintln(os.Stderr, "WARNING: effective parallelism is 1 (GOMAXPROCS or CPU count); "+
+			"every -workers point collapses to the serial path and parallel speedups "+
+			"cannot exceed 1.0. Re-run with GOMAXPROCS unset (or >= NumCPU) on a "+
+			"multi-core host for meaningful scan-scaling numbers.")
+	}
 
 	if *list {
 		for _, id := range bench.Experiments() {
@@ -65,6 +74,10 @@ func main() {
 	}
 	if *storeJSON != "" {
 		writeReport(*storeJSON, bench.StoreJSON)
+		return
+	}
+	if *muxJSON != "" {
+		writeReport(*muxJSON, bench.MuxJSON)
 		return
 	}
 

@@ -1,0 +1,49 @@
+package bench
+
+import "testing"
+
+// TestMuxReport runs the multiplexing experiment at tiny scale: every arm
+// must converge, the session arms must negotiate for real, and the modeled
+// speedup of a wide multiplexed session over per-file sessions at 100 ms RTT
+// must clear the 3x acceptance bar (the ratio is dominated by roundtrip
+// counts, which scale with the file count in the per_file arm only, so the
+// full-scale run clears it by far more).
+func TestMuxReport(t *testing.T) {
+	rep, err := measureMux(Options{Scale: 0.004, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Changed == 0 {
+		t.Fatal("corpus has no changed files")
+	}
+	var perFile, lockstep, mux16 *MuxPoint
+	for i := range rep.Points {
+		p := &rep.Points[i]
+		if !p.Converged {
+			t.Fatalf("arm %s width %d did not converge", p.Arm, p.Width)
+		}
+		switch {
+		case p.Arm == "per_file":
+			perFile = p
+		case p.Arm == "lockstep":
+			lockstep = p
+		case p.Arm == "mux" && p.Width == 16:
+			mux16 = p
+		}
+	}
+	if perFile == nil || lockstep == nil || mux16 == nil {
+		t.Fatalf("missing arms in report: %+v", rep.Points)
+	}
+	if perFile.Roundtrips <= mux16.Roundtrips {
+		t.Fatalf("per-file sessions paid %d roundtrips, mux %d — baseline implausible",
+			perFile.Roundtrips, mux16.Roundtrips)
+	}
+	if mux16.Roundtrips > lockstep.Roundtrips {
+		t.Fatalf("mux width 16 paid %d roundtrips, lockstep %d", mux16.Roundtrips, lockstep.Roundtrips)
+	}
+	for _, l := range mux16.Links {
+		if l.RTTMs == 100 && l.SpeedupVsPerFile < 3 {
+			t.Fatalf("speedup vs per-file at 100ms RTT = %.2f, want >= 3", l.SpeedupVsPerFile)
+		}
+	}
+}

@@ -75,6 +75,14 @@ type Client struct {
 	// BaseVersion is the stored version this client's collection matches,
 	// as learned from a previous Result.Version.
 	BaseVersion uint64
+	// MuxStreams, if positive, requests stream multiplexing (hello
+	// extension 2) with up to that many concurrent streams: the server
+	// partitions the sync files into streams whose map rounds, deltas and
+	// fallbacks interleave on the one connection, so slow files no longer
+	// gate fast ones and tiny files share roundtrips. Servers that don't
+	// multiplex (or sessions with nothing to sync) ignore the request and
+	// the session runs the legacy lockstep protocol unchanged.
+	MuxStreams int
 	// Tracer, if set, receives span-like events per protocol phase; the
 	// summed frame bytes of a session's spans equal its Costs wire totals.
 	// Tracing never changes what goes on the wire.
@@ -155,18 +163,33 @@ func (c *Client) SyncContext(ctx context.Context, conn io.ReadWriter) (*Result, 
 		} else {
 			hb.Byte(modeManifest)
 		}
+		nExt := 0
 		if c.AnnounceVersion {
-			ext := wire.NewBuffer(8)
-			ext.Uvarint(c.BaseVersion)
-			hb.Uvarint(1) // one hello extension
-			hb.Uvarint(helloExtVersion)
-			hb.Bytes(ext.Build())
+			nExt++
+		}
+		if c.MuxStreams > 0 {
+			nExt++
+		}
+		if nExt > 0 {
+			hb.Uvarint(uint64(nExt))
+			if c.AnnounceVersion {
+				ext := wire.NewBuffer(8)
+				ext.Uvarint(c.BaseVersion)
+				hb.Uvarint(helloExtVersion)
+				hb.Bytes(ext.Build())
+			}
+			if c.MuxStreams > 0 {
+				ext := wire.NewBuffer(8)
+				ext.Uvarint(uint64(c.MuxStreams))
+				hb.Uvarint(helloExtMux)
+				hb.Bytes(ext.Build())
+			}
 		}
 		if err := fw.WriteFrame(wire.FrameHello, hb.Build()); err != nil {
 			return nil, asHandshake(err)
 		}
 		st.cost(costs, stats.C2S, stats.PhaseControl, hb.Len())
-		return consume(ctx, fr, fw, costs, c.src, c.LazyResult, c.TreeManifest, c.AnnounceVersion, c.Workers, st)
+		return consume(ctx, fr, fw, costs, c.src, c.LazyResult, c.TreeManifest, c.AnnounceVersion, c.Workers, c.MuxStreams, st)
 	}()
 	st.end(costs, err, fr, fw, sess.Stats())
 	return res, err
@@ -188,8 +211,10 @@ func (c *Client) SyncContext(ctx context.Context, conn io.ReadWriter) (*Result, 
 //
 // announced reports whether this side's hello carried the version
 // extension: only then are journal verdicts and the trailing version in the
-// verdict frame expected.
-func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, lazy, treeManifest, announced bool, workers int, st *sessTrace) (*Result, error) {
+// verdict frame expected. muxWidth is the requested stream width (0: none);
+// only when positive is a MUX_ACK before the verdicts accepted, switching the
+// per-file phases to the stream-multiplexed consumer.
+func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, lazy, treeManifest, announced bool, workers, muxWidth int, st *sessTrace) (*Result, error) {
 	sbuf := wire.GetBuffer(1024) // session scratch for every frame we assemble
 	defer wire.PutBuffer(sbuf)
 
@@ -244,10 +269,31 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 		return nil, asHandshake(err)
 	}
 
-	// Verdicts.
-	vraw, err := fr.ExpectFrame(wire.FrameVerdicts)
+	// Verdicts, optionally preceded by a MUX_ACK when we requested
+	// multiplexing and the server granted it.
+	var muxRaw []byte
+	ft, vraw, err := fr.ReadFrame()
 	if err != nil {
 		return nil, asHandshake(err)
+	}
+	if ft == wire.FrameMuxAck && muxWidth > 0 {
+		muxRaw = vraw
+		st.cost(costs, stats.S2C, stats.PhaseControl, len(muxRaw))
+		vraw, err = fr.ExpectFrame(wire.FrameVerdicts)
+		if err != nil {
+			return nil, asHandshake(err)
+		}
+	} else if ft != wire.FrameVerdicts {
+		// Mirror ExpectFrame's special-casing so error and BUSY answers
+		// surface identically to the legacy path.
+		switch ft {
+		case wire.FrameError:
+			return nil, asHandshake(fmt.Errorf("wire: remote error: %s", vraw))
+		case wire.FrameBusy:
+			return nil, asHandshake(wire.DecodeBusy(vraw))
+		default:
+			return nil, asHandshake(fmt.Errorf("wire: expected frame %s, got %s", wire.FrameName(wire.FrameVerdicts), wire.FrameName(ft)))
+		}
 	}
 	costs.Roundtrips++
 	vp := wire.NewParser(vraw)
@@ -397,149 +443,169 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 
 	perEngine := make([]int64, len(engines))
 
-	// Map-construction rounds: respond to whatever the server sends until
-	// the delta frame arrives.
-	var deltaPayload []byte
-	rounds := 0
-	for deltaPayload == nil {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("collection: session cancelled: %w", err)
+	var muxCounts []int
+	if muxRaw != nil {
+		if len(engines) == 0 || len(jfiles) > 0 {
+			// The server only grants multiplexing to sessions running sync
+			// engines; anything else is a protocol violation.
+			return nil, fmt.Errorf("collection: unexpected mux ack")
 		}
-		ft, payload, err := fr.ReadFrame()
+		muxCounts, err = wire.ParseMuxAck(muxRaw, len(engines))
 		if err != nil {
 			return nil, err
 		}
-		switch ft {
-		case wire.FrameRoundHashes, wire.FrameConfirm:
-			if ft == wire.FrameRoundHashes {
-				rounds++
-				st.begin(obs.PhaseRound, rounds)
-			} else {
-				st.begin(obs.PhaseVerify, rounds)
+	}
+	if muxCounts != nil {
+		// Stream-multiplexed per-file phases replace the lockstep loop.
+		if err := consumeStreams(ctx, fr, fw, costs, engines, muxCounts, workers, perEngine, out, st); err != nil {
+			return nil, err
+		}
+	} else {
+
+		// Map-construction rounds: respond to whatever the server sends until
+		// the delta frame arrives.
+		var deltaPayload []byte
+		rounds := 0
+		for deltaPayload == nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("collection: session cancelled: %w", err)
 			}
-			st.cost(costs, stats.S2C, stats.PhaseMap, len(payload))
-			reply, err := respond(workers, engines, ft, payload, perEngine, sbuf)
+			ft, payload, err := fr.ReadFrame()
 			if err != nil {
 				return nil, err
 			}
-			if err := fw.WriteFrame(wire.FrameRoundReply, reply); err != nil {
-				return nil, err
+			switch ft {
+			case wire.FrameRoundHashes, wire.FrameConfirm:
+				if ft == wire.FrameRoundHashes {
+					rounds++
+					st.begin(obs.PhaseRound, rounds)
+				} else {
+					st.begin(obs.PhaseVerify, rounds)
+				}
+				st.cost(costs, stats.S2C, stats.PhaseMap, len(payload))
+				reply, err := respond(workers, engines, ft, payload, perEngine, sbuf)
+				if err != nil {
+					return nil, err
+				}
+				if err := fw.WriteFrame(wire.FrameRoundReply, reply); err != nil {
+					return nil, err
+				}
+				if err := fw.Flush(); err != nil {
+					return nil, err
+				}
+				st.cost(costs, stats.C2S, stats.PhaseMap, len(reply))
+				costs.Roundtrips++
+			case wire.FrameDelta:
+				st.begin(obs.PhaseDelta, 0)
+				st.cost(costs, stats.S2C, stats.PhaseDelta, len(payload))
+				deltaPayload = payload
+			case wire.FrameError:
+				return nil, fmt.Errorf("collection: server error: %s", payload)
+			default:
+				return nil, fmt.Errorf("collection: unexpected frame %s", wire.FrameName(ft))
 			}
-			if err := fw.Flush(); err != nil {
-				return nil, err
-			}
-			st.cost(costs, stats.C2S, stats.PhaseMap, len(reply))
-			costs.Roundtrips++
-		case wire.FrameDelta:
-			st.begin(obs.PhaseDelta, 0)
-			st.cost(costs, stats.S2C, stats.PhaseDelta, len(payload))
-			deltaPayload = payload
-		case wire.FrameError:
-			return nil, fmt.Errorf("collection: server error: %s", payload)
-		default:
-			return nil, fmt.Errorf("collection: unexpected frame %s", wire.FrameName(ft))
 		}
-	}
 
-	// Apply deltas; collect whole-file-check failures.
-	dp := wire.NewParser(deltaPayload)
-	nd, err := dp.Uvarint()
-	if err != nil || int(nd) != len(engines) {
-		return nil, fmt.Errorf("collection: delta count mismatch")
-	}
-	deltaSections := make([][]byte, len(engines))
-	for i := range engines {
-		section, err := dp.Bytes()
+		// Apply deltas; collect whole-file-check failures.
+		dp := wire.NewParser(deltaPayload)
+		nd, err := dp.Uvarint()
+		if err != nil || int(nd) != len(engines) {
+			return nil, fmt.Errorf("collection: delta count mismatch")
+		}
+		deltaSections := make([][]byte, len(engines))
+		for i := range engines {
+			section, err := dp.Bytes()
+			if err != nil {
+				return nil, err
+			}
+			deltaSections[i] = section
+			perEngine[i] += int64(len(section))
+		}
+		results := make([][]byte, len(engines))
+		verifyFailed := make([]bool, len(engines))
+		err = parallelFiles(workers, len(engines), func(i int) error {
+			data, err := engines[i].engine.ApplyDelta(deltaSections[i])
+			switch {
+			case err == nil:
+				results[i] = data
+			case errors.Is(err, core.ErrVerifyFailed):
+				verifyFailed[i] = true
+			default:
+				return fmt.Errorf("collection: file %q: %w", engines[i].path, err)
+			}
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		deltaSections[i] = section
-		perEngine[i] += int64(len(section))
-	}
-	results := make([][]byte, len(engines))
-	verifyFailed := make([]bool, len(engines))
-	err = parallelFiles(workers, len(engines), func(i int) error {
-		data, err := engines[i].engine.ApplyDelta(deltaSections[i])
-		switch {
-		case err == nil:
-			results[i] = data
-		case errors.Is(err, core.ErrVerifyFailed):
-			verifyFailed[i] = true
-		default:
-			return fmt.Errorf("collection: file %q: %w", engines[i].path, err)
+		var failed []int
+		for i := range engines {
+			if verifyFailed[i] {
+				failed = append(failed, i)
+			} else {
+				out[engines[i].path] = results[i]
+			}
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	var failed []int
-	for i := range engines {
-		if verifyFailed[i] {
-			failed = append(failed, i)
-		} else {
-			out[engines[i].path] = results[i]
-		}
-	}
-	if len(jfiles) > 0 {
-		// Journal session: ack indexes are ordinals into the journal-file
-		// list (there are no engines to index).
-		failed = jfailed
-	}
-	sbuf.Reset()
-	sbuf.Uvarint(uint64(len(failed)))
-	for _, i := range failed {
-		sbuf.Uvarint(uint64(i))
-	}
-	if err := fw.WriteFrame(wire.FrameAck, sbuf.Build()); err != nil {
-		return nil, err
-	}
-	if err := fw.Flush(); err != nil {
-		return nil, err
-	}
-	st.cost(costs, stats.C2S, stats.PhaseControl, sbuf.Len())
-	costs.Roundtrips++ // delta → ack
-
-	if len(failed) > 0 {
-		st.begin(obs.PhaseFull, 0)
-		fraw, err := fr.ExpectFrame(wire.FrameFull)
-		if err != nil {
-			return nil, err
-		}
-		st.cost(costs, stats.S2C, stats.PhaseFull, len(fraw))
-		costs.Roundtrips++
-		fp := wire.NewParser(fraw)
-		nf, err := fp.Uvarint()
-		if err != nil || int(nf) != len(failed) {
-			return nil, fmt.Errorf("collection: full-transfer count mismatch")
-		}
-		nIdx := len(engines)
 		if len(jfiles) > 0 {
-			nIdx = len(jfiles)
+			// Journal session: ack indexes are ordinals into the journal-file
+			// list (there are no engines to index).
+			failed = jfailed
 		}
-		for k := uint64(0); k < nf; k++ {
-			idx, err := fp.Uvarint()
-			if err != nil || int(idx) >= nIdx {
-				return nil, fmt.Errorf("collection: bad full index")
-			}
-			comp, err := fp.Bytes()
+		sbuf.Reset()
+		sbuf.Uvarint(uint64(len(failed)))
+		for _, i := range failed {
+			sbuf.Uvarint(uint64(i))
+		}
+		if err := fw.WriteFrame(wire.FrameAck, sbuf.Build()); err != nil {
+			return nil, err
+		}
+		if err := fw.Flush(); err != nil {
+			return nil, err
+		}
+		st.cost(costs, stats.C2S, stats.PhaseControl, sbuf.Len())
+		costs.Roundtrips++ // delta → ack
+
+		if len(failed) > 0 {
+			st.begin(obs.PhaseFull, 0)
+			fraw, err := fr.ExpectFrame(wire.FrameFull)
 			if err != nil {
 				return nil, err
 			}
-			data, err := delta.Decompress(comp)
-			if err != nil {
-				return nil, err
+			st.cost(costs, stats.S2C, stats.PhaseFull, len(fraw))
+			costs.Roundtrips++
+			fp := wire.NewParser(fraw)
+			nf, err := fp.Uvarint()
+			if err != nil || int(nf) != len(failed) {
+				return nil, fmt.Errorf("collection: full-transfer count mismatch")
 			}
+			nIdx := len(engines)
 			if len(jfiles) > 0 {
-				out[jfiles[idx].path] = data
-				jbytes[jfiles[idx].path] += int64(len(comp))
-			} else {
-				out[engines[idx].path] = data
-				perEngine[idx] += int64(len(comp))
+				nIdx = len(jfiles)
 			}
-			costs.FilesFull++
+			for k := uint64(0); k < nf; k++ {
+				idx, err := fp.Uvarint()
+				if err != nil || int(idx) >= nIdx {
+					return nil, fmt.Errorf("collection: bad full index")
+				}
+				comp, err := fp.Bytes()
+				if err != nil {
+					return nil, err
+				}
+				data, err := delta.Decompress(comp)
+				if err != nil {
+					return nil, err
+				}
+				if len(jfiles) > 0 {
+					out[jfiles[idx].path] = data
+					jbytes[jfiles[idx].path] += int64(len(comp))
+				} else {
+					out[engines[idx].path] = data
+					perEngine[idx] += int64(len(comp))
+				}
+				costs.FilesFull++
+			}
 		}
-	}
+	} // end legacy lockstep path
 	perFile := make(map[string]int64, len(engines)+len(jfiles))
 	for i := range engines {
 		perFile[engines[i].path] = perEngine[i]

@@ -113,4 +113,10 @@ const (
 	// verdicts when it can serve the announced version's delta, and appends
 	// its current version to the verdict frame either way.
 	helloExtVersion = 1
+	// helloExtMux requests stream multiplexing: the payload is the uvarint
+	// stream width the client is willing to run. A server that grants it
+	// (bounded by its own cap and the sync-file count) answers MUX_ACK
+	// before the verdict frame; otherwise the session proceeds unchanged,
+	// byte-identical to a legacy one past the extension bytes.
+	helloExtMux = 2
 )

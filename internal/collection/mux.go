@@ -1,0 +1,672 @@
+package collection
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"msync/internal/core"
+	"msync/internal/delta"
+	"msync/internal/obs"
+	"msync/internal/stats"
+	"msync/internal/transport"
+	"msync/internal/wire"
+)
+
+// Stream multiplexing (hello extension 2) interleaves the per-file phases of
+// one session on one connection: the sync files are partitioned into streams,
+// and every roundtrip — a server CYCLE and its client reply CYCLE — advances
+// all streams at once. A stream that finished its map rounds ships its delta
+// (and any full-transfer fallback) while slower streams are still mapping, so
+// the session's wall clock is governed by the deepest file's round count, not
+// the sum of phase tails, and tiny files batch their single rounds into
+// roundtrips they'd otherwise each pay for.
+//
+// The cycle protocol is strict alternation. The server sends CYCLE(n) followed
+// by n STREAM frames — exactly one per unfinished stream, carrying that
+// stream's next legacy frame (ROUND_HASHES, CONFIRM, DELTA, or FULL) with
+// engine indexes local to the stream's contiguous file range. The client
+// replies CYCLE(m) + m STREAM frames (ROUND_REPLY or ACK); FULL frames get no
+// reply, so a final all-FULL cycle goes unanswered. Inside a stream the frame
+// sequence is byte-identical to a legacy session over that stream's files,
+// which is why both sides reuse the legacy respond/absorb logic unchanged.
+
+// muxSessionCap bounds the granted stream count per session. The wire cap
+// (wire.MaxStreams) guards parsing; this is the scheduling policy: past a few
+// dozen streams the per-cycle framing overhead outweighs any extra overlap.
+const muxSessionCap = 64
+
+// muxPhase maps an inner frame type to the cost phase its stream-frame bytes
+// are accounted under, mirroring the legacy session's attribution.
+func muxPhase(inner byte) stats.Phase {
+	switch inner {
+	case wire.FrameDelta:
+		return stats.PhaseDelta
+	case wire.FrameFull:
+		return stats.PhaseFull
+	case wire.FrameAck:
+		return stats.PhaseControl
+	default: // ROUND_HASHES, CONFIRM, ROUND_REPLY
+		return stats.PhaseMap
+	}
+}
+
+// muxPartition splits the sync files into at most `width` contiguous streams,
+// balanced by content size so no stream dominates the session's cycle count.
+// Returns nil (no multiplexing) when width < 1 or there are no files.
+func muxPartition(files []syncFile, width int) []int {
+	if width < 1 || len(files) == 0 {
+		return nil
+	}
+	s := width
+	if s > muxSessionCap {
+		s = muxSessionCap
+	}
+	if s > len(files) {
+		s = len(files)
+	}
+	total := 0
+	for i := range files {
+		total += len(files[i].data)
+	}
+	counts := make([]int, s)
+	i, cum := 0, 0
+	for k := 0; k < s; k++ {
+		maxEnd := len(files) - (s - 1 - k) // leave one file per later stream
+		end := i
+		thresh := total * (k + 1) / s
+		for end < maxEnd && (end == i || cum < thresh) {
+			cum += len(files[end].data)
+			end++
+		}
+		counts[k] = end - i
+		i = end
+	}
+	counts[s-1] += len(files) - i
+	return counts
+}
+
+// streamAcct accumulates one stream's wire accounting. During a session each
+// stream's handler is the only writer of its own accumulator (on the client
+// the handlers run concurrently — on different streams); the scheduler
+// goroutine merges the result into the session Costs once the stream closes,
+// so the shared Costs is never touched concurrently.
+type streamAcct struct {
+	costs    stats.Costs
+	frames   int
+	up, down int64
+	start    time.Time
+}
+
+// add accounts one stream frame (payload plus framing, like addCost).
+func (a *streamAcct) add(d stats.Direction, p stats.Phase, payload int) {
+	addCost(&a.costs, d, p, payload)
+	a.frames++
+	n := int64(payload + frameOverhead(payload))
+	if d == stats.C2S {
+		a.up += n
+	} else {
+		a.down += n
+	}
+}
+
+// Server-side stream states. A stream always has exactly one frame to send
+// per server cycle until it is done, and every transition happens either
+// while building a cycle (srRounds→delta emission, srFull→done) or while
+// absorbing the client's reply cycle (everything else), so no stream is ever
+// left in srAwaitAck when the next cycle is built.
+const (
+	srRounds   = iota // emitting map-construction rounds
+	srConfirm         // emitting verification batches
+	srAwaitAck        // delta sent, waiting for the stream's ACK
+	srFull            // ACK reported failures; send full transfers next cycle
+	srDone
+)
+
+// serverStream is one stream of a multiplexed serving session: a contiguous
+// slice of the session's sync files plus the state machine walking them
+// through the legacy phase sequence.
+type serverStream struct {
+	streamAcct
+	id      int
+	files   []syncFile
+	state   int
+	pending []int    // stream-local indexes awaiting verification batches
+	failed  []uint64 // stream-local ack indexes needing full transfers
+}
+
+// parseAck decodes an ACK payload into stream-local failed indexes, bounds-
+// checked against the stream's file count.
+func parseAck(payload []byte, nFiles int) ([]uint64, error) {
+	p := wire.NewParser(payload)
+	nf, err := p.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, 0, nf)
+	for k := uint64(0); k < nf; k++ {
+		idx, err := p.Uvarint()
+		if err != nil || int(idx) >= nFiles {
+			return nil, fmt.Errorf("collection: bad ack index")
+		}
+		out = append(out, idx)
+	}
+	return out, nil
+}
+
+// serveMux runs the multiplexed replacement for the legacy round/delta/ack
+// loop: the engines are already partitioned into counts (as acknowledged to
+// the client in MUX_ACK), and the session ends when every stream has closed.
+func (s *Server) serveMux(ctx context.Context, sess *transport.Session, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, fail func(error) (*stats.Costs, error), engines []syncFile, counts []int, st *sessTrace) (*stats.Costs, error) {
+	streams := make([]*serverStream, len(counts))
+	now := time.Now()
+	off := 0
+	for k, c := range counts {
+		streams[k] = &serverStream{id: k, files: engines[off : off+c]}
+		streams[k].start = now
+		off += c
+	}
+	live := len(streams)
+	gauge := s.Metrics.Gauge(obs.MetricStreamsActive)
+	gauge.Add(int64(live))
+	defer func() { gauge.Add(-int64(live)) }()
+
+	var sd *transport.StreamDeadlines
+	if sess != nil && s.RoundTimeout > 0 {
+		sd = transport.NewStreamDeadlines()
+		defer sess.SetPhaseDeadline(time.Time{})
+	}
+
+	// closeStream harvests the stream's engine counters, merges its private
+	// Costs into the session's, and emits its span. Scheduler goroutine only.
+	closeStream := func(stm *serverStream) {
+		for i := range stm.files {
+			e := stm.files[i].engine
+			stm.costs.HashesSent += e.HashesSent
+			stm.costs.CandidatesFound += e.CandidatesSeen
+			stm.costs.MatchesConfirmed += e.MatchesConfirmed
+			stm.costs.BlockHashesComputed += e.BlockHashesComputed
+			stm.costs.BytesHashed += e.BytesHashed
+		}
+		stm.costs.FalseCandidates = stm.costs.CandidatesFound - stm.costs.MatchesConfirmed
+		costs.Merge(&stm.costs)
+		st.stream(stm.id, stm.frames, stm.up, stm.down, stm.start)
+		stm.state = srDone
+		if sd != nil {
+			sd.Drop(stm.id)
+		}
+		gauge.Dec()
+		live--
+	}
+
+	type outFrame struct {
+		stm     *serverStream
+		inner   byte
+		payload []byte
+	}
+	sfb := wire.GetBuffer(4096)
+	defer wire.PutBuffer(sfb)
+	cycle := 0
+	for live > 0 {
+		if err := ctx.Err(); err != nil {
+			return costs, fmt.Errorf("collection: session cancelled: %w", err)
+		}
+		cycle++
+		st.begin(obs.PhaseRound, cycle)
+
+		// Build this cycle: one frame per unfinished stream.
+		var outs []outFrame
+		expect := 0 // frames that will be answered in the client's reply cycle
+		roundsInCycle := 0
+		for _, stm := range streams {
+			switch stm.state {
+			case srDone:
+			case srRounds:
+				var active []int
+				for i := range stm.files {
+					if stm.files[i].engine.Active() {
+						active = append(active, i)
+					}
+				}
+				if len(active) == 0 {
+					// Every map is built: this stream moves on to its delta
+					// while other streams keep running rounds in the same
+					// cycle — the overlap multiplexing exists for.
+					sections := make([][]byte, len(stm.files))
+					parallelFiles(s.cfg.Workers, len(stm.files), func(i int) error {
+						sections[i] = stm.files[i].engine.EmitDelta()
+						return nil
+					})
+					b := wire.NewBuffer(1024)
+					b.Uvarint(uint64(len(stm.files)))
+					for i := range sections {
+						b.Bytes(sections[i])
+					}
+					stm.state = srAwaitAck
+					outs = append(outs, outFrame{stm, wire.FrameDelta, b.Build()})
+					expect++
+					continue
+				}
+				sections := make([][]byte, len(active))
+				parallelFiles(s.cfg.Workers, len(active), func(k int) error {
+					sections[k] = stm.files[active[k]].engine.EmitHashes()
+					return nil
+				})
+				b := wire.NewBuffer(1024)
+				b.Uvarint(uint64(len(active)))
+				for k, i := range active {
+					b.Uvarint(uint64(i))
+					b.Bytes(sections[k])
+				}
+				outs = append(outs, outFrame{stm, wire.FrameRoundHashes, b.Build()})
+				expect++
+				roundsInCycle++
+			case srConfirm:
+				b := wire.NewBuffer(1024)
+				b.Uvarint(uint64(len(stm.pending)))
+				for _, i := range stm.pending {
+					b.Uvarint(uint64(i))
+					b.Bytes(stm.files[i].engine.EmitConfirm())
+				}
+				outs = append(outs, outFrame{stm, wire.FrameConfirm, b.Build()})
+				expect++
+				roundsInCycle++
+			case srFull:
+				b := wire.NewBuffer(1024)
+				b.Uvarint(uint64(len(stm.failed)))
+				for _, idx := range stm.failed {
+					b.Uvarint(idx)
+					// The exact bytes the engine synced from, as in the
+					// legacy fallback, so a full transfer is consistent with
+					// the session even if the source changed underneath.
+					b.Bytes(delta.Compress(stm.files[idx].data))
+					stm.costs.FilesFull++
+				}
+				outs = append(outs, outFrame{stm, wire.FrameFull, b.Build()})
+			}
+		}
+
+		cp := wire.EncodeCycle(len(outs))
+		if err := fw.WriteFrame(wire.FrameCycle, cp); err != nil {
+			return costs, err
+		}
+		st.cost(costs, stats.S2C, stats.PhaseControl, len(cp))
+		fullCycle := false
+		for _, of := range outs {
+			sfb.Reset()
+			wire.AppendStreamFrame(sfb, of.stm.id, of.inner, of.payload)
+			sp := sfb.Build()
+			if err := fw.WriteFrame(wire.FrameStream, sp); err != nil {
+				return costs, err
+			}
+			of.stm.add(stats.S2C, muxPhase(of.inner), len(sp))
+			if of.inner == wire.FrameFull {
+				fullCycle = true
+				closeStream(of.stm) // FULL is the stream's last frame
+			}
+		}
+		if err := fw.Flush(); err != nil {
+			return costs, err
+		}
+		if fullCycle {
+			costs.Roundtrips++
+		}
+		if roundsInCycle >= 2 {
+			// Rounds that shared this cycle's flush instead of each paying
+			// their own roundtrip.
+			s.Metrics.Counter(obs.MetricRoundsBatched).Add(int64(roundsInCycle))
+		}
+		if expect == 0 {
+			continue // all-FULL cycle: unanswered; live is now 0
+		}
+
+		// Every reply-expecting stream gets a fresh round budget; the session
+		// blocks on the earliest so one stalled stream fails it in time.
+		if sd != nil {
+			dl := time.Now().Add(s.RoundTimeout)
+			for _, of := range outs {
+				if of.inner != wire.FrameFull {
+					sd.Touch(of.stm.id, dl)
+				}
+			}
+			sess.SetPhaseDeadline(sd.Earliest())
+		}
+
+		reply, err := fr.ExpectFrame(wire.FrameCycle)
+		if err != nil {
+			return costs, err
+		}
+		m, err := wire.ParseCycle(reply)
+		if err != nil {
+			return fail(err)
+		}
+		st.cost(costs, stats.C2S, stats.PhaseControl, len(reply))
+		costs.Roundtrips++
+		if m != expect {
+			return fail(fmt.Errorf("collection: reply cycle of %d frames, want %d", m, expect))
+		}
+		seen := make(map[int]bool, m)
+		for k := 0; k < m; k++ {
+			sp, err := fr.ExpectFrame(wire.FrameStream)
+			if err != nil {
+				return costs, err
+			}
+			sf, err := wire.ParseStreamFrame(sp, len(streams))
+			if err != nil {
+				return fail(err)
+			}
+			if seen[sf.ID] {
+				return fail(fmt.Errorf("collection: duplicate reply for stream %d", sf.ID))
+			}
+			seen[sf.ID] = true
+			stm := streams[sf.ID]
+			stm.add(stats.C2S, muxPhase(sf.Type), len(sp))
+			if sd != nil {
+				sd.Touch(sf.ID, time.Now().Add(s.RoundTimeout))
+				sess.SetPhaseDeadline(sd.Earliest())
+			}
+			switch {
+			case sf.Type == wire.FrameRoundReply && stm.state == srRounds:
+				pending, err := s.absorbReplies(stm.files, sf.Payload, true)
+				if err != nil {
+					return fail(err)
+				}
+				if len(pending) > 0 {
+					stm.pending = pending
+					stm.state = srConfirm
+				}
+			case sf.Type == wire.FrameRoundReply && stm.state == srConfirm:
+				pending, err := s.absorbReplies(stm.files, sf.Payload, false)
+				if err != nil {
+					return fail(err)
+				}
+				stm.pending = pending
+				if len(pending) == 0 {
+					stm.state = srRounds
+				}
+			case sf.Type == wire.FrameAck && stm.state == srAwaitAck:
+				failed, err := parseAck(sf.Payload, len(stm.files))
+				if err != nil {
+					return fail(err)
+				}
+				if len(failed) == 0 {
+					closeStream(stm)
+				} else {
+					stm.failed = failed
+					stm.state = srFull
+				}
+			default:
+				return fail(fmt.Errorf("collection: unexpected %s for stream %d", wire.FrameName(sf.Type), sf.ID))
+			}
+		}
+	}
+	return costs, nil
+}
+
+// clientStream is one stream of a multiplexed pull: the contiguous slice of
+// the session's engines assigned by MUX_ACK plus everything the stream's
+// handler needs to run without touching shared state. files, perEngine, buf
+// and the accumulator are private to the stream, which is what lets the
+// cycle's handlers run concurrently under the race detector.
+type clientStream struct {
+	streamAcct
+	id        int
+	files     []clientFile
+	perEngine []int64 // stream-local slice of the session's perEngine array
+	buf       *wire.Buffer
+
+	// Delta outcome, committed single-threaded by the scheduler.
+	results      [][]byte
+	verifyFailed []int
+	fullIdxs     []uint64
+	fullDatas    [][]byte
+	awaitingFull bool
+	done         bool
+
+	// reply is the frame the handler built for the current cycle; inner == 0
+	// means no reply (a FULL was received).
+	reply struct {
+		inner   byte
+		payload []byte
+	}
+}
+
+// handle processes one received stream frame. It runs concurrently with other
+// streams' handlers and touches only this stream's state; rawLen is the full
+// STREAM frame payload length for cost accounting.
+func (cs *clientStream) handle(sf wire.StreamFrame, rawLen int) error {
+	cs.reply.inner = 0
+	cs.reply.payload = nil
+	switch sf.Type {
+	case wire.FrameRoundHashes, wire.FrameConfirm:
+		cs.add(stats.S2C, stats.PhaseMap, rawLen)
+		// Engine fan-out is across streams here, so within the stream the
+		// legacy respond runs serially; its reply bytes are identical for
+		// every worker split.
+		reply, err := respond(1, cs.files, sf.Type, sf.Payload, cs.perEngine, cs.buf)
+		if err != nil {
+			return err
+		}
+		cs.reply.inner = wire.FrameRoundReply
+		cs.reply.payload = reply
+	case wire.FrameDelta:
+		cs.add(stats.S2C, stats.PhaseDelta, rawLen)
+		dp := wire.NewParser(sf.Payload)
+		nd, err := dp.Uvarint()
+		if err != nil || int(nd) != len(cs.files) {
+			return fmt.Errorf("collection: delta count mismatch")
+		}
+		sections := make([][]byte, len(cs.files))
+		for i := range cs.files {
+			section, err := dp.Bytes()
+			if err != nil {
+				return err
+			}
+			sections[i] = section
+			cs.perEngine[i] += int64(len(section))
+		}
+		cs.results = make([][]byte, len(cs.files))
+		for i := range cs.files {
+			data, err := cs.files[i].engine.ApplyDelta(sections[i])
+			switch {
+			case err == nil:
+				cs.results[i] = data
+			case errors.Is(err, core.ErrVerifyFailed):
+				cs.verifyFailed = append(cs.verifyFailed, i)
+			default:
+				return fmt.Errorf("collection: file %q: %w", cs.files[i].path, err)
+			}
+		}
+		cs.buf.Reset()
+		cs.buf.Uvarint(uint64(len(cs.verifyFailed)))
+		for _, i := range cs.verifyFailed {
+			cs.buf.Uvarint(uint64(i))
+		}
+		cs.reply.inner = wire.FrameAck
+		cs.reply.payload = cs.buf.Build()
+		cs.awaitingFull = len(cs.verifyFailed) > 0
+	case wire.FrameFull:
+		if !cs.awaitingFull {
+			return fmt.Errorf("collection: unexpected FULL for stream %d", cs.id)
+		}
+		cs.add(stats.S2C, stats.PhaseFull, rawLen)
+		fp := wire.NewParser(sf.Payload)
+		nf, err := fp.Uvarint()
+		if err != nil || int(nf) != len(cs.verifyFailed) {
+			return fmt.Errorf("collection: full-transfer count mismatch")
+		}
+		for k := uint64(0); k < nf; k++ {
+			idx, err := fp.Uvarint()
+			if err != nil || int(idx) >= len(cs.files) {
+				return fmt.Errorf("collection: bad full index")
+			}
+			comp, err := fp.Bytes()
+			if err != nil {
+				return err
+			}
+			data, err := delta.Decompress(comp)
+			if err != nil {
+				return err
+			}
+			cs.fullIdxs = append(cs.fullIdxs, idx)
+			cs.fullDatas = append(cs.fullDatas, data)
+			cs.perEngine[idx] += int64(len(comp))
+			cs.costs.FilesFull++
+		}
+	default:
+		return fmt.Errorf("collection: unexpected frame %s in stream %d", wire.FrameName(sf.Type), cs.id)
+	}
+	return nil
+}
+
+// commit writes the stream's outcome into the session's result set. Scheduler
+// goroutine only: the result map is shared across streams.
+func (cs *clientStream) commit(out map[string][]byte) {
+	failed := make(map[int]bool, len(cs.verifyFailed))
+	for _, i := range cs.verifyFailed {
+		failed[i] = true
+	}
+	for i := range cs.files {
+		if !failed[i] {
+			out[cs.files[i].path] = cs.results[i]
+		}
+	}
+	for k, idx := range cs.fullIdxs {
+		out[cs.files[idx].path] = cs.fullDatas[k]
+	}
+}
+
+// consumeStreams runs the client half of a multiplexed session, replacing the
+// legacy round/delta/ack loop once MUX_ACK arrived: read each server cycle,
+// handle its stream frames concurrently, then reply and commit in cycle
+// order. perEngine is the session's per-engine byte attribution; each stream
+// writes only its own contiguous slice of it.
+func consumeStreams(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, engines []clientFile, counts []int, workers int, perEngine []int64, out map[string][]byte, st *sessTrace) error {
+	streams := make([]*clientStream, len(counts))
+	now := time.Now()
+	off := 0
+	for k, c := range counts {
+		streams[k] = &clientStream{
+			id:        k,
+			files:     engines[off : off+c],
+			perEngine: perEngine[off : off+c],
+			buf:       wire.NewBuffer(1024),
+		}
+		streams[k].start = now
+		off += c
+	}
+	live := len(streams)
+	sfb := wire.GetBuffer(4096)
+	defer wire.PutBuffer(sfb)
+
+	closeStream := func(cs *clientStream) {
+		cs.done = true
+		costs.Merge(&cs.costs)
+		st.stream(cs.id, cs.frames, cs.up, cs.down, cs.start)
+		live--
+	}
+
+	cycle := 0
+	for live > 0 {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("collection: session cancelled: %w", err)
+		}
+		cycle++
+		st.begin(obs.PhaseRound, cycle)
+
+		cp, err := fr.ExpectFrame(wire.FrameCycle)
+		if err != nil {
+			return err
+		}
+		n, err := wire.ParseCycle(cp)
+		if err != nil {
+			return err
+		}
+		st.cost(costs, stats.S2C, stats.PhaseControl, len(cp))
+		if n == 0 || n > live {
+			return fmt.Errorf("collection: cycle of %d frames with %d live streams", n, live)
+		}
+		frames := make([]wire.StreamFrame, n)
+		rawLens := make([]int, n)
+		seen := make(map[int]bool, n)
+		for k := 0; k < n; k++ {
+			sp, err := fr.ExpectFrame(wire.FrameStream)
+			if err != nil {
+				return err
+			}
+			sf, err := wire.ParseStreamFrame(sp, len(streams))
+			if err != nil {
+				return err
+			}
+			if seen[sf.ID] || streams[sf.ID].done {
+				return fmt.Errorf("collection: unexpected frame for stream %d", sf.ID)
+			}
+			seen[sf.ID] = true
+			frames[k] = sf
+			rawLens[k] = len(sp)
+		}
+
+		// Handle all received frames concurrently; each handler owns its
+		// stream's engines, byte attribution and cost accumulator.
+		if err := parallelFiles(workers, n, func(k int) error {
+			return streams[frames[k].ID].handle(frames[k], rawLens[k])
+		}); err != nil {
+			return err
+		}
+
+		// Reply in cycle order (the order the server sent, so the reply
+		// bytes are deterministic for every worker count).
+		var outs []*clientStream
+		fullCycle := false
+		for k := 0; k < n; k++ {
+			stm := streams[frames[k].ID]
+			if stm.reply.inner != 0 {
+				outs = append(outs, stm)
+			}
+			if frames[k].Type == wire.FrameFull {
+				fullCycle = true
+			}
+		}
+		if len(outs) > 0 {
+			ccp := wire.EncodeCycle(len(outs))
+			if err := fw.WriteFrame(wire.FrameCycle, ccp); err != nil {
+				return err
+			}
+			st.cost(costs, stats.C2S, stats.PhaseControl, len(ccp))
+			for _, stm := range outs {
+				sfb.Reset()
+				wire.AppendStreamFrame(sfb, stm.id, stm.reply.inner, stm.reply.payload)
+				sp := sfb.Build()
+				if err := fw.WriteFrame(wire.FrameStream, sp); err != nil {
+					return err
+				}
+				stm.add(stats.C2S, muxPhase(stm.reply.inner), len(sp))
+			}
+			if err := fw.Flush(); err != nil {
+				return err
+			}
+			costs.Roundtrips++
+		}
+		if fullCycle {
+			costs.Roundtrips++
+		}
+
+		// Commit finished streams single-threaded: a stream is done after a
+		// clean ACK went out, or after its FULL fallback arrived.
+		for k := 0; k < n; k++ {
+			stm := streams[frames[k].ID]
+			switch frames[k].Type {
+			case wire.FrameDelta:
+				if !stm.awaitingFull {
+					stm.commit(out)
+					closeStream(stm)
+				}
+			case wire.FrameFull:
+				stm.commit(out)
+				closeStream(stm)
+			}
+		}
+	}
+	return nil
+}

@@ -64,6 +64,15 @@ type Server struct {
 	// Logger, if set, receives structured session lifecycle logs. nil
 	// disables logging entirely.
 	Logger *slog.Logger
+	// MuxStreams caps the stream width granted to clients requesting
+	// multiplexed sessions (hello extension 2). 0 refuses multiplexing:
+	// requests are ignored and every session runs the legacy lockstep
+	// protocol. The grant is further bounded by the session's sync-file
+	// count and the protocol cap.
+	MuxStreams int
+	// Metrics, if set, receives the server's live multiplexing gauges and
+	// counters (streams active, rounds batched). nil disables them.
+	Metrics *obs.Registry
 }
 
 // NewServer creates a server over the given (path → content) collection.
@@ -204,7 +213,7 @@ func (s *Server) serveConn(ctx context.Context, sess *transport.Session, fr *wir
 	if err != nil {
 		return fail(fmt.Errorf("collection: missing manifest mode"))
 	}
-	announce := parseHelloExtensions(hp)
+	announce, muxReq := parseHelloExtensions(hp)
 	if role == rolePush {
 		// The remote side holds the newer data and plays the serving role;
 		// we consume the session and adopt the result.
@@ -216,7 +225,7 @@ func (s *Server) serveConn(ctx context.Context, sess *transport.Session, fr *wir
 		sess.SetPhaseDeadline(time.Time{})
 		src := s.source()
 		acct := beginAccounting(src)
-		res, err := consume(ctx, fr, fw, costs, src, false, mode == modeTree, false, s.cfg.Workers, st)
+		res, err := consume(ctx, fr, fw, costs, src, false, mode == modeTree, false, s.cfg.Workers, 0, st)
 		acct.finish(costs)
 		if err != nil {
 			return costs, err
@@ -230,45 +239,58 @@ func (s *Server) serveConn(ctx context.Context, sess *transport.Session, fr *wir
 	if role != rolePull {
 		return fail(fmt.Errorf("collection: unknown role %d", role))
 	}
-	return s.serveSession(ctx, sess, fr, fw, costs, fail, mode, announce, st)
+	if muxReq > s.MuxStreams {
+		muxReq = s.MuxStreams // 0 when the server refuses multiplexing
+	}
+	return s.serveSession(ctx, sess, fr, fw, costs, fail, mode, announce, muxReq, st)
 }
 
 // parseHelloExtensions reads the optional extension trailer after the mode
-// byte and returns the announced version (-1: none). A malformed trailer is
-// treated as absent — extensions are an optimization hint, never a reason to
-// fail a session.
-func parseHelloExtensions(hp *wire.Parser) int64 {
-	announce := int64(-1)
+// byte and returns the announced version (-1: none) and the requested mux
+// stream width (0: none). A malformed trailer is treated as absent —
+// extensions are an optimization hint, never a reason to fail a session.
+func parseHelloExtensions(hp *wire.Parser) (announce int64, mux int) {
+	announce = int64(-1)
 	if hp.Remaining() == 0 {
-		return announce
+		return announce, 0
 	}
 	n, err := hp.Uvarint()
 	if err != nil {
-		return announce
+		return announce, 0
 	}
 	for i := uint64(0); i < n; i++ {
 		id, err := hp.Uvarint()
 		if err != nil {
-			return announce
+			return announce, mux
 		}
 		ext, err := hp.Bytes()
 		if err != nil {
-			return announce
+			return announce, mux
 		}
-		if id == helloExtVersion {
+		switch id {
+		case helloExtVersion:
 			if v, err := wire.NewParser(ext).Uvarint(); err == nil {
 				announce = int64(v)
 			}
+		case helloExtMux:
+			if v, err := wire.NewParser(ext).Uvarint(); err == nil && v > 0 {
+				if v > wire.MaxStreams {
+					v = wire.MaxStreams
+				}
+				mux = int(v)
+			}
 		}
 	}
-	return announce
+	return announce, mux
 }
 
 // serveSession runs the serving role after the handshake header, checking
 // ctx at every round boundary. sess may be nil (outbound push: no admission
 // guard to lift). announce is the client's hello-announced store version
-// (-1: absent); it only matters when the source is versioned.
-func (s *Server) serveSession(ctx context.Context, sess *transport.Session, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, fail func(error) (*stats.Costs, error), mode byte, announce int64, st *sessTrace) (*stats.Costs, error) {
+// (-1: absent); it only matters when the source is versioned. mux is the
+// granted stream width (0: legacy lockstep session); a journal hit or a
+// session without sync engines falls back to legacy regardless.
+func (s *Server) serveSession(ctx context.Context, sess *transport.Session, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, fail func(error) (*stats.Costs, error), mode byte, announce int64, mux int, st *sessTrace) (*stats.Costs, error) {
 	// Accounting must start before sessionState so a first session's
 	// manifest build (cache misses, streamed hashing) is attributed to it.
 	acct := beginAccounting(s.source())
@@ -282,11 +304,12 @@ func (s *Server) serveSession(ctx context.Context, sess *transport.Session, fr *
 
 	var engines []syncFile
 	var jfiles []journalFile
+	var muxCounts []int
 	switch mode {
 	case modeManifest:
-		engines, jfiles, err = s.manifestHandshake(fr, fw, costs, src, serverManifest, sbuf, announce, st)
+		engines, jfiles, muxCounts, err = s.manifestHandshake(fr, fw, costs, src, serverManifest, sbuf, announce, mux, st)
 	case modeTree:
-		engines, err = s.treeHandshake(fr, fw, costs, src, mtree, sbuf, st)
+		engines, muxCounts, err = s.treeHandshake(fr, fw, costs, src, mtree, sbuf, mux, st)
 	default:
 		err = fmt.Errorf("collection: unknown manifest mode %d", mode)
 	}
@@ -297,6 +320,11 @@ func (s *Server) serveSession(ctx context.Context, sess *transport.Session, fr *
 		// Verdicts are out: the client is real and transfer has begun, so
 		// the handshake deadline no longer applies.
 		sess.SetPhaseDeadline(time.Time{})
+	}
+	if len(muxCounts) > 0 {
+		// The MUX_ACK went out with the verdicts: stream-multiplexed phases
+		// replace the lockstep loop below.
+		return s.serveMux(ctx, sess, fr, fw, costs, fail, engines, muxCounts, st)
 	}
 
 	// Map-construction rounds, multiplexed across all sync files.
@@ -504,7 +532,8 @@ func (s *Server) PushContext(ctx context.Context, conn io.ReadWriter) (*stats.Co
 			_ = fw.Flush()
 			return costs, err
 		}
-		return s.serveSession(ctx, nil, fr, fw, costs, fail, mode, -1, st)
+		// Push receivers never request multiplexing, so none is granted.
+		return s.serveSession(ctx, nil, fr, fw, costs, fail, mode, -1, 0, st)
 	}()
 	st.end(costs, err, fr, fw, sess.Stats())
 	return res, err
@@ -525,23 +554,25 @@ type journalFile struct {
 // precomputed journal delta replaces map construction entirely (journal
 // verdicts carry the payloads inline); any miss falls back to the normal
 // path and only appends the server's current version to the verdict frame.
-func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, serverManifest []ManifestEntry, vb *wire.Buffer, announce int64, st *sessTrace) ([]syncFile, []journalFile, error) {
+func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, serverManifest []ManifestEntry, vb *wire.Buffer, announce int64, mux int, st *sessTrace) ([]syncFile, []journalFile, []int, error) {
 	manifestRaw, err := fr.ExpectFrame(wire.FrameManifest)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	st.cost(costs, stats.C2S, stats.PhaseControl, len(manifestRaw))
 	manifest, err := decodeManifest(manifestRaw)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	vs, versioned := src.(VersionedSource)
 	if announce >= 0 && versioned {
 		if vd, ok := vs.VersionDelta(uint64(announce), md4.Sum(manifestRaw), ManifestDigest(serverManifest)); ok {
+			// A journal hit runs no engines, so there is nothing to
+			// multiplex: no MUX_ACK, legacy session shape.
 			costs.JournalHits++
 			jfiles, err := s.journalVerdicts(fw, costs, manifest, vd, vb, st)
-			return nil, jfiles, err
+			return nil, jfiles, nil, err
 		}
 		costs.JournalMisses++
 	}
@@ -576,11 +607,11 @@ func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, c
 			continue
 		}
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		eng, err := s.emitChangedVerdict(vb, src, e.Path, data, costs, &fullBytes)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if eng != nil {
 			engines = append(engines, syncFile{e.Path, eng, data})
@@ -598,7 +629,7 @@ func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, c
 			continue // vanished since the manifest was built
 		}
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		newPaths = append(newPaths, e.Path)
 		newComp = append(newComp, delta.Compress(data))
@@ -615,10 +646,11 @@ func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, c
 		// a journal miss, so its next sync can announce something useful.
 		vb.Uvarint(vs.CurrentVersion())
 	}
-	if err := s.sendVerdicts(fw, costs, vb.Build(), fullBytes, 0, st); err != nil {
-		return nil, nil, err
+	muxCounts := muxPartition(engines, mux)
+	if err := s.sendVerdicts(fw, costs, vb.Build(), fullBytes, 0, muxCounts, st); err != nil {
+		return nil, nil, nil, err
 	}
-	return engines, nil, nil
+	return engines, nil, muxCounts, nil
 }
 
 // journalVerdicts answers an announced client from a precomputed journal
@@ -665,7 +697,7 @@ func (s *Server) journalVerdicts(fw *wire.FrameWriter, costs *stats.Costs, clien
 		costs.FilesFull++
 	}
 	vb.Uvarint(vd.Current)
-	if err := s.sendVerdicts(fw, costs, vb.Build(), fullBytes, deltaBytes, st); err != nil {
+	if err := s.sendVerdicts(fw, costs, vb.Build(), fullBytes, deltaBytes, nil, st); err != nil {
 		return nil, err
 	}
 	return jfiles, nil
@@ -673,27 +705,27 @@ func (s *Server) journalVerdicts(fw *wire.FrameWriter, costs *stats.Costs, clien
 
 // treeHandshake runs merkle reconciliation, then answers the client's WANT
 // list with verdicts for exactly those files.
-func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, mtree *merkle.TreeCache, vb *wire.Buffer, st *sessTrace) ([]syncFile, error) {
+func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, mtree *merkle.TreeCache, vb *wire.Buffer, mux int, st *sessTrace) ([]syncFile, []int, error) {
 	resp := merkle.NewResponderCached(mtree)
 
 	var want []byte
 	for want == nil {
 		ft, payload, err := fr.ReadFrame()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		switch ft {
 		case wire.FrameTree:
 			st.cost(costs, stats.C2S, stats.PhaseControl, len(payload))
 			reply, err := resp.Respond(payload)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if err := fw.WriteFrame(wire.FrameTree, reply); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if err := fw.Flush(); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			st.cost(costs, stats.S2C, stats.PhaseControl, len(reply))
 			costs.Roundtrips++
@@ -701,14 +733,14 @@ func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs
 			st.cost(costs, stats.C2S, stats.PhaseControl, len(payload))
 			want = payload
 		default:
-			return nil, fmt.Errorf("collection: unexpected frame %s during reconciliation", wire.FrameName(ft))
+			return nil, nil, fmt.Errorf("collection: unexpected frame %s during reconciliation", wire.FrameName(ft))
 		}
 	}
 
 	wp := wire.NewParser(want)
 	n, err := wp.Uvarint()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	vb.Reset()
 	vb.Bytes(encodeConfig(&s.cfg))
@@ -718,11 +750,11 @@ func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs
 	for k := uint64(0); k < n; k++ {
 		path, err := wp.String()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		have, err := wp.Bool()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		data, err := src.Load(path)
 		if errors.Is(err, fs.ErrNotExist) {
@@ -730,7 +762,7 @@ func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs
 			continue
 		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if !have {
 			vb.Byte(verdictFull)
@@ -742,17 +774,18 @@ func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs
 		}
 		eng, err := s.emitChangedVerdict(vb, src, path, data, costs, &fullBytes)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if eng != nil {
 			engines = append(engines, syncFile{path, eng, data})
 		}
 	}
 	vb.Uvarint(0) // no trailing new-file section in tree mode
-	if err := s.sendVerdicts(fw, costs, vb.Build(), fullBytes, 0, st); err != nil {
-		return nil, err
+	muxCounts := muxPartition(engines, mux)
+	if err := s.sendVerdicts(fw, costs, vb.Build(), fullBytes, 0, muxCounts, st); err != nil {
+		return nil, nil, err
 	}
-	return engines, nil
+	return engines, muxCounts, nil
 }
 
 // emitChangedVerdict writes the verdict for a changed file the client holds:
@@ -781,8 +814,17 @@ func (s *Server) emitChangedVerdict(vb *wire.Buffer, src Source, path string, da
 
 // sendVerdicts flushes the verdict frame with split cost attribution:
 // full payloads count as PhaseFull, journal delta payloads as PhaseDelta,
-// and the remainder (verdict bytes, lengths, framing) as control.
-func (s *Server) sendVerdicts(fw *wire.FrameWriter, costs *stats.Costs, verdicts []byte, fullBytes, deltaBytes int, st *sessTrace) error {
+// and the remainder (verdict bytes, lengths, framing) as control. A non-nil
+// muxCounts grants stream multiplexing: the MUX_ACK precedes the verdicts in
+// the same flush, so granting costs no extra roundtrip.
+func (s *Server) sendVerdicts(fw *wire.FrameWriter, costs *stats.Costs, verdicts []byte, fullBytes, deltaBytes int, muxCounts []int, st *sessTrace) error {
+	if len(muxCounts) > 0 {
+		ack := wire.EncodeMuxAck(muxCounts)
+		if err := fw.WriteFrame(wire.FrameMuxAck, ack); err != nil {
+			return err
+		}
+		st.cost(costs, stats.S2C, stats.PhaseControl, len(ack))
+	}
 	if err := fw.WriteFrame(wire.FrameVerdicts, verdicts); err != nil {
 		return err
 	}

@@ -134,6 +134,27 @@ func (t *sessTrace) addBytes(d stats.Direction, n int64) {
 	}
 }
 
+// stream folds one closed multiplexed stream's traffic into the session
+// totals and emits its span. Called from the session's scheduler goroutine
+// only, after the stream's (possibly concurrent) handler has finished, so
+// the accumulators are quiescent and the trace state is never shared.
+func (t *sessTrace) stream(id, frames int, up, down int64, start time.Time) {
+	if t == nil {
+		return
+	}
+	t.totFrames += frames
+	t.totUp += up
+	t.totDown += down
+	t.emit(obs.Event{
+		Phase:     obs.PhaseStream,
+		Stream:    id + 1,
+		Frames:    frames,
+		BytesUp:   up,
+		BytesDown: down,
+		Dur:       time.Since(start),
+	})
+}
+
 // end closes the session: flushes the last span, emits the session summary
 // event, and writes the structured session log line with the transport- and
 // wire-level counters.

@@ -316,11 +316,27 @@ func (c *ClientFile) AbsorbHashes(payload []byte) error {
 	return nil
 }
 
-// scanMinShard is the minimum number of window positions per scan shard;
-// below two shards' worth a scan stays serial. At this width the per-shard
-// window re-seed (up to MaxBlockSize-1 overlap bytes re-hashed) is well
-// under 10% of the shard's rolling work.
+// scanMinShard is the floor on window positions per scan shard; below two
+// shards' worth a scan stays serial. The effective minimum is size-adaptive
+// (see scanShardMin): re-seeding a shard's rolling window via InitAt hashes
+// `size` overlap bytes, so shards must grow with the window for that setup
+// cost to stay amortized.
 const scanMinShard = 1 << 15
+
+// scanReseedFactor bounds the InitAt re-seed overhead: every shard rolls at
+// least this many positions per window byte re-hashed at its start, keeping
+// the per-shard setup under ~1/scanReseedFactor of the shard's rolling work.
+const scanReseedFactor = 64
+
+// scanShardMin returns the minimum shard width for a scan with the given
+// window size: the static floor or the re-seed-amortizing width, whichever
+// is larger.
+func scanShardMin(size int) int {
+	if m := size * scanReseedFactor; m > scanMinShard {
+		return m
+	}
+	return scanMinShard
+}
 
 // scanOld slides a window of the given size across the old file, probing
 // the round's hash set at every alignment and recording candidate source
@@ -328,7 +344,7 @@ const scanMinShard = 1 << 15
 // configured worker pool; the result is bit-identical to the serial scan.
 func (c *ClientFile) scanOld(size int, bits uint, set *searchSet, cands [][]int32, maxAlt int) {
 	positions := len(c.fOld) - size + 1
-	if shards := pool.Shards(c.cfg.Workers, positions, scanMinShard); shards > 1 {
+	if shards := pool.Shards(c.cfg.Workers, positions, scanShardMin(size)); shards > 1 {
 		c.scanOldSharded(size, bits, set, cands, maxAlt, positions, shards)
 		return
 	}

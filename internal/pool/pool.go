@@ -10,17 +10,57 @@ package pool
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// Workers resolves a configured worker count: 0 (the default) means
-// runtime.GOMAXPROCS(0), negative values are clamped to 1 (the serial
-// legacy path).
-func Workers(n int) int {
-	if n == 0 {
-		return runtime.GOMAXPROCS(0)
+// parallelismOverride, when positive, replaces the host-derived parallelism
+// bound (tests and benchmarks use it to force the concurrent paths on
+// single-CPU machines, or serial execution on big ones).
+var parallelismOverride atomic.Int64
+
+// Parallelism reports how many goroutines can make simultaneous progress:
+// min(GOMAXPROCS, physical CPUs), unless overridden with SetParallelism.
+// It is the ceiling applied to every configured worker count — spawning
+// more workers than the host can run concurrently never helps and, for
+// sharded scans with per-shard setup cost, measurably hurts (the
+// BENCH_scan regression this clamp fixes: 0.63–0.81× "speedups" from
+// sharding on a GOMAXPROCS=1 host).
+func Parallelism() int {
+	if o := parallelismOverride.Load(); o > 0 {
+		return int(o)
 	}
-	if n < 1 {
+	p := runtime.GOMAXPROCS(0)
+	if n := runtime.NumCPU(); n < p {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// SetParallelism overrides the host-derived parallelism bound (n <= 0
+// restores it). For tests and benchmarks only: it changes how much real
+// concurrency the pool uses, never the bytes any protocol path produces.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelismOverride.Store(int64(n))
+}
+
+// Workers resolves a configured worker count: 0 (the default) means "use
+// the host", negative values are clamped to 1 (the serial legacy path), and
+// every positive value is capped at Parallelism() — a worker count the host
+// cannot actually run concurrently would only add scheduling overhead, so
+// `-workers N` is never slower than serial.
+func Workers(n int) int {
+	if n < 0 {
 		return 1
+	}
+	p := Parallelism()
+	if n == 0 || n > p {
+		return p
 	}
 	return n
 }

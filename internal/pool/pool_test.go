@@ -8,14 +8,62 @@ import (
 )
 
 func TestWorkersResolution(t *testing.T) {
-	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
-		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	if got := Workers(0); got != Parallelism() {
+		t.Fatalf("Workers(0) = %d, want Parallelism %d", got, Parallelism())
 	}
 	if got := Workers(-3); got != 1 {
 		t.Fatalf("Workers(-3) = %d, want 1", got)
 	}
-	if got := Workers(7); got != 7 {
-		t.Fatalf("Workers(7) = %d, want 7", got)
+	// A configured count is honored up to the host's real parallelism and
+	// clamped beyond it: extra goroutines on a saturated host only add
+	// scheduling overhead (the BENCH_scan regression).
+	SetParallelism(4)
+	defer SetParallelism(0)
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d, want 3", got)
+	}
+	if got := Workers(7); got != 4 {
+		t.Fatalf("Workers(7) = %d, want 4 (clamped)", got)
+	}
+	if got := Workers(0); got != 4 {
+		t.Fatalf("Workers(0) = %d, want 4", got)
+	}
+}
+
+func TestParallelismBound(t *testing.T) {
+	p := Parallelism()
+	if p < 1 {
+		t.Fatalf("Parallelism() = %d", p)
+	}
+	if gm := runtime.GOMAXPROCS(0); p > gm {
+		t.Fatalf("Parallelism() = %d exceeds GOMAXPROCS %d", p, gm)
+	}
+	if nc := runtime.NumCPU(); p > nc {
+		t.Fatalf("Parallelism() = %d exceeds NumCPU %d", p, nc)
+	}
+	SetParallelism(2)
+	if got := Parallelism(); got != 2 {
+		t.Fatalf("override: Parallelism() = %d, want 2", got)
+	}
+	SetParallelism(0)
+	if got := Parallelism(); got != p {
+		t.Fatalf("restore: Parallelism() = %d, want %d", got, p)
+	}
+}
+
+// TestWorkersNeverWorseThanSerial pins the regression fix: on a
+// single-parallelism host every worker count resolves to the serial path,
+// so sharded execution (and its per-shard setup cost) cannot be triggered.
+func TestWorkersNeverWorseThanSerial(t *testing.T) {
+	SetParallelism(1)
+	defer SetParallelism(0)
+	for _, n := range []int{0, 1, 2, 8, 64} {
+		if got := Workers(n); got != 1 {
+			t.Fatalf("Workers(%d) = %d on a 1-CPU host, want 1", n, got)
+		}
+	}
+	if s := Shards(8, 1<<20, 1<<15); s != 1 {
+		t.Fatalf("Shards on a 1-CPU host = %d, want 1 (no sharding without parallelism)", s)
 	}
 }
 
@@ -71,9 +119,11 @@ func TestDoError(t *testing.T) {
 // TestShardBounds: shards partition [0, n) exactly, are balanced to within
 // one item, and respect the minimum width.
 func TestShardBounds(t *testing.T) {
+	SetParallelism(8) // decouple shard counts from the test host's CPUs
+	defer SetParallelism(0)
 	for _, tc := range []struct{ workers, n, minShard, want int }{
 		{8, 1 << 20, 1 << 15, 8},
-		{8, 100, 1 << 15, 1},  // too small to shard
+		{8, 100, 1 << 15, 1}, // too small to shard
 		{8, 1 << 16, 1 << 15, 2},
 		{3, 30, 10, 3},
 		{4, 0, 16, 1},

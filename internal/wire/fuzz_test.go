@@ -67,3 +67,48 @@ func FuzzParser(f *testing.F) {
 		p.Raw(4)
 	})
 }
+
+// FuzzStreamFrame: the stream-frame demuxer on arbitrary bytes — truncated
+// headers, interleaved garbage, and overlong stream-id varints must all
+// surface typed errors, never panic or accept an out-of-range id.
+func FuzzStreamFrame(f *testing.F) {
+	b := NewBuffer(32)
+	AppendStreamFrame(b, 3, FrameRoundHashes, []byte("section"))
+	f.Add(b.Build())
+	// Truncated: id only, no inner type.
+	f.Add([]byte{0x03})
+	// Overlong stream-id varint (ten continuation bytes).
+	f.Add(append(bytes.Repeat([]byte{0xFF}, 10), 0x7F))
+	// Id beyond any sane width.
+	f.Add([]byte{0xFF, 0xFF, 0x7F, FrameDelta, 'x'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, width := range []int{1, 4, MaxStreams} {
+			sf, err := ParseStreamFrame(data, width)
+			if err != nil {
+				continue
+			}
+			if sf.ID < 0 || sf.ID >= width {
+				t.Fatalf("accepted stream id %d beyond width %d", sf.ID, width)
+			}
+		}
+		if n, err := ParseCycle(data); err == nil && (n < 0 || n > MaxStreams) {
+			t.Fatalf("accepted cycle count %d", n)
+		}
+		for _, nEngines := range []int{1, 16} {
+			counts, err := ParseMuxAck(data, nEngines)
+			if err != nil {
+				continue
+			}
+			total := 0
+			for _, c := range counts {
+				if c <= 0 {
+					t.Fatal("accepted non-positive stream width")
+				}
+				total += c
+			}
+			if total != nEngines {
+				t.Fatalf("accepted partition covering %d of %d", total, nEngines)
+			}
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestStreamFrameRoundTrip(t *testing.T) {
+	payload := []byte("inner payload bytes")
+	b := NewBuffer(32)
+	AppendStreamFrame(b, 5, FrameRoundHashes, payload)
+	sf, err := ParseStreamFrame(b.Build(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.ID != 5 || sf.Type != FrameRoundHashes || !bytes.Equal(sf.Payload, payload) {
+		t.Fatalf("round trip mismatch: %+v", sf)
+	}
+}
+
+func TestStreamFrameEmptyPayload(t *testing.T) {
+	b := NewBuffer(8)
+	AppendStreamFrame(b, 0, FrameAck, nil)
+	sf, err := ParseStreamFrame(b.Build(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.ID != 0 || sf.Type != FrameAck || len(sf.Payload) != 0 {
+		t.Fatalf("empty payload mismatch: %+v", sf)
+	}
+}
+
+func TestStreamFrameRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+		width   int
+	}{
+		{"empty", nil, 4},
+		{"id beyond width", func() []byte {
+			b := NewBuffer(8)
+			AppendStreamFrame(b, 4, FrameDelta, nil)
+			return b.Build()
+		}(), 4},
+		{"overlong id varint", append(bytes.Repeat([]byte{0xFF}, 10), 0x7F, FrameDelta), 4},
+		{"missing inner type", []byte{0x02}, 4},
+		{"huge id", []byte{0xFF, 0xFF, 0x7F, FrameDelta}, MaxStreams + 1},
+	}
+	for _, tc := range cases {
+		if _, err := ParseStreamFrame(tc.payload, tc.width); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !errors.Is(err, ErrBadStream) && !errors.Is(err, ErrTruncated) {
+			t.Errorf("%s: error %v not ErrBadStream/ErrTruncated", tc.name, err)
+		}
+	}
+}
+
+func TestCycleRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, MaxStreams} {
+		got, err := ParseCycle(EncodeCycle(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got != n {
+			t.Fatalf("n=%d decoded as %d", n, got)
+		}
+	}
+	if _, err := ParseCycle(EncodeCycle(MaxStreams + 1)); err == nil {
+		t.Fatal("oversized cycle accepted")
+	}
+	if _, err := ParseCycle(append(EncodeCycle(1), 0x00)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := ParseCycle(nil); err == nil {
+		t.Fatal("empty cycle accepted")
+	}
+}
+
+func TestMuxAckRoundTrip(t *testing.T) {
+	counts := []int{3, 1, 4, 2}
+	got, err := ParseMuxAck(EncodeMuxAck(counts), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(counts) {
+		t.Fatalf("stream count %d, want %d", len(got), len(counts))
+	}
+	for i := range counts {
+		if got[i] != counts[i] {
+			t.Fatalf("stream %d count %d, want %d", i, got[i], counts[i])
+		}
+	}
+}
+
+func TestMuxAckRejects(t *testing.T) {
+	cases := []struct {
+		name     string
+		payload  []byte
+		nEngines int
+	}{
+		{"empty", nil, 4},
+		{"zero streams", EncodeMuxAck(nil), 4},
+		{"partition short", EncodeMuxAck([]int{1, 2}), 4},
+		{"partition long", EncodeMuxAck([]int{3, 2}), 4},
+		{"zero-width stream", EncodeMuxAck([]int{4, 0}), 4},
+		{"trailing bytes", append(EncodeMuxAck([]int{4}), 0x01), 4},
+		{"truncated counts", EncodeMuxAck([]int{4})[:1], 4},
+	}
+	for _, tc := range cases {
+		if _, err := ParseMuxAck(tc.payload, tc.nEngines); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestFrameWriterFlushes(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if fw.Flushes() != 0 {
+		t.Fatal("fresh writer has flushes")
+	}
+	fw.WriteFrame(FrameHello, []byte("x"))
+	fw.Flush()
+	fw.WriteFrame(FrameDelta, []byte("y"))
+	fw.Flush()
+	if got := fw.Flushes(); got != 2 {
+		t.Fatalf("flushes = %d, want 2", got)
+	}
+	fw.ResetCounts()
+	if fw.Flushes() != 0 {
+		t.Fatal("ResetCounts did not clear flushes")
+	}
+}

@@ -45,6 +45,18 @@ const (
 	// payload carries a retry-after hint. Appended after every pre-existing
 	// type so admitted sessions stay byte-identical across versions.
 	FrameBusy
+	// FrameMuxAck accepts a client's stream-multiplexing request (hello
+	// extension 2): it precedes the VERDICTS frame and carries the stream
+	// partition of the session's sync files. Never sent unless the client
+	// asked, so non-multiplexed sessions stay byte-identical.
+	FrameMuxAck
+	// FrameStream wraps one inner frame of a multiplexed session with its
+	// stream id: `sid:uvarint innerType:byte innerPayload...`.
+	FrameStream
+	// FrameCycle delimits one batch of stream frames sharing a flush (and
+	// therefore one half-roundtrip): its payload is the count of FrameStream
+	// frames that follow.
+	FrameCycle
 )
 
 // FrameName returns a human-readable name for a frame type.
@@ -78,6 +90,12 @@ func FrameName(t byte) string {
 		return "WANT"
 	case FrameBusy:
 		return "BUSY"
+	case FrameMuxAck:
+		return "MUX_ACK"
+	case FrameStream:
+		return "STREAM"
+	case FrameCycle:
+		return "CYCLE"
 	default:
 		return fmt.Sprintf("UNKNOWN(%d)", t)
 	}
@@ -286,10 +304,11 @@ func (p *Parser) Remaining() int { return len(p.b) - p.pos }
 // counters are plain fields because a frame writer, like the session that
 // owns it, is single-goroutine by protocol design.
 type FrameWriter struct {
-	w      *bufio.Writer
-	hdr    [binary.MaxVarintLen64 + 1]byte
-	frames int64
-	bytes  int64
+	w       *bufio.Writer
+	hdr     [binary.MaxVarintLen64 + 1]byte
+	frames  int64
+	bytes   int64
+	flushes int64
 }
 
 // NewFrameWriter returns a FrameWriter wrapping w.
@@ -318,14 +337,22 @@ func (fw *FrameWriter) WriteFrame(frameType byte, payload []byte) error {
 // Counts reports the frames and bytes (headers included) written so far.
 func (fw *FrameWriter) Counts() (frames, bytes int64) { return fw.frames, fw.bytes }
 
-// ResetCounts zeroes the frame/byte counters (pooled writers reset between
-// sessions).
-func (fw *FrameWriter) ResetCounts() { fw.frames, fw.bytes = 0, 0 }
+// ResetCounts zeroes the frame/byte/flush counters (pooled writers reset
+// between sessions).
+func (fw *FrameWriter) ResetCounts() { fw.frames, fw.bytes, fw.flushes = 0, 0, 0 }
 
 // Flush flushes buffered frames to the underlying writer. Protocol code calls
 // Flush exactly once per communication phase, which is what the transport
 // layer counts as a half-roundtrip.
-func (fw *FrameWriter) Flush() error { return fw.w.Flush() }
+func (fw *FrameWriter) Flush() error {
+	fw.flushes++
+	return fw.w.Flush()
+}
+
+// Flushes reports how often Flush was called: the session's half-roundtrip
+// count from this side's perspective, used by the latency benchmarks to
+// convert a recorded session into wall-clock on a simulated link.
+func (fw *FrameWriter) Flushes() int64 { return fw.flushes }
 
 // A FrameReader reads typed, length-delimited frames from an io.Reader.
 // Like FrameWriter it counts frames and bytes (headers included); plain

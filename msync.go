@@ -220,6 +220,8 @@ func (s *Server) finishServer(inner *collection.Server) {
 	inner.OnUpdate = s.opt.onUpdate
 	inner.Tracer = s.opt.tracer
 	inner.Logger = s.opt.logger
+	inner.MuxStreams = s.opt.muxStreams
+	inner.Metrics = s.opt.metrics
 	s.initServing()
 }
 
@@ -782,6 +784,7 @@ func (c *Client) applyClientOptions() {
 	c.inner.BaseVersion = c.opt.baseVersion
 	c.inner.Tracer = c.opt.tracer
 	c.inner.Logger = c.opt.logger
+	c.inner.MuxStreams = c.opt.muxStreams
 }
 
 // NewDirClient creates a Client whose local copy is streamed from a

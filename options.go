@@ -64,6 +64,7 @@ type sessionOptions struct {
 	onUpdate     func(map[string][]byte)
 	hook         func(SessionEvent)
 	workers      int
+	muxStreams   int
 
 	maxSessions      int           // concurrent-session cap; 0 = unlimited
 	maxQueued        int           // admission wait-queue depth; 0 = no queue
@@ -372,6 +373,26 @@ func WithWorkers(n int) Option {
 			return
 		}
 		o.workers = n
+	}
+}
+
+// WithMuxStreams enables stream multiplexing with up to n concurrent streams
+// per session. On a Client it requests multiplexed pulls (hello extension 2):
+// the server partitions the changed files into streams whose map rounds,
+// deltas and fallbacks interleave on the one connection, so deep files no
+// longer gate shallow ones and tiny files share roundtrips. On a Server it
+// caps the width granted to requesting clients. Sessions where either side
+// leaves this at 0 (the default), and every push session, run the legacy
+// lockstep protocol byte-identically; the negotiated width never changes
+// which bytes are synchronized, only their interleaving. Negative n is an
+// error.
+func WithMuxStreams(n int) Option {
+	return func(o *sessionOptions) {
+		if n < 0 {
+			o.badf("WithMuxStreams: negative stream count %d", n)
+			return
+		}
+		o.muxStreams = n
 	}
 }
 
