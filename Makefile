@@ -5,9 +5,10 @@ FUZZTIME ?= 10s
 
 # Packages holding native Fuzz* targets (decoders and frame parsers).
 FUZZ_PKGS = ./internal/wire ./internal/delta ./internal/huffman \
-	./internal/collection ./internal/rsync ./internal/vcdiff
+	./internal/collection ./internal/rsync ./internal/vcdiff \
+	./internal/merkle
 
-.PHONY: all build test vet race check fuzz-smoke bench bench-cache bench-store bench-mux api api-check clean
+.PHONY: all build test vet race check fuzz-smoke bench bench-cache bench-store bench-mux bench-manifest api api-check clean
 
 all: check
 
@@ -65,7 +66,7 @@ fuzz-smoke:
 # scan sweep measures real parallelism rather than a clamped-to-1 runtime.
 NPROC := $(shell nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)
 bench: export GOMAXPROCS ?= $(NPROC)
-bench: bench-cache bench-store bench-mux
+bench: bench-cache bench-store bench-mux bench-manifest
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 	$(GO) run ./cmd/msbench -scan-json BENCH_scan.json
 
@@ -80,6 +81,13 @@ bench-cache:
 # (see internal/bench/store.go).
 bench-store:
 	$(GO) run ./cmd/msbench -store-json BENCH_store.json
+
+# bench-manifest regenerates BENCH_manifest.json: flat manifest versus
+# merkle-tree change detection (cold, and cached+speculative) at ~1% churn on
+# a wide tiny-file corpus, plus a rename-heavy corpus without and with
+# cross-file matching (see internal/bench/manifest.go).
+bench-manifest:
+	$(GO) run ./cmd/msbench -manifest-json BENCH_manifest.json
 
 # bench-mux regenerates BENCH_mux.json: per-file sessions versus one lockstep
 # session versus multiplexed streams at widths 4/16/64 over a 10k-small-file

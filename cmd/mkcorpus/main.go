@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		profile = flag.String("profile", "gcc", "corpus profile: gcc, emacs, web")
+		profile = flag.String("profile", "gcc", "corpus profile: gcc, emacs, web, rename, deep, logs")
 		out     = flag.String("out", "corpus", "output directory")
 		scale   = flag.Float64("scale", 1.0, "corpus scale factor")
 		seed    = flag.Int64("seed", 42, "generator seed")
@@ -34,6 +34,20 @@ func main() {
 			p = corpus.EmacsProfile(*scale)
 		}
 		v1, v2 := p.Generate(*seed)
+		mustWrite(filepath.Join(*out, "v1"), v1)
+		mustWrite(filepath.Join(*out, "v2"), v2)
+		fmt.Printf("wrote %s: v1 %d files (%d bytes), v2 %d files (%d bytes)\n",
+			*out, len(v1.Files), v1.TotalBytes(), len(v2.Files), v2.TotalBytes())
+	case "rename", "deep", "logs":
+		var v1, v2 *corpus.Tree
+		switch *profile {
+		case "rename":
+			v1, v2 = corpus.DefaultRenameProfile(*scale).Generate(*seed)
+		case "deep":
+			v1, v2 = corpus.DefaultDeepTreeProfile(*scale).Generate(*seed)
+		case "logs":
+			v1, v2 = corpus.DefaultLogAppendProfile(*scale).Generate(*seed)
+		}
 		mustWrite(filepath.Join(*out, "v1"), v1)
 		mustWrite(filepath.Join(*out, "v2"), v2)
 		fmt.Printf("wrote %s: v1 %d files (%d bytes), v2 %d files (%d bytes)\n",

@@ -33,6 +33,7 @@ func main() {
 		cacheJSON = flag.String("cache-json", "", "write the cache.sync (repeat-sync signature cache) report as JSON to this file and exit")
 		storeJSON = flag.String("store-json", "", "write the store.journal (versioned store, journal fast path) report as JSON to this file and exit")
 		muxJSON   = flag.String("mux-json", "", "write the mux.pipeline (multiplexed streams vs per-file/lockstep sessions) report as JSON to this file and exit")
+		manJSON   = flag.String("manifest-json", "", "write the manifest.scaling (flat vs merkle-tree change detection, cross-file matching) report as JSON to this file and exit")
 		cacheMode = flag.String("cache", "off", "signature-cache condition for parallel.scan: off, cold or warm (never changes wire bytes)")
 	)
 	flag.Parse()
@@ -78,6 +79,10 @@ func main() {
 	}
 	if *muxJSON != "" {
 		writeReport(*muxJSON, bench.MuxJSON)
+		return
+	}
+	if *manJSON != "" {
+		writeReport(*manJSON, bench.ManifestJSON)
 		return
 	}
 

@@ -78,6 +78,8 @@ func main() {
 		basic     = flag.Bool("basic", false, "use the basic protocol (no continuation/group testing)")
 		minB      = flag.Int("bmin", 0, "override minimum block size (power of two)")
 		tree      = flag.Bool("tree", false, "use merkle-tree change detection instead of a flat manifest")
+		specDesc  = flag.Bool("spec-descent", false, "client: with -tree, request speculative descent (multi-level answers, ~half the descent roundtrips)")
+		crossFile = flag.Bool("cross-file", false, "client: with -tree, request cross-file matching (renames copied locally, moved-and-edited files synced from their old path)")
 		timeout   = flag.Duration("timeout", 0, "overall session deadline (0 = none)")
 		roundTO   = flag.Duration("round-timeout", 2*time.Minute, "per-round I/O deadline; stalled peers fail fast (0 = none)")
 		retries   = flag.Int("retry", 3, "client: attempts for dial/handshake failures (1 = no retry)")
@@ -120,6 +122,12 @@ func main() {
 	extra = append(extra, storeOptions(*storeDir, *storeBudget)...)
 	if *muxWidth > 0 {
 		extra = append(extra, msync.WithMuxStreams(*muxWidth))
+	}
+	if *specDesc {
+		extra = append(extra, msync.WithSpeculativeDescent())
+	}
+	if *crossFile {
+		extra = append(extra, msync.WithCrossFileMatch())
 	}
 	switch {
 	case *serve != "" && *connect != "":

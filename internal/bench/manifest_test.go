@@ -1,0 +1,61 @@
+package bench
+
+import "testing"
+
+// TestManifestReport runs the manifest-scaling experiment at tiny scale:
+// every arm must converge (measureManifest enforces it per run), the tree
+// arms must pay less control traffic than the flat manifest at ~1% churn,
+// the cached+speculative arm must beat the cold arm on descent rounds, and
+// cross-file matching must collapse the rename corpus's content bytes.
+func TestManifestReport(t *testing.T) {
+	rep, err := measureManifest(Options{Scale: 0.005, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := map[string]*ManifestPoint{}
+	for i := range rep.Points {
+		p := &rep.Points[i]
+		if !p.Converged {
+			t.Fatalf("arm %s did not converge", p.Arm)
+		}
+		pts[p.Arm] = p
+	}
+	for _, arm := range []string{"flat", "tree-cold", "tree-cached", "rename-flat", "rename-tree", "rename-cross"} {
+		if pts[arm] == nil {
+			t.Fatalf("missing arm %s in report", arm)
+		}
+	}
+	flat, cold, warm := pts["flat"], pts["tree-cold"], pts["tree-cached"]
+	if cold.ControlBytes >= flat.ControlBytes {
+		t.Fatalf("tree-cold control bytes %d not below flat %d at ~1%% churn",
+			cold.ControlBytes, flat.ControlBytes)
+	}
+	if warm.ControlBytes >= flat.ControlBytes {
+		t.Fatalf("tree-cached control bytes %d not below flat %d", warm.ControlBytes, flat.ControlBytes)
+	}
+	if warm.TreeRounds >= cold.TreeRounds {
+		t.Fatalf("speculative descent paid %d rounds, plain descent %d", warm.TreeRounds, cold.TreeRounds)
+	}
+	if cold.TreeRounds == 0 || flat.TreeRounds != 0 {
+		t.Fatalf("tree rounds misattributed: flat=%d cold=%d", flat.TreeRounds, cold.TreeRounds)
+	}
+
+	rflat, rcross := pts["rename-flat"], pts["rename-cross"]
+	if rcross.FilesRenamed == 0 || rcross.RenameSaved == 0 {
+		t.Fatalf("cross-file arm matched no renames: %+v", rcross)
+	}
+	if rcross.FilesRebased == 0 {
+		t.Fatal("cross-file arm rebased no moved-and-edited files")
+	}
+	crossContent := rcross.FullBytes + rcross.DeltaBytes
+	flatContent := rflat.FullBytes + rflat.DeltaBytes
+	if crossContent*4 >= flatContent {
+		t.Fatalf("cross-file content bytes %d not under a quarter of flat %d",
+			crossContent, flatContent)
+	}
+	t.Logf("files=%d churn=%.1f%%: control flat=%d cold=%d (%.2fx) cached=%d (%.2fx); "+
+		"rename content flat=%d cross=%d (renamed=%d rebased=%d saved=%d)",
+		rep.Files, rep.ChangedPct, flat.ControlBytes, cold.ControlBytes, cold.ControlVsFlat,
+		warm.ControlBytes, warm.ControlVsFlat, flatContent, crossContent,
+		rcross.FilesRenamed, rcross.FilesRebased, rcross.RenameSaved)
+}

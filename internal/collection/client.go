@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"path"
 	"sort"
+	"sync"
 	"time"
 
 	"msync/internal/core"
@@ -53,6 +55,25 @@ type Client struct {
 	// manifest to merkle-tree reconciliation, which costs O(changed·log n)
 	// instead of O(n) — the right choice when almost nothing changed.
 	TreeManifest bool
+	// SpeculativeDescent requests (hello extension 3) that tree-mode
+	// descent answers carry several levels of digests at once, finishing
+	// a typical descent in roughly half the roundtrips. Ignored by
+	// servers that don't support it; the session then runs the legacy
+	// one-level descent byte-identically.
+	SpeculativeDescent bool
+	// CrossFileMatch requests (hello extension 3) cross-file matching in
+	// tree mode: files the server has under a new path are first matched
+	// against the whole local collection by content fingerprint (a pure
+	// rename then costs zero content bytes — the client copies its local
+	// file), and unmatched new files may be synced against an alternate
+	// local basis named in the WANT exchange instead of transferred in
+	// full.
+	CrossFileMatch bool
+	// trees carries the client's built merkle trees across sessions (and,
+	// when the source has a signature-cache directory, across processes),
+	// so a repeat tree-mode sync updates its tree incrementally from the
+	// manifest diff instead of rebuilding O(n) nodes.
+	trees treeState
 	// RoundTimeout, if positive, bounds each frame-level read/write of a
 	// session (and therefore each protocol round), so a stalled server
 	// fails the session instead of hanging it. Requires a connection with
@@ -102,10 +123,14 @@ func NewClientSource(src Source) *Client {
 	return &Client{src: src}
 }
 
-// clientFile pairs a path with its per-file client engine.
+// clientFile pairs a path with its per-file client engine. For cross-file
+// matched files, tryout holds candidate engines over alternate local bases;
+// the first map round picks the best-matching one (core.PickBasis) and it
+// becomes the engine.
 type clientFile struct {
 	path   string
 	engine *core.ClientFile
+	tryout []*core.ClientFile
 }
 
 // Result is the outcome of one synchronization session.
@@ -163,11 +188,23 @@ func (c *Client) SyncContext(ctx context.Context, conn io.ReadWriter) (*Result, 
 		} else {
 			hb.Byte(modeManifest)
 		}
+		var treeCaps byte
+		if c.TreeManifest {
+			if c.SpeculativeDescent {
+				treeCaps |= treeCapSpec
+			}
+			if c.CrossFileMatch {
+				treeCaps |= treeCapCross
+			}
+		}
 		nExt := 0
 		if c.AnnounceVersion {
 			nExt++
 		}
 		if c.MuxStreams > 0 {
+			nExt++
+		}
+		if treeCaps != 0 {
 			nExt++
 		}
 		if nExt > 0 {
@@ -184,12 +221,18 @@ func (c *Client) SyncContext(ctx context.Context, conn io.ReadWriter) (*Result, 
 				hb.Uvarint(helloExtMux)
 				hb.Bytes(ext.Build())
 			}
+			if treeCaps != 0 {
+				ext := wire.NewBuffer(8)
+				ext.Uvarint(uint64(treeCaps))
+				hb.Uvarint(helloExtTree)
+				hb.Bytes(ext.Build())
+			}
 		}
 		if err := fw.WriteFrame(wire.FrameHello, hb.Build()); err != nil {
 			return nil, asHandshake(err)
 		}
 		st.cost(costs, stats.C2S, stats.PhaseControl, hb.Len())
-		return consume(ctx, fr, fw, costs, c.src, c.LazyResult, c.TreeManifest, c.AnnounceVersion, c.Workers, c.MuxStreams, st)
+		return consume(ctx, fr, fw, costs, c.src, c.LazyResult, c.TreeManifest, c.AnnounceVersion, c.Workers, c.MuxStreams, treeCaps, &c.trees, st)
 	}()
 	st.end(costs, err, fr, fw, sess.Stats())
 	return res, err
@@ -214,7 +257,11 @@ func (c *Client) SyncContext(ctx context.Context, conn io.ReadWriter) (*Result, 
 // verdict frame expected. muxWidth is the requested stream width (0: none);
 // only when positive is a MUX_ACK before the verdicts accepted, switching the
 // per-file phases to the stream-multiplexed consumer.
-func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, lazy, treeManifest, announced bool, workers, muxWidth int, st *sessTrace) (*Result, error) {
+//
+// treeCaps is the tree-extension capability mask this side's hello asked
+// for (0: none — legacy bytes throughout) and trees the cross-session tree
+// cache; both only matter under treeManifest.
+func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, lazy, treeManifest, announced bool, workers, muxWidth int, treeCaps byte, trees *treeState, st *sessTrace) (*Result, error) {
 	sbuf := wire.GetBuffer(1024) // session scratch for every frame we assemble
 	defer wire.PutBuffer(sbuf)
 
@@ -229,20 +276,24 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 	out := make(map[string][]byte)
 	res.Files = out
 	var verdictPaths []string
+	var tr *treeResult
 	if treeManifest {
-		vp, kept, deleted, err := treeDetect(fr, fw, costs, manifest, st)
+		tr, err = treeDetect(fr, fw, costs, manifest, treeCaps, trees, treeDir(src), st)
 		if err != nil {
 			return nil, asHandshake(err)
 		}
-		verdictPaths = vp
-		res.Deleted = deleted
-		inVerdicts := make(map[string]bool, len(vp))
-		for _, p := range vp {
-			inVerdicts[p] = true
+		verdictPaths = tr.verdictPaths
+		res.Deleted = tr.deleted
+		handled := make(map[string]bool, len(verdictPaths)+len(tr.localCopy))
+		for _, p := range verdictPaths {
+			handled[p] = true
 		}
-		for _, p := range kept {
-			if inVerdicts[p] {
-				continue // changed: decided by its verdict below
+		for p := range tr.localCopy {
+			handled[p] = true
+		}
+		for _, p := range tr.kept {
+			if handled[p] {
+				continue // changed: decided by its verdict or local copy below
 			}
 			if lazy {
 				res.Unchanged = append(res.Unchanged, p)
@@ -253,6 +304,24 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 				return nil, asHandshake(err)
 			}
 			out[p] = data
+		}
+		// Cross-file renames: wanted content that already exists locally
+		// under another path is copied, not transferred — zero wire bytes.
+		if len(tr.localCopy) > 0 {
+			paths := make([]string, 0, len(tr.localCopy))
+			for p := range tr.localCopy {
+				paths = append(paths, p)
+			}
+			sort.Strings(paths)
+			for _, p := range paths {
+				data, err := src.Load(tr.localCopy[p])
+				if err != nil {
+					return nil, asHandshake(err)
+				}
+				out[p] = data
+				costs.FilesRenamed++
+				costs.RenameBytesSaved += int64(len(data))
+			}
 		}
 	} else {
 		sbuf.Reset()
@@ -354,6 +423,39 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 			if err != nil {
 				return nil, err
 			}
+			var alts []string
+			if tr != nil {
+				alts = tr.altBases[path]
+			}
+			if len(alts) > 0 {
+				// Cross-file near-match: build one candidate engine per
+				// alternate local basis; the first map round picks the
+				// best (see respond / core.PickBasis).
+				cf := clientFile{path: path}
+				for _, ap := range alts {
+					old, err := src.Load(ap)
+					if err != nil {
+						continue // basis vanished: try the rest
+					}
+					eng, err := core.NewClientFile(old, int(newLen), &cfg)
+					if err != nil {
+						return nil, err
+					}
+					cf.tryout = append(cf.tryout, eng)
+				}
+				if len(cf.tryout) == 0 {
+					eng, err := core.NewClientFile(nil, int(newLen), &cfg)
+					if err != nil {
+						return nil, err
+					}
+					cf.tryout = append(cf.tryout, eng)
+				}
+				cf.engine = cf.tryout[0]
+				engines = append(engines, cf)
+				costs.FilesSynced++
+				costs.FilesRebased++
+				continue
+			}
 			old, err := src.Load(path)
 			if err != nil {
 				return nil, err
@@ -362,7 +464,7 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 			if err != nil {
 				return nil, err
 			}
-			engines = append(engines, clientFile{path, eng})
+			engines = append(engines, clientFile{path: path, engine: eng})
 			costs.FilesSynced++
 		case verdictJournal:
 			newLen, err := vp.Uvarint()
@@ -617,58 +719,238 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 	return res, nil
 }
 
+// treeState carries a client's merkle tree cache across sessions, so a
+// repeat sync rebases the built tree from the manifest diff (O(changed ·
+// depth) hashing) instead of rebuilding it.
+type treeState struct {
+	mu    sync.Mutex
+	cache *merkle.TreeCache
+}
+
+// acquire returns the tree cache for the given manifest state, reusing or
+// rebasing the previous sessions' trees when possible. A nil receiver (the
+// push path, which has no cross-session home) builds a fresh cache.
+func (ts *treeState) acquire(entries []merkle.Entry, fp [md4.Size]byte, dir string) *merkle.TreeCache {
+	if ts == nil {
+		return merkle.NewTreeCacheAt(entries, fp, dir)
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	switch {
+	case ts.cache != nil && ts.cache.Fingerprint() == fp:
+		// Same collection state as last session: reuse as-is.
+	case ts.cache != nil:
+		ts.cache = ts.cache.Rebase(entries, fp)
+	default:
+		ts.cache = merkle.NewTreeCacheAt(entries, fp, dir)
+	}
+	return ts.cache
+}
+
+// treeDir returns the directory where merkle trees may persist for src: the
+// signature cache's disk directory, when there is one. "" disables
+// persistence (trees then live only as long as the Client).
+func treeDir(src Source) string {
+	if cb, ok := src.(cacheBacked); ok {
+		if c := cb.Cache(); c != nil {
+			return c.Dir()
+		}
+	}
+	return ""
+}
+
+// treeResult is what tree-mode change detection hands back to consume.
+type treeResult struct {
+	verdictPaths []string // paths the server will answer with verdicts, in order
+	kept         []string // local paths the server still has (incl. changed)
+	deleted      []string // local paths the server no longer has
+	// localCopy maps a wanted path to an identical-content local path
+	// (cross-file rename match): materialized locally, never transferred.
+	localCopy map[string]string
+	// altBases maps a wanted path to alternate local basis candidates for
+	// its sync engine (cross-file near-match), best-first.
+	altBases map[string][]string
+}
+
+// maxAltBases bounds how many alternate local bases a client tries per
+// wanted file; each candidate costs one engine's worth of memory and one
+// first-round scan.
+const maxAltBases = 3
+
+// altBasisCandidates proposes alternate local bases for files that exist
+// only on the server: orphaned local paths (paths the server no longer has
+// — the likely sources of a rename) with matching basenames first, then
+// the remaining orphans in path order. Deterministic by construction.
+func altBasisCandidates(wanted []merkle.Entry, orphans []string) map[string][]string {
+	if len(orphans) == 0 {
+		return nil
+	}
+	sorted := append([]string(nil), orphans...)
+	sort.Strings(sorted)
+	byBase := make(map[string][]string, len(sorted))
+	for _, p := range sorted {
+		b := path.Base(p)
+		byBase[b] = append(byBase[b], p)
+	}
+	out := make(map[string][]string, len(wanted))
+	for _, e := range wanted {
+		cands := make([]string, 0, maxAltBases)
+		seen := make(map[string]bool, maxAltBases)
+		for _, p := range byBase[path.Base(e.Path)] {
+			if len(cands) == maxAltBases {
+				break
+			}
+			cands = append(cands, p)
+			seen[p] = true
+		}
+		for _, p := range sorted {
+			if len(cands) == maxAltBases {
+				break
+			}
+			if !seen[p] {
+				cands = append(cands, p)
+			}
+		}
+		out[e.Path] = cands
+	}
+	return out
+}
+
 // treeDetect runs merkle reconciliation against the server and asks for the
-// differing files. It returns the requested paths (in verdict order), the
-// local paths that stay untouched, and the local paths the server no longer
-// has.
-func treeDetect(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, manifest []ManifestEntry, st *sessTrace) (verdictPaths, kept, deletedPaths []string, err error) {
+// differing files. caps is the capability mask this side's hello requested
+// (treeCapSpec/treeCapCross); the server's TREE_ACK — sent only when it
+// grants something — arrives before its first TREE reply. With caps == 0
+// the exchange is byte-identical to the legacy descent.
+func treeDetect(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, manifest []ManifestEntry, caps byte, trees *treeState, dir string, st *sessTrace) (*treeResult, error) {
 	entries := make([]merkle.Entry, len(manifest))
 	for i, e := range manifest {
 		entries[i] = merkle.Entry{Path: e.Path, Len: e.Len, Sum: e.Sum}
 	}
-	ini := merkle.NewInitiator(merkle.Build(entries, merkle.DepthFor(len(entries))))
+	tc := trees.acquire(entries, ManifestDigest(manifest), dir)
+	ini := merkle.NewInitiator(tc.Tree(merkle.DepthFor(len(entries))))
+	var granted byte
+	first := true
+	round := 0
 	for !ini.Done() {
+		round++
+		st.begin(obs.PhaseTree, round)
 		msg := ini.Next()
 		if err := fw.WriteFrame(wire.FrameTree, msg); err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
 		if err := fw.Flush(); err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
 		st.cost(costs, stats.C2S, stats.PhaseControl, len(msg))
-		payload, err := fr.ExpectFrame(wire.FrameTree)
-		if err != nil {
-			return nil, nil, nil, err
+		var payload []byte
+		if first && caps != 0 {
+			// The server may grant extensions with a TREE_ACK before its
+			// first TREE reply (same flush: no extra roundtrip). Errors
+			// mirror ExpectFrame's special cases.
+			ft, raw, err := fr.ReadFrame()
+			if err != nil {
+				return nil, err
+			}
+			if ft == wire.FrameTreeAck {
+				st.cost(costs, stats.S2C, stats.PhaseControl, len(raw))
+				g, err := wire.NewParser(raw).Uvarint()
+				if err != nil {
+					return nil, err
+				}
+				granted = byte(g) & caps
+				ini.Speculative = granted&treeCapSpec != 0
+				ft, raw, err = fr.ReadFrame()
+				if err != nil {
+					return nil, err
+				}
+			}
+			switch ft {
+			case wire.FrameTree:
+				payload = raw
+			case wire.FrameError:
+				return nil, fmt.Errorf("wire: remote error: %s", raw)
+			case wire.FrameBusy:
+				return nil, wire.DecodeBusy(raw)
+			default:
+				return nil, fmt.Errorf("wire: expected frame %s, got %s", wire.FrameName(wire.FrameTree), wire.FrameName(ft))
+			}
+		} else {
+			var err error
+			payload, err = fr.ExpectFrame(wire.FrameTree)
+			if err != nil {
+				return nil, err
+			}
 		}
+		first = false
 		st.cost(costs, stats.S2C, stats.PhaseControl, len(payload))
 		costs.Roundtrips++
+		costs.TreeRounds++
 		if err := ini.Absorb(payload); err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
 	}
 	diff := ini.Diff()
+	st.begin(obs.PhaseHandshake, 0)
 
+	tr := &treeResult{deleted: diff.OnlyLocal}
 	deleted := make(map[string]bool, len(diff.OnlyLocal))
 	for _, p := range diff.OnlyLocal {
 		deleted[p] = true
 	}
 	for _, e := range manifest {
 		if !deleted[e.Path] {
-			kept = append(kept, e.Path)
+			tr.kept = append(tr.kept, e.Path)
 		}
 	}
 	costs.FilesUnchanged += len(manifest) - len(deleted) - len(diff.Changed)
 
+	wantsChanged, wantsRemote := diff.Changed, diff.OnlyRemote
+	if granted&treeCapCross != 0 {
+		// Cross-file matching: wanted content that already exists locally
+		// under some other path (same length and fingerprint) is a rename
+		// — drop it from the WANT and copy locally. The rest of the
+		// server-only files get alternate-basis hints.
+		tr.localCopy = make(map[string]string)
+		type ckey struct {
+			len int
+			sum [md4.Size]byte
+		}
+		byContent := make(map[ckey]string, len(manifest))
+		for i := len(manifest) - 1; i >= 0; i-- {
+			// Reverse iteration so the lowest path wins for duplicates.
+			e := manifest[i]
+			byContent[ckey{e.Len, e.Sum}] = e.Path
+		}
+		filter := func(es []merkle.Entry) []merkle.Entry {
+			out := make([]merkle.Entry, 0, len(es))
+			for _, e := range es {
+				if p, ok := byContent[ckey{e.Len, e.Sum}]; ok {
+					tr.localCopy[e.Path] = p
+					continue
+				}
+				out = append(out, e)
+			}
+			return out
+		}
+		wantsChanged = filter(wantsChanged)
+		wantsRemote = filter(wantsRemote)
+		tr.altBases = altBasisCandidates(wantsRemote, diff.OnlyLocal)
+	}
+
 	type wantEntry struct {
 		path string
-		have bool
+		have byte
 	}
-	wants := make([]wantEntry, 0, len(diff.Changed)+len(diff.OnlyRemote))
-	for _, e := range diff.Changed {
-		wants = append(wants, wantEntry{e.Path, true})
+	wants := make([]wantEntry, 0, len(wantsChanged)+len(wantsRemote))
+	for _, e := range wantsChanged {
+		wants = append(wants, wantEntry{e.Path, wantHave})
 	}
-	for _, e := range diff.OnlyRemote {
-		wants = append(wants, wantEntry{e.Path, false})
+	for _, e := range wantsRemote {
+		h := wantAbsent
+		if _, ok := tr.altBases[e.Path]; ok {
+			h = wantAltBasis
+		}
+		wants = append(wants, wantEntry{e.Path, h})
 	}
 	sort.Slice(wants, func(i, j int) bool { return wants[i].path < wants[j].path })
 
@@ -676,14 +958,14 @@ func treeDetect(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, 
 	wb.Uvarint(uint64(len(wants)))
 	for _, w := range wants {
 		wb.String(w.path)
-		wb.Bool(w.have)
-		verdictPaths = append(verdictPaths, w.path)
+		wb.Byte(w.have)
+		tr.verdictPaths = append(tr.verdictPaths, w.path)
 	}
 	if err := fw.WriteFrame(wire.FrameWant, wb.Build()); err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	st.cost(costs, stats.C2S, stats.PhaseControl, wb.Len())
-	return verdictPaths, kept, diff.OnlyLocal, nil
+	return tr, nil
 }
 
 // respond handles one round-hashes or confirm frame and builds the reply
@@ -719,10 +1001,22 @@ func respond(workers int, engines []clientFile, frameType byte, payload []byte, 
 	}
 	replies := make([][]byte, len(jobs)) // nil = no reply for this file
 	err = parallelFiles(workers, len(jobs), func(k int) error {
-		eng := engines[jobs[k].idx].engine
+		cf := &engines[jobs[k].idx]
+		eng := cf.engine
 		if frameType == wire.FrameRoundHashes {
+			if len(cf.tryout) > 0 {
+				// Alternate-basis candidates race on the first hash round;
+				// the best-matching one becomes the engine for good.
+				eng, err := core.PickBasis(cf.tryout, jobs[k].section)
+				if err != nil {
+					return fmt.Errorf("collection: file %q: %w", cf.path, err)
+				}
+				cf.engine, cf.tryout = eng, nil
+				replies[k] = eng.EmitReply()
+				return nil
+			}
 			if err := eng.AbsorbHashes(jobs[k].section); err != nil {
-				return fmt.Errorf("collection: file %q: %w", engines[jobs[k].idx].path, err)
+				return fmt.Errorf("collection: file %q: %w", cf.path, err)
 			}
 			replies[k] = eng.EmitReply()
 			return nil

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
 
@@ -136,6 +137,52 @@ func legacyScenarios() []legacyScenario {
 				t.Fatalf("receiver: %v", srvErr)
 			}
 			return rec.c2s.Bytes(), rec.s2c.Bytes()
+		}},
+		{name: "tree_pull_spec", run: func(t *testing.T) ([]byte, []byte) {
+			// Tree pull with the tree-extension hello (speculative descent):
+			// TREE_ACK plus multi-level answers, pinned so the negotiated
+			// exchange cannot drift silently.
+			v1, v2 := corpus.GCCProfile(0.05).Generate(9)
+			srv, err := NewServer(v2.Map(), core.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cli := NewClient(v1.Map())
+			cli.TreeManifest = true
+			cli.SpeculativeDescent = true
+			return runRecorded(t, srv, cli)
+		}},
+		{name: "tree_pull_cross", run: func(t *testing.T) ([]byte, []byte) {
+			// Tree pull with cross-file matching: a pure rename leaves the
+			// WANT, an alternate-basis hint tags a moved-and-edited file.
+			v1, _ := corpus.GCCProfile(0.0).Generate(17)
+			serverFiles := map[string][]byte{}
+			clientFiles := v1.Map()
+			paths := make([]string, 0, len(clientFiles))
+			for p := range clientFiles {
+				paths = append(paths, p)
+			}
+			sort.Strings(paths)
+			for i, p := range paths {
+				data := clientFiles[p]
+				switch i % 7 {
+				case 0:
+					serverFiles["moved/"+p] = data // pure rename
+				case 1:
+					edited := append(append([]byte{}, data...), []byte(" // moved and edited")...)
+					serverFiles["edited/"+p] = edited
+				default:
+					serverFiles[p] = data
+				}
+			}
+			srv, err := NewServer(serverFiles, core.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cli := NewClient(clientFiles)
+			cli.TreeManifest = true
+			cli.CrossFileMatch = true
+			return runRecorded(t, srv, cli)
 		}},
 		{name: "announce_unversioned", run: func(t *testing.T) ([]byte, []byte) {
 			// The version-announcement extension against a server without a

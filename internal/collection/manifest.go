@@ -119,4 +119,34 @@ const (
 	// before the verdict frame; otherwise the session proceeds unchanged,
 	// byte-identical to a legacy one past the extension bytes.
 	helloExtMux = 2
+	// helloExtTree advertises tree-mode capabilities as a uvarint bitmask
+	// (treeCap* below). Only meaningful with modeTree. A server that grants
+	// any of them answers TREE_ACK (the granted mask) before its first TREE
+	// reply; otherwise — or with a zero request — the descent runs
+	// byte-identically to a pre-extension session.
+	helloExtTree = 3
+)
+
+// Tree-mode capability bits carried in helloExtTree and TREE_ACK.
+const (
+	// treeCapSpec: speculative descent — internal-node TREE answers carry
+	// several levels of descendant digests at once.
+	treeCapSpec byte = 1 << 0
+	// treeCapCross: cross-file matching — the client may omit renamed files
+	// from its WANT (it copies them locally) and may tag wanted files with
+	// an alternate-basis hint (wantAltBasis) it will sync against.
+	treeCapCross byte = 1 << 1
+)
+
+// WANT-entry "have" byte. Legacy sessions encoded a bool (0/1); the values
+// are chosen so those encodings are unchanged, with wantAltBasis only ever
+// sent under a granted treeCapCross.
+const (
+	// wantAbsent: the client has no local basis; expect a full transfer.
+	wantAbsent byte = 0
+	// wantHave: the client has the same-path file as basis; run map+delta.
+	wantHave byte = 1
+	// wantAltBasis: the client has no same-path file but will sync against
+	// an alternate local basis; the server treats it exactly like wantHave.
+	wantAltBasis byte = 2
 )

@@ -34,9 +34,12 @@ type Server struct {
 	// manifest caches src.Manifest(); hashing the whole collection per
 	// session is wasteful when serving many clients. mtree memoizes the
 	// merkle trees built over it for tree-mode reconciliation. Both are
-	// invalidated when the collection changes (push adoption).
+	// invalidated when the collection changes (push adoption); prevTree
+	// keeps the outgoing tree cache so the next session rebases it from
+	// the manifest diff instead of rebuilding.
 	manifest []ManifestEntry
 	mtree    *merkle.TreeCache
+	prevTree *merkle.TreeCache
 
 	// AllowPush lets clients push updated collections into this server.
 	AllowPush bool
@@ -113,7 +116,13 @@ func (s *Server) sessionState() (Source, []ManifestEntry, *merkle.TreeCache, err
 			entries[i] = merkle.Entry{Path: e.Path, Len: e.Len, Sum: e.Sum}
 		}
 		s.manifest = m
-		s.mtree = merkle.NewTreeCache(entries)
+		fp := ManifestDigest(m)
+		if s.prevTree != nil {
+			s.mtree = s.prevTree.Rebase(entries, fp)
+			s.prevTree = nil
+		} else {
+			s.mtree = merkle.NewTreeCacheAt(entries, fp, treeDir(s.src))
+		}
 	}
 	return s.src, s.manifest, s.mtree, nil
 }
@@ -129,6 +138,11 @@ func (s *Server) setFiles(files map[string][]byte) {
 		s.src = MapSource(files)
 	}
 	s.manifest = nil
+	if s.mtree != nil {
+		// Keep the built trees: the next session rebases them from the
+		// manifest diff, which is cheap when a push changed few files.
+		s.prevTree = s.mtree
+	}
 	s.mtree = nil
 	s.mu.Unlock()
 }
@@ -213,7 +227,7 @@ func (s *Server) serveConn(ctx context.Context, sess *transport.Session, fr *wir
 	if err != nil {
 		return fail(fmt.Errorf("collection: missing manifest mode"))
 	}
-	announce, muxReq := parseHelloExtensions(hp)
+	announce, muxReq, treeCaps := parseHelloExtensions(hp)
 	if role == rolePush {
 		// The remote side holds the newer data and plays the serving role;
 		// we consume the session and adopt the result.
@@ -225,7 +239,7 @@ func (s *Server) serveConn(ctx context.Context, sess *transport.Session, fr *wir
 		sess.SetPhaseDeadline(time.Time{})
 		src := s.source()
 		acct := beginAccounting(src)
-		res, err := consume(ctx, fr, fw, costs, src, false, mode == modeTree, false, s.cfg.Workers, 0, st)
+		res, err := consume(ctx, fr, fw, costs, src, false, mode == modeTree, false, s.cfg.Workers, 0, 0, nil, st)
 		acct.finish(costs)
 		if err != nil {
 			return costs, err
@@ -242,30 +256,31 @@ func (s *Server) serveConn(ctx context.Context, sess *transport.Session, fr *wir
 	if muxReq > s.MuxStreams {
 		muxReq = s.MuxStreams // 0 when the server refuses multiplexing
 	}
-	return s.serveSession(ctx, sess, fr, fw, costs, fail, mode, announce, muxReq, st)
+	return s.serveSession(ctx, sess, fr, fw, costs, fail, mode, announce, muxReq, treeCaps, st)
 }
 
 // parseHelloExtensions reads the optional extension trailer after the mode
-// byte and returns the announced version (-1: none) and the requested mux
-// stream width (0: none). A malformed trailer is treated as absent —
+// byte and returns the announced version (-1: none), the requested mux
+// stream width (0: none), and the requested tree capabilities (masked to the
+// bits this server implements). A malformed trailer is treated as absent —
 // extensions are an optimization hint, never a reason to fail a session.
-func parseHelloExtensions(hp *wire.Parser) (announce int64, mux int) {
+func parseHelloExtensions(hp *wire.Parser) (announce int64, mux int, treeCaps byte) {
 	announce = int64(-1)
 	if hp.Remaining() == 0 {
-		return announce, 0
+		return announce, 0, 0
 	}
 	n, err := hp.Uvarint()
 	if err != nil {
-		return announce, 0
+		return announce, 0, 0
 	}
 	for i := uint64(0); i < n; i++ {
 		id, err := hp.Uvarint()
 		if err != nil {
-			return announce, mux
+			return announce, mux, treeCaps
 		}
 		ext, err := hp.Bytes()
 		if err != nil {
-			return announce, mux
+			return announce, mux, treeCaps
 		}
 		switch id {
 		case helloExtVersion:
@@ -279,9 +294,13 @@ func parseHelloExtensions(hp *wire.Parser) (announce int64, mux int) {
 				}
 				mux = int(v)
 			}
+		case helloExtTree:
+			if v, err := wire.NewParser(ext).Uvarint(); err == nil {
+				treeCaps = byte(v) & (treeCapSpec | treeCapCross)
+			}
 		}
 	}
-	return announce, mux
+	return announce, mux, treeCaps
 }
 
 // serveSession runs the serving role after the handshake header, checking
@@ -289,8 +308,10 @@ func parseHelloExtensions(hp *wire.Parser) (announce int64, mux int) {
 // guard to lift). announce is the client's hello-announced store version
 // (-1: absent); it only matters when the source is versioned. mux is the
 // granted stream width (0: legacy lockstep session); a journal hit or a
-// session without sync engines falls back to legacy regardless.
-func (s *Server) serveSession(ctx context.Context, sess *transport.Session, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, fail func(error) (*stats.Costs, error), mode byte, announce int64, mux int, st *sessTrace) (*stats.Costs, error) {
+// session without sync engines falls back to legacy regardless. treeCaps is
+// the client's requested tree-mode capability mask (already limited to what
+// this server implements).
+func (s *Server) serveSession(ctx context.Context, sess *transport.Session, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, fail func(error) (*stats.Costs, error), mode byte, announce int64, mux int, treeCaps byte, st *sessTrace) (*stats.Costs, error) {
 	// Accounting must start before sessionState so a first session's
 	// manifest build (cache misses, streamed hashing) is attributed to it.
 	acct := beginAccounting(s.source())
@@ -309,7 +330,7 @@ func (s *Server) serveSession(ctx context.Context, sess *transport.Session, fr *
 	case modeManifest:
 		engines, jfiles, muxCounts, err = s.manifestHandshake(fr, fw, costs, src, serverManifest, sbuf, announce, mux, st)
 	case modeTree:
-		engines, muxCounts, err = s.treeHandshake(fr, fw, costs, src, mtree, sbuf, mux, st)
+		engines, muxCounts, err = s.treeHandshake(fr, fw, costs, src, mtree, sbuf, mux, treeCaps, st)
 	default:
 		err = fmt.Errorf("collection: unknown manifest mode %d", mode)
 	}
@@ -532,8 +553,9 @@ func (s *Server) PushContext(ctx context.Context, conn io.ReadWriter) (*stats.Co
 			_ = fw.Flush()
 			return costs, err
 		}
-		// Push receivers never request multiplexing, so none is granted.
-		return s.serveSession(ctx, nil, fr, fw, costs, fail, mode, -1, 0, st)
+		// Push receivers never request multiplexing or tree extensions, so
+		// none are granted.
+		return s.serveSession(ctx, nil, fr, fw, costs, fail, mode, -1, 0, 0, st)
 	}()
 	st.end(costs, err, fr, fw, sess.Stats())
 	return res, err
@@ -704,11 +726,18 @@ func (s *Server) journalVerdicts(fw *wire.FrameWriter, costs *stats.Costs, clien
 }
 
 // treeHandshake runs merkle reconciliation, then answers the client's WANT
-// list with verdicts for exactly those files.
-func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, mtree *merkle.TreeCache, vb *wire.Buffer, mux int, st *sessTrace) ([]syncFile, []int, error) {
+// list with verdicts for exactly those files. caps is the client's requested
+// tree capability mask; anything we grant is announced with a TREE_ACK sent
+// before the first TREE reply (same flush, no extra roundtrip). With caps ==
+// 0 the exchange is byte-identical to a pre-extension session.
+func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, mtree *merkle.TreeCache, vb *wire.Buffer, mux int, caps byte, st *sessTrace) ([]syncFile, []int, error) {
 	resp := merkle.NewResponderCached(mtree)
+	granted := caps & (treeCapSpec | treeCapCross)
+	resp.Speculative = granted&treeCapSpec != 0
+	ackPending := granted != 0
 
 	var want []byte
+	round := 0
 	for want == nil {
 		ft, payload, err := fr.ReadFrame()
 		if err != nil {
@@ -716,10 +745,21 @@ func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs
 		}
 		switch ft {
 		case wire.FrameTree:
+			round++
+			st.begin(obs.PhaseTree, round)
 			st.cost(costs, stats.C2S, stats.PhaseControl, len(payload))
 			reply, err := resp.Respond(payload)
 			if err != nil {
 				return nil, nil, err
+			}
+			if ackPending {
+				ackPending = false
+				ab := wire.NewBuffer(2)
+				ab.Uvarint(uint64(granted))
+				if err := fw.WriteFrame(wire.FrameTreeAck, ab.Build()); err != nil {
+					return nil, nil, err
+				}
+				st.cost(costs, stats.S2C, stats.PhaseControl, ab.Len())
 			}
 			if err := fw.WriteFrame(wire.FrameTree, reply); err != nil {
 				return nil, nil, err
@@ -729,6 +769,7 @@ func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs
 			}
 			st.cost(costs, stats.S2C, stats.PhaseControl, len(reply))
 			costs.Roundtrips++
+			costs.TreeRounds++
 		case wire.FrameWant:
 			st.cost(costs, stats.C2S, stats.PhaseControl, len(payload))
 			want = payload
@@ -736,6 +777,7 @@ func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs
 			return nil, nil, fmt.Errorf("collection: unexpected frame %s during reconciliation", wire.FrameName(ft))
 		}
 	}
+	st.begin(obs.PhaseHandshake, 0)
 
 	wp := wire.NewParser(want)
 	n, err := wp.Uvarint()
@@ -752,7 +794,7 @@ func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs
 		if err != nil {
 			return nil, nil, err
 		}
-		have, err := wp.Bool()
+		have, err := wp.Byte()
 		if err != nil {
 			return nil, nil, err
 		}
@@ -764,13 +806,18 @@ func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs
 		if err != nil {
 			return nil, nil, err
 		}
-		if !have {
+		if have == wantAbsent {
 			vb.Byte(verdictFull)
 			comp := delta.Compress(data)
 			vb.Bytes(comp)
 			fullBytes += len(comp)
 			costs.FilesFull++
 			continue
+		}
+		if have == wantAltBasis {
+			// The client syncs against an alternate local basis; the map
+			// protocol is basis-agnostic, so the serving side is unchanged.
+			costs.FilesRebased++
 		}
 		eng, err := s.emitChangedVerdict(vb, src, path, data, costs, &fullBytes)
 		if err != nil {

@@ -1,0 +1,55 @@
+package core
+
+// PickBasis chooses the best old-file basis among several candidate client
+// engines for the same incoming file — the cross-file matching path, where
+// a tree-mode client seeds a renamed-and-edited file's engine from
+// alternate local files instead of the (missing) same-path content.
+//
+// Every candidate absorbs the identical first-round hash payload and is
+// scored on its candidate block matches. First-round hashes are short, so
+// a raw match count barely separates a related file from noise (random
+// content weak-matches coarse hashes everywhere); the primary score is
+// therefore ALIGNED matches — entries with a candidate source offset
+// within one block of the entry's target offset, the diagonal a
+// moved-then-edited file produces — with the raw count as tiebreak and
+// remaining ties broken to the earliest candidate, so the choice is
+// deterministic for any worker count.
+//
+// The winner has already absorbed the round and is ready to EmitReply;
+// losers are simply dropped. The map protocol is basis-agnostic — the
+// server never learns which basis the client chose — so the substitution
+// is invisible on the wire beyond the better match rate.
+func PickBasis(cands []*ClientFile, payload []byte) (*ClientFile, error) {
+	best, bestAligned, bestTotal := -1, -1, -1
+	var firstErr error
+	for i, c := range cands {
+		if err := c.AbsorbHashes(payload); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		aligned := 0
+		for k, ei := range c.candEntries {
+			e := &c.plan.entries[ei]
+			tol := e.size
+			if tol < 1 {
+				tol = 1
+			}
+			for _, off := range c.candAlts[k] {
+				if d := int(off) - e.off; d >= -tol && d <= tol {
+					aligned++
+					break
+				}
+			}
+		}
+		if total := len(c.candEntries); aligned > bestAligned ||
+			(aligned == bestAligned && total > bestTotal) {
+			best, bestAligned, bestTotal = i, aligned, total
+		}
+	}
+	if best < 0 {
+		return nil, firstErr
+	}
+	return cands[best], nil
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"msync/internal/corpus"
+)
+
+// TestPickBasisPrefersRelatedFile: among several candidate bases for the
+// same incoming file, PickBasis must select the one sharing content with
+// it, and the chosen engine must then drive the protocol to an exact
+// reconstruction with a small delta.
+func TestPickBasisPrefersRelatedFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	related := corpus.SourceText(rng, 32_000)
+	em := corpus.EditModel{BurstsPer32KB: 3, BurstEdits: 3, EditSize: 40, BurstSpread: 300}
+	fNew := em.Apply(rng, related)
+	junk := corpus.RandomText(rng, 32_000)
+
+	cfg := DefaultConfig()
+	srv, err := NewServerFile(fNew, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(basis []byte) *ClientFile {
+		cf, err := NewClientFile(basis, len(fNew), &cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cf
+	}
+	cands := []*ClientFile{mk(junk), mk(related), mk(nil)}
+
+	hashes := srv.EmitHashes()
+	cli, err := PickBasis(cands, hashes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cli != cands[1] {
+		t.Fatal("PickBasis did not choose the related basis")
+	}
+
+	// Finish the protocol with the winner: first round is already absorbed.
+	deltaBytes := 0
+	for {
+		reply := cli.EmitReply()
+		more, err := srv.AbsorbReply(reply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for more {
+			cliMore, err := cli.AbsorbConfirm(srv.EmitConfirm())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cliMore {
+				t.Fatal("engine desync")
+			}
+			more, err = srv.AbsorbBatch(cli.EmitBatch())
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !srv.Active() {
+			break
+		}
+		if err := cli.AbsorbHashes(srv.EmitHashes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dl := srv.EmitDelta()
+	deltaBytes = len(dl)
+	out, err := cli.ApplyDelta(dl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, fNew) {
+		t.Fatal("reconstruction mismatch over alternate basis")
+	}
+	if deltaBytes > len(fNew)/4 {
+		t.Fatalf("delta %d bytes over a related basis (file %d)", deltaBytes, len(fNew))
+	}
+}
+
+// TestPickBasisDeterministicTies: identical candidates tie; the earliest
+// must win every time.
+func TestPickBasisDeterministicTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	fNew := corpus.SourceText(rng, 8_000)
+	cfg := DefaultConfig()
+	srv, err := NewServerFile(fNew, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashes := srv.EmitHashes()
+	for trial := 0; trial < 3; trial++ {
+		var cands []*ClientFile
+		for i := 0; i < 3; i++ {
+			cf, err := NewClientFile(fNew, len(fNew), &cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cands = append(cands, cf)
+		}
+		win, err := PickBasis(cands, hashes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if win != cands[0] {
+			t.Fatalf("trial %d: tie broke away from the first candidate", trial)
+		}
+	}
+}

@@ -333,3 +333,107 @@ func writeLogLines(rng *rand.Rand, buf *bytes.Buffer, size int) {
 			srcWords[rng.Intn(len(srcWords))], rng.Intn(1<<20))
 	}
 }
+
+// RenameProfile models a refactoring release: most files survive untouched,
+// a slice of the tree is moved to new paths verbatim (pure renames), another
+// slice is moved and lightly edited, and a few files change in place. The
+// workload where path-keyed change detection pays the worst-case price and
+// cross-file matching recovers almost all of it.
+type RenameProfile struct {
+	Name     string
+	Files    int
+	MeanSize int
+	// RenamedFraction of files move to a new path with identical content;
+	// MovedEditedFraction move and also receive Edits.
+	RenamedFraction     float64
+	MovedEditedFraction float64
+	ChangedFraction     float64 // edited in place
+	Edits               EditModel
+}
+
+// DefaultRenameProfile returns a rename-heavy corpus at the given scale:
+// ~20% pure renames, ~10% moved-and-edited, ~5% edited in place.
+func DefaultRenameProfile(scale float64) RenameProfile {
+	return RenameProfile{
+		Name:                "rename",
+		Files:               max(4, int(100*scale)),
+		MeanSize:            16 * 1024,
+		RenamedFraction:     0.20,
+		MovedEditedFraction: 0.10,
+		ChangedFraction:     0.05,
+		Edits:               EditModel{BurstsPer32KB: 2.0, BurstEdits: 4, EditSize: 40, BurstSpread: 300},
+	}
+}
+
+// Generate produces the two versions of the rename corpus.
+func (p RenameProfile) Generate(seed int64) (v1, v2 *Tree) {
+	rng := rand.New(rand.NewSource(seed))
+	v1, v2 = &Tree{}, &Tree{}
+	for i := 0; i < p.Files; i++ {
+		size := p.MeanSize/2 + rng.Intn(p.MeanSize)
+		path := fmt.Sprintf("%s/pkg_%02d/file_%04d.c", p.Name, i%13, i)
+		data := SourceText(rng, size)
+		v1.Files = append(v1.Files, File{path, data})
+		r := rng.Float64()
+		switch {
+		case r < p.RenamedFraction:
+			moved := fmt.Sprintf("%s/newpkg_%02d/file_%04d.c", p.Name, i%13, i)
+			v2.Files = append(v2.Files, File{moved, data})
+		case r < p.RenamedFraction+p.MovedEditedFraction:
+			moved := fmt.Sprintf("%s/newpkg_%02d/file_%04d.c", p.Name, i%13, i)
+			v2.Files = append(v2.Files, File{moved, p.Edits.Apply(rng, data)})
+		case r < p.RenamedFraction+p.MovedEditedFraction+p.ChangedFraction:
+			v2.Files = append(v2.Files, File{path, p.Edits.Apply(rng, data)})
+		default:
+			v2.Files = append(v2.Files, File{path, data})
+		}
+	}
+	return v1, v2
+}
+
+// DeepTreeProfile models a deeply nested directory hierarchy (monorepos,
+// vendored dependency trees): many small files under long paths, with a thin
+// scattering of edits — the shape that stresses manifest size and merkle
+// depth rather than per-file transfer.
+type DeepTreeProfile struct {
+	Name            string
+	Files           int
+	MeanSize        int
+	Depth           int // directory nesting below the root
+	ChangedFraction float64
+	Edits           EditModel
+}
+
+// DefaultDeepTreeProfile returns a deep-tree corpus at the given scale.
+func DefaultDeepTreeProfile(scale float64) DeepTreeProfile {
+	return DeepTreeProfile{
+		Name:            "deep",
+		Files:           max(8, int(400*scale)),
+		MeanSize:        2 * 1024,
+		Depth:           6,
+		ChangedFraction: 0.02,
+		Edits:           EditModel{BurstsPer32KB: 2.0, BurstEdits: 3, EditSize: 30, BurstSpread: 200},
+	}
+}
+
+// Generate produces the two versions of the deep-tree corpus.
+func (p DeepTreeProfile) Generate(seed int64) (v1, v2 *Tree) {
+	rng := rand.New(rand.NewSource(seed))
+	v1, v2 = &Tree{}, &Tree{}
+	for i := 0; i < p.Files; i++ {
+		size := 64 + rng.Intn(2*p.MeanSize)
+		dir := p.Name
+		for d := 0; d < p.Depth; d++ {
+			dir = fmt.Sprintf("%s/d%02d", dir, (i>>uint(2*d))%7)
+		}
+		path := fmt.Sprintf("%s/leaf_%05d.txt", dir, i)
+		data := SourceText(rng, size)
+		v1.Files = append(v1.Files, File{path, data})
+		if rng.Float64() < p.ChangedFraction {
+			v2.Files = append(v2.Files, File{path, p.Edits.Apply(rng, data)})
+		} else {
+			v2.Files = append(v2.Files, File{path, data})
+		}
+	}
+	return v1, v2
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"msync/internal/md4"
@@ -241,5 +242,67 @@ func TestLogAppendProfile(t *testing.T) {
 	w1, _ := p.Generate(9)
 	if w1.TotalBytes() != v1.TotalBytes() {
 		t.Fatal("not deterministic")
+	}
+}
+
+func TestRenameProfile(t *testing.T) {
+	p := DefaultRenameProfile(1.0)
+	v1, v2 := p.Generate(3)
+	w1, w2 := p.Generate(3)
+	if v1.TotalBytes() != w1.TotalBytes() || v2.TotalBytes() != w2.TotalBytes() {
+		t.Fatal("rename profile not deterministic")
+	}
+	m1 := v1.Map()
+	byContent := make(map[string]string, len(m1)) // content → v1 path
+	for _, f := range v1.Files {
+		byContent[string(f.Data)] = f.Path
+	}
+	renamed, movedEdited, inPlace := 0, 0, 0
+	for _, f := range v2.Files {
+		if _, samePath := m1[f.Path]; samePath {
+			if !bytes.Equal(m1[f.Path], f.Data) {
+				inPlace++
+			}
+			continue
+		}
+		if src, ok := byContent[string(f.Data)]; ok && src != f.Path {
+			renamed++
+		} else {
+			movedEdited++
+		}
+	}
+	if renamed == 0 || movedEdited == 0 || inPlace == 0 {
+		t.Fatalf("renamed=%d movedEdited=%d inPlace=%d: profile must produce all three",
+			renamed, movedEdited, inPlace)
+	}
+	t.Logf("rename corpus: %d renamed, %d moved+edited, %d edited in place of %d files",
+		renamed, movedEdited, inPlace, len(v2.Files))
+}
+
+func TestDeepTreeProfile(t *testing.T) {
+	p := DefaultDeepTreeProfile(1.0)
+	v1, v2 := p.Generate(5)
+	if len(v1.Files) != len(v2.Files) {
+		t.Fatalf("deep tree: %d vs %d files", len(v1.Files), len(v2.Files))
+	}
+	maxDepth := 0
+	for _, f := range v1.Files {
+		d := strings.Count(f.Path, "/")
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth < p.Depth {
+		t.Fatalf("deepest path has %d segments, profile depth %d", maxDepth, p.Depth)
+	}
+	m1 := v1.Map()
+	changed := 0
+	for _, f := range v2.Files {
+		if !bytes.Equal(m1[f.Path], f.Data) {
+			changed++
+		}
+	}
+	if changed == 0 || changed > len(v2.Files)/4 {
+		t.Fatalf("deep tree changed %d of %d files; want a thin scattering", changed, len(v2.Files))
 	}
 }

@@ -18,6 +18,10 @@
 //	responder → initiator: children digests / leaf bucket contents
 //	...until no internal nodes remain in dispute.
 //
+// When both sides enable speculative descent, internal-node answers carry
+// several levels of descendant digests at once so a typical descent takes
+// roughly half the roundtrips; see Responder.Speculative.
+//
 // After the exchange the initiator knows, exactly: paths changed, paths
 // only at the responder, and paths only at itself.
 package merkle
@@ -25,6 +29,7 @@ package merkle
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 
@@ -40,14 +45,37 @@ type Entry struct {
 	Sum  [md4.Size]byte
 }
 
-// MaxDepth bounds the trie depth (2^MaxDepth leaf buckets).
-const MaxDepth = 20
+// MaxDepth bounds the trie depth (2^MaxDepth leaf buckets). Depths above
+// denseLimit switch to a sparse representation, so the cap can sit far past
+// the point where a dense digest array (32 MB per depth step at 2^21) would
+// hurt: 2^28 buckets keeps buckets at ~4 entries out to the billion-file
+// range while a sparse tree only materializes the occupied spine.
+const MaxDepth = 28
+
+// denseLimit is the largest depth stored as flat arrays; deeper trees use
+// hash maps keyed by node id. A variable so tests can force the sparse path
+// at small depths and prove both representations hash identically.
+var denseLimit = 20
 
 // Tree is a fixed-depth binary hash trie over path hashes.
+//
+// Two storage layouts share one digest definition: dense trees (depth <=
+// denseLimit) keep every bucket and node in flat slices; sparse trees keep
+// only non-empty buckets and only nodes whose digest differs from the
+// all-empty subtree of the same height. Both produce bit-identical wire
+// messages at the same depth.
 type Tree struct {
-	depth   int
-	buckets [][]Entry        // 2^depth buckets, entries sorted by path
-	nodes   [][md4.Size]byte // heap-ordered digests, 1-based; len 2^(depth+1)
+	depth int
+	count int
+
+	// Dense layout: 2^depth buckets (entries sorted by path) and
+	// heap-ordered digests, 1-based, len 2^(depth+1).
+	buckets [][]Entry
+	nodes   [][md4.Size]byte
+
+	// Sparse layout (nil when dense).
+	sbuckets map[int32][]Entry
+	snodes   map[int32][md4.Size]byte
 }
 
 // DepthFor picks a depth that yields small buckets (~4 entries).
@@ -69,33 +97,54 @@ func bucketOf(path string, depth int) int {
 	return int(v >> (32 - uint(depth)))
 }
 
-// Build constructs the tree for a set of entries at the given depth.
-func Build(entries []Entry, depth int) *Tree {
+func newTree(depth int) *Tree {
 	if depth < 0 || depth > MaxDepth {
 		panic(fmt.Sprintf("merkle: depth %d out of range", depth))
 	}
-	t := &Tree{
-		depth:   depth,
-		buckets: make([][]Entry, 1<<depth),
-		nodes:   make([][md4.Size]byte, 2<<depth),
-	}
-	for _, e := range entries {
-		b := bucketOf(e.Path, depth)
-		t.buckets[b] = append(t.buckets[b], e)
-	}
-	for i := range t.buckets {
-		sort.Slice(t.buckets[i], func(a, b int) bool {
-			return t.buckets[i][a].Path < t.buckets[i][b].Path
-		})
-		t.nodes[(1<<depth)+i] = bucketDigest(t.buckets[i])
-	}
-	for i := (1 << depth) - 1; i >= 1; i-- {
-		h := md4.New()
-		h.Write(t.nodes[2*i][:])
-		h.Write(t.nodes[2*i+1][:])
-		copy(t.nodes[i][:], h.Sum(nil))
+	t := &Tree{depth: depth}
+	if depth <= denseLimit {
+		t.buckets = make([][]Entry, 1<<depth)
+		t.nodes = make([][md4.Size]byte, 2<<depth)
+	} else {
+		t.sbuckets = make(map[int32][]Entry)
+		t.snodes = make(map[int32][md4.Size]byte)
 	}
 	return t
+}
+
+// Build constructs the tree for a set of entries at the given depth.
+func Build(entries []Entry, depth int) *Tree {
+	t := newTree(depth)
+	t.count = len(entries)
+	for _, e := range entries {
+		b := bucketOf(e.Path, depth)
+		t.setBucket(b, append(t.bucket(b), e))
+	}
+	if t.nodes != nil {
+		for i := range t.buckets {
+			sortBucket(t.buckets[i])
+			t.nodes[(1<<depth)+i] = bucketDigest(t.buckets[i])
+		}
+		for i := (1 << depth) - 1; i >= 1; i-- {
+			t.nodes[i] = joinDigest(t.nodes[2*i], t.nodes[2*i+1])
+		}
+		return t
+	}
+	dirty := make([]int, 0, len(t.sbuckets))
+	for b, es := range t.sbuckets {
+		sortBucket(es)
+		dirty = append(dirty, int(b))
+	}
+	sort.Ints(dirty)
+	for _, b := range dirty {
+		t.setNode((1<<depth)+b, bucketDigest(t.bucket(b)))
+	}
+	t.recomputeAncestors(dirty)
+	return t
+}
+
+func sortBucket(es []Entry) {
+	sort.Slice(es, func(a, b int) bool { return es[a].Path < es[b].Path })
 }
 
 func bucketDigest(entries []Entry) [md4.Size]byte {
@@ -113,11 +162,107 @@ func bucketDigest(entries []Entry) [md4.Size]byte {
 	return out
 }
 
+func joinDigest(left, right [md4.Size]byte) [md4.Size]byte {
+	h := md4.New()
+	h.Write(left[:])
+	h.Write(right[:])
+	var out [md4.Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// emptyNodes[h] is the digest of a complete subtree of height h containing
+// no entries: the anchor that lets a sparse tree answer for any node it
+// never stored. Computed once; identical across depths because the digest
+// of an empty bucket doesn't depend on where it sits.
+var (
+	emptyOnce  sync.Once
+	emptyNodes [MaxDepth + 1][md4.Size]byte
+)
+
+func emptyNode(height int) [md4.Size]byte {
+	emptyOnce.Do(func() {
+		emptyNodes[0] = bucketDigest(nil)
+		for h := 1; h <= MaxDepth; h++ {
+			emptyNodes[h] = joinDigest(emptyNodes[h-1], emptyNodes[h-1])
+		}
+	})
+	return emptyNodes[height]
+}
+
+// height reports the subtree height below node id (0 for leaves).
+func (t *Tree) height(id int) int {
+	return t.depth - (bits.Len(uint(id)) - 1)
+}
+
+func (t *Tree) node(id int) [md4.Size]byte {
+	if t.nodes != nil {
+		return t.nodes[id]
+	}
+	if d, ok := t.snodes[int32(id)]; ok {
+		return d
+	}
+	return emptyNode(t.height(id))
+}
+
+// setNode stores a digest; in the sparse layout a digest equal to the
+// empty-subtree anchor is represented by absence, keeping the map canonical
+// (two trees with equal content have equal maps).
+func (t *Tree) setNode(id int, d [md4.Size]byte) {
+	if t.nodes != nil {
+		t.nodes[id] = d
+		return
+	}
+	if d == emptyNode(t.height(id)) {
+		delete(t.snodes, int32(id))
+		return
+	}
+	t.snodes[int32(id)] = d
+}
+
+func (t *Tree) bucket(i int) []Entry {
+	if t.buckets != nil {
+		return t.buckets[i]
+	}
+	return t.sbuckets[int32(i)]
+}
+
+func (t *Tree) setBucket(i int, es []Entry) {
+	if t.buckets != nil {
+		t.buckets[i] = es
+		return
+	}
+	if len(es) == 0 {
+		delete(t.sbuckets, int32(i))
+		return
+	}
+	t.sbuckets[int32(i)] = es
+}
+
 // Depth reports the tree depth.
 func (t *Tree) Depth() int { return t.depth }
 
+// Count reports the number of entries in the tree.
+func (t *Tree) Count() int { return t.count }
+
 // Root returns the root digest.
-func (t *Tree) Root() [md4.Size]byte { return t.nodes[1] }
+func (t *Tree) Root() [md4.Size]byte { return t.node(1) }
+
+// AllEntries returns every entry in the tree, sorted by path.
+func (t *Tree) AllEntries() []Entry {
+	out := make([]Entry, 0, t.count)
+	if t.buckets != nil {
+		for _, b := range t.buckets {
+			out = append(out, b...)
+		}
+	} else {
+		for _, b := range t.sbuckets {
+			out = append(out, b...)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Path < out[b].Path })
+	return out
+}
 
 // Diff reports the exact difference between the initiator's entries and the
 // responder's, as discovered by a completed reconciliation.
@@ -141,6 +286,11 @@ type Initiator struct {
 	started  bool
 	done     bool
 	diff     Diff
+
+	// Speculative must be set (before the first Absorb) iff the responder
+	// confirmed it will answer internal nodes with multi-level digest
+	// blocks. The request messages are unchanged either way.
+	Speculative bool
 }
 
 // NewInitiator starts a reconciliation for the local tree.
@@ -172,7 +322,8 @@ func (ini *Initiator) Next() []byte {
 // Absorb processes a responder→initiator message. The responder answers the
 // previous message's nodes in order: for the first message the single root,
 // afterwards each requested node. Internal nodes come back as two child
-// digests; leaves as full bucket contents.
+// digests (or a multi-level digest block under speculative descent); leaves
+// as full bucket contents.
 func (ini *Initiator) Absorb(payload []byte) error {
 	p := wire.NewParser(payload)
 	var asked []int32
@@ -212,6 +363,9 @@ func (ini *Initiator) absorbNode(p *wire.Parser, id int) error {
 		ini.compareBucket(id-(1<<ini.t.depth), remote)
 		return nil
 	}
+	if ini.Speculative {
+		return ini.absorbNodeSpec(p, id)
+	}
 	var remote [2][md4.Size]byte
 	for c := 0; c < 2; c++ {
 		raw, err := p.Raw(md4.Size)
@@ -222,16 +376,60 @@ func (ini *Initiator) absorbNode(p *wire.Parser, id int) error {
 	}
 	for c := 0; c < 2; c++ {
 		child := 2*id + c
-		if ini.t.nodes[child] != remote[c] {
+		if ini.t.node(child) != remote[c] {
 			ini.frontier = append(ini.frontier, int32(child))
 		}
 	}
 	return nil
 }
 
+// absorbNodeSpec processes a speculative answer: a level count, then every
+// descendant digest down to that relative level in heap order. Dispute is
+// tracked level by level — a node is disputed iff its parent is and its
+// digest differs locally — and only the deepest level's survivors join the
+// frontier. All advertised digests are consumed even once the dispute set
+// empties, keeping the stream aligned.
+func (ini *Initiator) absorbNodeSpec(p *wire.Parser, id int) error {
+	lv, err := p.Uvarint()
+	if err != nil {
+		return err
+	}
+	if lv < 1 || int(lv) > ini.t.height(id) {
+		return fmt.Errorf("merkle: speculative depth %d out of range for node %d", lv, id)
+	}
+	disputed := map[int]bool{id: true}
+	var deepest []int
+	for l := 1; l <= int(lv); l++ {
+		base := id << uint(l)
+		next := make(map[int]bool)
+		deepest = deepest[:0]
+		for j := 0; j < 1<<uint(l); j++ {
+			raw, err := p.Raw(md4.Size)
+			if err != nil {
+				return err
+			}
+			child := base + j
+			if !disputed[child>>1] {
+				continue
+			}
+			var d [md4.Size]byte
+			copy(d[:], raw)
+			if ini.t.node(child) != d {
+				next[child] = true
+				deepest = append(deepest, child)
+			}
+		}
+		disputed = next
+	}
+	for _, child := range deepest {
+		ini.frontier = append(ini.frontier, int32(child))
+	}
+	return nil
+}
+
 // compareBucket merges a remote bucket against the local one.
 func (ini *Initiator) compareBucket(bucket int, remote []Entry) {
-	local := ini.t.buckets[bucket]
+	local := ini.t.bucket(bucket)
 	i, j := 0, 0
 	for i < len(local) || j < len(remote) {
 		switch {
@@ -257,6 +455,11 @@ type Responder struct {
 	entries []Entry
 	cache   *TreeCache
 	started bool
+
+	// Speculative makes internal-node answers carry several levels of
+	// descendant digests (see specLevelsFor). Only set it when the
+	// initiator negotiated the capability: the answer encoding changes.
+	Speculative bool
 }
 
 // NewResponder creates a responder over the given entries. The tree is
@@ -265,38 +468,30 @@ func NewResponder(entries []Entry) *Responder {
 	return &Responder{entries: entries}
 }
 
-// TreeCache memoizes built trees per announced depth for one immutable
-// entry set, so a server answering many reconciliation sessions hashes its
-// collection into a trie once per depth instead of once per session. Safe
-// for concurrent use.
-type TreeCache struct {
-	mu      sync.Mutex
-	entries []Entry
-	trees   map[int]*Tree
-}
-
-// NewTreeCache creates a cache over entries, which must not change afterwards.
-func NewTreeCache(entries []Entry) *TreeCache {
-	return &TreeCache{entries: entries, trees: make(map[int]*Tree)}
-}
-
-// Tree returns (building once) the tree at the given depth.
-func (tc *TreeCache) Tree(depth int) *Tree {
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	if t, ok := tc.trees[depth]; ok {
-		return t
-	}
-	t := Build(tc.entries, depth)
-	tc.trees[depth] = t
-	return t
-}
-
 // NewResponderCached creates a per-session responder whose tree comes from
 // the shared cache. Responders themselves are stateful and single-session;
 // only the built trees are shared.
 func NewResponderCached(tc *TreeCache) *Responder {
 	return &Responder{entries: tc.entries, cache: tc}
+}
+
+// Speculative-descent sizing: how many extra levels of descendant digests
+// an internal-node answer includes. Deeper when the dispute set is small,
+// so a reply stays near specDigestBudget digests (~8 KB) — about the size
+// of one legacy round's worth of bucket payloads.
+const (
+	specMaxLevels    = 3
+	specDigestBudget = 512
+)
+
+// specLevelsFor picks the per-node speculation depth when m internal nodes
+// are in dispute. A node expanded to lv levels costs 2^(lv+1)-2 digests.
+func specLevelsFor(m int) int {
+	lv := 1
+	for lv < specMaxLevels && m*((4<<uint(lv))-2) <= specDigestBudget {
+		lv++
+	}
+	return lv
 }
 
 // Respond handles one initiator message.
@@ -328,34 +523,66 @@ func (r *Responder) Respond(payload []byte) ([]byte, error) {
 			return out.Build(), nil
 		}
 		out.Bool(false)
-		r.answerNode(out, 1)
+		r.answerNode(out, 1, specLevelsFor(1))
 		return out.Build(), nil
 	}
 	n, err := p.Uvarint()
 	if err != nil {
 		return nil, err
 	}
+	// Every id costs at least one payload byte, so a count beyond the
+	// remaining bytes is malformed — reject it before allocating.
+	if n > uint64(p.Remaining()) {
+		return nil, fmt.Errorf("merkle: node count %d exceeds payload", n)
+	}
+	ids := make([]int, 0, n)
+	internal := 0
 	for k := uint64(0); k < n; k++ {
 		id, err := p.Uvarint()
 		if err != nil {
 			return nil, err
 		}
-		if id < 1 || id >= uint64(len(r.t.nodes)) {
+		if id < 1 || id >= uint64(2)<<uint(r.t.depth) {
 			return nil, fmt.Errorf("merkle: node id %d out of range", id)
 		}
-		r.answerNode(out, int(id))
+		ids = append(ids, int(id))
+		if id < uint64(1)<<uint(r.t.depth) {
+			internal++
+		}
+	}
+	lv := specLevelsFor(internal)
+	for _, id := range ids {
+		r.answerNode(out, id, lv)
 	}
 	return out.Build(), nil
 }
 
-// answerNode writes either child digests or, at a leaf, the bucket.
-func (r *Responder) answerNode(out *wire.Buffer, id int) {
+// answerNode writes either child digests or, at a leaf, the bucket. Under
+// speculative descent an internal node's answer is a level count followed
+// by all descendant digests down to that relative level, in heap order.
+func (r *Responder) answerNode(out *wire.Buffer, id, specLv int) {
 	if id >= 1<<r.t.depth {
-		encodeBucket(out, r.t.buckets[id-(1<<r.t.depth)])
+		encodeBucket(out, r.t.bucket(id-(1<<r.t.depth)))
 		return
 	}
-	out.Raw(r.t.nodes[2*id][:])
-	out.Raw(r.t.nodes[2*id+1][:])
+	if !r.Speculative {
+		l := r.t.node(2 * id)
+		rt := r.t.node(2*id + 1)
+		out.Raw(l[:])
+		out.Raw(rt[:])
+		return
+	}
+	if h := r.t.height(id); specLv > h {
+		specLv = h
+	}
+	out.Uvarint(uint64(specLv))
+	for l := 1; l <= specLv; l++ {
+		base := id << uint(l)
+		for j := 0; j < 1<<uint(l); j++ {
+			d := r.t.node(base + j)
+			out.Raw(d[:])
+		}
+	}
 }
 
 func encodeBucket(out *wire.Buffer, entries []Entry) {
@@ -371,6 +598,11 @@ func decodeBucket(p *wire.Parser) ([]Entry, error) {
 	n, err := p.Uvarint()
 	if err != nil {
 		return nil, err
+	}
+	// Each encoded entry is at least 18 bytes (path length, file length,
+	// 16-byte digest); bound the allocation by what the payload can hold.
+	if n > uint64(p.Remaining()) {
+		return nil, fmt.Errorf("merkle: bucket count %d exceeds payload", n)
 	}
 	out := make([]Entry, 0, n)
 	for k := uint64(0); k < n; k++ {

@@ -1,0 +1,97 @@
+package merkle
+
+import "sort"
+
+// Update applies a manifest change set in place: upserts insert new entries
+// or replace same-path ones, deletes remove paths. Only the touched buckets
+// and their ancestor digests are recomputed — O(changed · depth) hashing
+// instead of a full O(n) rebuild — so a repeat sync of a huge
+// mostly-unchanged collection refreshes its tree from the changed-path set
+// in microseconds. The result is indistinguishable from Build on the
+// updated entry set.
+func (t *Tree) Update(upserts []Entry, deletes []string) {
+	dirty := make(map[int]bool)
+	for _, e := range upserts {
+		b := bucketOf(e.Path, t.depth)
+		es := t.bucket(b)
+		i := sort.Search(len(es), func(k int) bool { return es[k].Path >= e.Path })
+		if i < len(es) && es[i].Path == e.Path {
+			es[i] = e
+		} else {
+			es = append(es, Entry{})
+			copy(es[i+1:], es[i:])
+			es[i] = e
+			t.count++
+		}
+		t.setBucket(b, es)
+		dirty[b] = true
+	}
+	for _, p := range deletes {
+		b := bucketOf(p, t.depth)
+		es := t.bucket(b)
+		i := sort.Search(len(es), func(k int) bool { return es[k].Path >= p })
+		if i < len(es) && es[i].Path == p {
+			es = append(es[:i], es[i+1:]...)
+			t.setBucket(b, es)
+			t.count--
+			dirty[b] = true
+		}
+	}
+	if len(dirty) == 0 {
+		return
+	}
+	bs := make([]int, 0, len(dirty))
+	for b := range dirty {
+		bs = append(bs, b)
+	}
+	sort.Ints(bs)
+	for _, b := range bs {
+		t.setNode((1<<t.depth)+b, bucketDigest(t.bucket(b)))
+	}
+	t.recomputeAncestors(bs)
+}
+
+// recomputeAncestors refreshes internal digests above the given (deduped)
+// leaf bucket indices, level by level so shared ancestors hash once.
+func (t *Tree) recomputeAncestors(buckets []int) {
+	if t.depth == 0 {
+		return
+	}
+	level := make(map[int]bool, len(buckets))
+	for _, b := range buckets {
+		level[((1<<t.depth)+b)>>1] = true
+	}
+	for len(level) > 0 {
+		next := make(map[int]bool, len(level))
+		for id := range level {
+			t.setNode(id, joinDigest(t.node(2*id), t.node(2*id+1)))
+			if id > 1 {
+				next[id>>1] = true
+			}
+		}
+		level = next
+	}
+}
+
+// entriesDiff computes the change set turning old into new: entries to
+// upsert (paths that are new or whose length/hash changed) and paths to
+// delete. Pure map work, no hashing.
+func entriesDiff(old, new []Entry) (upserts []Entry, deletes []string) {
+	prev := make(map[string]Entry, len(old))
+	for _, e := range old {
+		prev[e.Path] = e
+	}
+	seen := make(map[string]bool, len(new))
+	for _, e := range new {
+		seen[e.Path] = true
+		if o, ok := prev[e.Path]; !ok || o.Len != e.Len || o.Sum != e.Sum {
+			upserts = append(upserts, e)
+		}
+	}
+	for _, e := range old {
+		if !seen[e.Path] {
+			deletes = append(deletes, e.Path)
+		}
+	}
+	return upserts, deletes
+}

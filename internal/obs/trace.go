@@ -22,6 +22,9 @@ const (
 	PhaseFull      = "full"
 	PhaseSession   = "session"
 	PhaseCoreRound = "core-round"
+	// PhaseTree covers one merkle-descent roundtrip of tree-manifest
+	// change detection (the Event.Round field carries the descent round).
+	PhaseTree = "tree"
 	// PhaseStream summarizes one multiplexed stream's whole traffic; the
 	// Event.Stream field carries its 1-based id. A multiplexed session
 	// emits one such span per stream in place of per-round spans for the

@@ -86,6 +86,16 @@ type Costs struct {
 	// from the version store, a miss falls back to the full protocol.
 	JournalHits   int64
 	JournalMisses int64
+	// Merkle-descent roundtrips within tree-manifest change detection
+	// (a subset of Roundtrips; both sides count each TREE exchange once).
+	TreeRounds int
+	// Cross-file matching outcomes (tree mode): FilesRenamed counts files
+	// materialized by copying a local whole-file MD4 match instead of any
+	// transfer, RenameBytesSaved their total size, FilesRebased files
+	// synced against an alternate local basis named by a want hint.
+	FilesRenamed     int
+	RenameBytesSaved int64
+	FilesRebased     int
 	// Candidate/verification bookkeeping for harvest-rate reporting.
 	HashesSent         int64
 	CandidatesFound    int64
@@ -142,6 +152,10 @@ func (c *Costs) Merge(other *Costs) {
 	c.FilesJournal += other.FilesJournal
 	c.JournalHits += other.JournalHits
 	c.JournalMisses += other.JournalMisses
+	c.TreeRounds += other.TreeRounds
+	c.FilesRenamed += other.FilesRenamed
+	c.RenameBytesSaved += other.RenameBytesSaved
+	c.FilesRebased += other.FilesRebased
 	c.HashesSent += other.HashesSent
 	c.CandidatesFound += other.CandidatesFound
 	c.MatchesConfirmed += other.MatchesConfirmed
@@ -181,6 +195,10 @@ func (c *Costs) String() string {
 		fmt.Fprintf(&b, "\n  journal: %d files, %d hits, %d misses",
 			c.FilesJournal, c.JournalHits, c.JournalMisses)
 	}
+	if c.TreeRounds+c.FilesRenamed+c.FilesRebased > 0 {
+		fmt.Fprintf(&b, "\n  tree: %d descent rounds; %d renamed locally (%s saved), %d rebased",
+			c.TreeRounds, c.FilesRenamed, FormatBytes(c.RenameBytesSaved), c.FilesRebased)
+	}
 	if c.CacheHits+c.CacheMisses+c.BytesHashed > 0 {
 		fmt.Fprintf(&b, "\n  sigcache: %d hits, %d misses, %d evictions; hashed %s in %d block hashes",
 			c.CacheHits, c.CacheMisses, c.CacheEvictions,
@@ -200,6 +218,10 @@ func (c *Costs) MarshalJSON() ([]byte, error) {
 		"files_journal":         int64(c.FilesJournal),
 		"journal_hits":          c.JournalHits,
 		"journal_misses":        c.JournalMisses,
+		"tree_rounds":           int64(c.TreeRounds),
+		"files_renamed":         int64(c.FilesRenamed),
+		"rename_bytes_saved":    c.RenameBytesSaved,
+		"files_rebased":         int64(c.FilesRebased),
 		"hashes_sent":           c.HashesSent,
 		"candidates_found":      c.CandidatesFound,
 		"matches_confirmed":     c.MatchesConfirmed,

@@ -57,6 +57,12 @@ const (
 	// therefore one half-roundtrip): its payload is the count of FrameStream
 	// frames that follow.
 	FrameCycle
+	// FrameTreeAck grants a client's tree-descent extensions (hello
+	// extension 3): its payload is the granted capability mask. Sent once,
+	// before the server's first TREE reply in the same flush, and never
+	// sent unless the client asked, so legacy tree sessions stay
+	// byte-identical.
+	FrameTreeAck
 )
 
 // FrameName returns a human-readable name for a frame type.
@@ -96,6 +102,8 @@ func FrameName(t byte) string {
 		return "STREAM"
 	case FrameCycle:
 		return "CYCLE"
+	case FrameTreeAck:
+		return "TREE_ACK"
 	default:
 		return fmt.Sprintf("UNKNOWN(%d)", t)
 	}

@@ -778,6 +778,8 @@ func newClient(files map[string][]byte, opts ...Option) (*Client, error) {
 // client.
 func (c *Client) applyClientOptions() {
 	c.inner.TreeManifest = c.opt.treeManifest
+	c.inner.SpeculativeDescent = c.opt.specDescent
+	c.inner.CrossFileMatch = c.opt.crossFile
 	c.inner.RoundTimeout = c.opt.roundTimeout
 	c.inner.Workers = c.opt.workers
 	c.inner.AnnounceVersion = c.opt.announce

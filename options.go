@@ -65,6 +65,8 @@ type sessionOptions struct {
 	hook         func(SessionEvent)
 	workers      int
 	muxStreams   int
+	specDescent  bool
+	crossFile    bool
 
 	maxSessions      int           // concurrent-session cap; 0 = unlimited
 	maxQueued        int           // admission wait-queue depth; 0 = no queue
@@ -112,6 +114,29 @@ type Option func(*sessionOptions)
 // Server's pushes.
 func WithTreeManifest() Option {
 	return func(o *sessionOptions) { o.treeManifest = true }
+}
+
+// WithSpeculativeDescent makes a tree-manifest Client request speculative
+// descent (hello extension 3): the server's answers carry several levels of
+// merkle digests at once, finishing a typical descent in roughly half the
+// roundtrips for the same total bytes. Servers that don't support the
+// extension ignore it and the session runs the legacy one-level descent
+// byte-identically. Implies nothing without WithTreeManifest; ignored by
+// servers (they always grant it when asked).
+func WithSpeculativeDescent() Option {
+	return func(o *sessionOptions) { o.specDescent = true }
+}
+
+// WithCrossFileMatch makes a tree-manifest Client request cross-file
+// matching (hello extension 3): wanted files whose exact content already
+// exists locally under another path (pure renames) are copied locally with
+// zero content bytes on the wire, and files new to the client are synced
+// against their best alternate local basis (e.g. the old path of a
+// moved-and-edited file) instead of from scratch. Servers that don't
+// support the extension ignore it; the session then runs byte-identically
+// to one without this option. Implies nothing without WithTreeManifest.
+func WithCrossFileMatch() Option {
+	return func(o *sessionOptions) { o.crossFile = true }
 }
 
 // WithTimeout bounds each whole synchronization session (handshake through
