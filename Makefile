@@ -6,9 +6,9 @@ FUZZTIME ?= 10s
 # Packages holding native Fuzz* targets (decoders and frame parsers).
 FUZZ_PKGS = ./internal/wire ./internal/delta ./internal/huffman \
 	./internal/collection ./internal/rsync ./internal/vcdiff \
-	./internal/merkle
+	./internal/merkle ./internal/pubsig
 
-.PHONY: all build test vet race check fuzz-smoke bench bench-cache bench-store bench-mux bench-manifest api api-check clean
+.PHONY: all build test vet race check fuzz-smoke bench bench-cache bench-store bench-mux bench-manifest bench-pub api api-check clean
 
 all: check
 
@@ -35,8 +35,8 @@ race:
 # own, so bugs there fail fast with a focused report before the full suite
 # runs.
 check: vet race fuzz-smoke api-check
-	$(GO) vet ./internal/sigcache/ ./internal/dirio/ ./internal/collection/ ./internal/store/ ./internal/obs/ ./internal/bench/
-	$(GO) test -race ./internal/sigcache/ ./internal/dirio/ ./internal/collection/ ./internal/store/ ./internal/obs/ ./internal/bench/
+	$(GO) vet ./internal/sigcache/ ./internal/dirio/ ./internal/collection/ ./internal/store/ ./internal/obs/ ./internal/bench/ ./internal/pubsig/
+	$(GO) test -race ./internal/sigcache/ ./internal/dirio/ ./internal/collection/ ./internal/store/ ./internal/obs/ ./internal/bench/ ./internal/pubsig/
 
 # api-check diffs the package's exported surface against the committed
 # API.txt; regenerate with `make api` after an intentional API change.
@@ -66,7 +66,7 @@ fuzz-smoke:
 # scan sweep measures real parallelism rather than a clamped-to-1 runtime.
 NPROC := $(shell nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)
 bench: export GOMAXPROCS ?= $(NPROC)
-bench: bench-cache bench-store bench-mux bench-manifest
+bench: bench-cache bench-store bench-mux bench-manifest bench-pub
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 	$(GO) run ./cmd/msbench -scan-json BENCH_scan.json
 
@@ -88,6 +88,13 @@ bench-store:
 # cross-file matching (see internal/bench/manifest.go).
 bench-manifest:
 	$(GO) run ./cmd/msbench -manifest-json BENCH_manifest.json
+
+# bench-pub regenerates BENCH_pub.json: N readers synchronizing from one
+# server — interactive protocol sessions versus published signature artifacts
+# over HTTP (cold, behind a warm CDN-style cache, and riding the /since delta
+# path), every reader converge-verified (see internal/bench/pub.go).
+bench-pub:
+	$(GO) run ./cmd/msbench -pub-json BENCH_pub.json
 
 # bench-mux regenerates BENCH_mux.json: per-file sessions versus one lockstep
 # session versus multiplexed streams at widths 4/16/64 over a 10k-small-file

@@ -454,3 +454,98 @@ func TestCLIVersionedStore(t *testing.T) {
 		t.Fatalf("repeat client failed: %v\n%s", err, out)
 	}
 }
+
+func TestCLIPublishMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the CLI")
+	}
+	bin := buildCLI(t)
+	serverDir, readerDir, artifactDir := t.TempDir(), t.TempDir(), t.TempDir()
+	v1 := map[string][]byte{
+		"keep.txt":    bytes.Repeat([]byte("stable content "), 200),
+		"mod.txt":     bytes.Repeat([]byte("version one body "), 150),
+		"sub/old.txt": []byte("will be deleted\n"),
+	}
+	if err := dirio.Apply(serverDir, nil, v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dirio.Apply(readerDir, nil, v1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Publish v1 offline.
+	out, err := exec.Command(bin, "-dir", serverDir, "-publish-dir", artifactDir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("-publish-dir failed: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("v1")) {
+		t.Fatalf("publish did not report v1:\n%s", out)
+	}
+	// Re-publishing the unchanged tree stays at v1.
+	out, err = exec.Command(bin, "-dir", serverDir, "-publish-dir", artifactDir).CombinedOutput()
+	if err != nil || !bytes.Contains(out, []byte("v1")) {
+		t.Fatalf("idempotent re-publish: %v\n%s", err, out)
+	}
+
+	// The tree moves on; a publish-serve process cuts v2, then serves HTTP.
+	v2 := map[string][]byte{
+		"keep.txt": v1["keep.txt"],
+		"mod.txt":  append(append([]byte{}, v1["mod.txt"]...), []byte("edited tail\n")...),
+		"new.txt":  []byte("a brand new file\n"),
+	}
+	if err := dirio.Apply(serverDir, v1, v2); err != nil {
+		t.Fatal(err)
+	}
+	addr := freePort(t)
+	server := exec.Command(bin, "-serve", addr, "-dir", serverDir, "-publish-dir", artifactDir)
+	var serverOut bytes.Buffer
+	server.Stdout, server.Stderr = &serverOut, &serverOut
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		server.Process.Kill()
+		server.Wait()
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/health")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("publish server never listened: %s", serverOut.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Reader at v1 announces its base and rides the delta path.
+	out, err = exec.Command(bin, "-dir", readerDir, "-from-url", "http://"+addr, "-base-version", "1", "-json").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-from-url failed: %v\n%s", err, out)
+	}
+	var res struct {
+		Version   uint64 `json:"version"`
+		DeltaPath bool   `json:"delta_path"`
+	}
+	line := out[:bytes.IndexByte(out, '\n')]
+	if err := json.Unmarshal(line, &res); err != nil {
+		t.Fatalf("bad -json output %q: %v", line, err)
+	}
+	if res.Version != 2 || !res.DeltaPath {
+		t.Fatalf("reader result: %+v\n%s", res, out)
+	}
+	got, err := dirio.Load(readerDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(v2) {
+		t.Fatalf("reader has %d files, want %d", len(got), len(v2))
+	}
+	for path, want := range v2 {
+		if !bytes.Equal(got[path], want) {
+			t.Fatalf("content mismatch for %s after publish sync", path)
+		}
+	}
+}

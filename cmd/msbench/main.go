@@ -34,6 +34,7 @@ func main() {
 		storeJSON = flag.String("store-json", "", "write the store.journal (versioned store, journal fast path) report as JSON to this file and exit")
 		muxJSON   = flag.String("mux-json", "", "write the mux.pipeline (multiplexed streams vs per-file/lockstep sessions) report as JSON to this file and exit")
 		manJSON   = flag.String("manifest-json", "", "write the manifest.scaling (flat vs merkle-tree change detection, cross-file matching) report as JSON to this file and exit")
+		pubJSON   = flag.String("pub-json", "", "write the pub.fanout (published artifacts vs interactive protocol under N readers) report as JSON to this file and exit")
 		cacheMode = flag.String("cache", "off", "signature-cache condition for parallel.scan: off, cold or warm (never changes wire bytes)")
 	)
 	flag.Parse()
@@ -83,6 +84,10 @@ func main() {
 	}
 	if *manJSON != "" {
 		writeReport(*manJSON, bench.ManifestJSON)
+		return
+	}
+	if *pubJSON != "" {
+		writeReport(*pubJSON, bench.PubJSON)
 		return
 	}
 

@@ -48,6 +48,20 @@
 // Clients pass -base-version N (from a previous run's report) to be answered
 // with the stored journal delta instead of fresh map construction; servers
 // that cannot honor it fall back to the normal protocol automatically.
+//
+// Publish mode inverts the deployment for one-writer/many-readers fan-out:
+//
+//	msync -dir /data/current -publish-dir /data/artifacts              # snapshot a version
+//	msync -dir /data/current -publish-dir /data/artifacts -serve :9441 # publish, then serve artifacts
+//	msync -dir /data/replica -from-url http://host:9441                # reader: reconcile
+//	msync -dir /data/replica -from-url http://host:9441 -base-version 3
+//
+// The publisher writes immutable, content-addressed artifacts (manifest,
+// per-file signatures and blobs, version deltas); the server side is plain
+// HTTP with strong ETags and immutable cache headers, so replicas and CDNs
+// need no msync at all. Readers match locally and fetch only missing byte
+// ranges; -base-version rides the /since delta path, and -dry and -json
+// apply as in the interactive client.
 package main
 
 import (
@@ -99,6 +113,9 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "write per-phase trace events as JSON Lines to this file")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this HTTP address (e.g. 127.0.0.1:6060)")
 
+		publishDir = flag.String("publish-dir", "", "publish mode: artifact-store directory; alone, snapshot -dir into versioned artifacts and exit; with -serve, publish then serve the artifact HTTP surface")
+		fromURL    = flag.String("from-url", "", "publish mode: update -dir from this publish-server base URL (pairs with -base-version, -dry, -json)")
+
 		storeDir    = flag.String("store-dir", "", "server: persistent version-store directory; snapshots with change journals answer announcing clients without map construction")
 		storeBudget = flag.Int64("store-budget", 0, "server: version-store size budget in MiB; oldest versions are garbage-collected first (0 = unlimited)")
 		snapshot    = flag.Bool("snapshot", false, "cut one store version from -dir into -store-dir, print it, and exit (no serving)")
@@ -132,6 +149,20 @@ func main() {
 	switch {
 	case *serve != "" && *connect != "":
 		fatalf("msync: -serve and -connect are mutually exclusive")
+	case *fromURL != "" && (*serve != "" || *connect != "" || *publishDir != ""):
+		fatalf("msync: -from-url is exclusive with -serve, -connect and -publish-dir")
+	case *publishDir != "" && *connect != "":
+		fatalf("msync: -publish-dir cannot be combined with -connect")
+	case *fromURL != "":
+		runPublishSync(*fromURL, *dir, *dry, *baseVersion, *jsonOut)
+		obsClose()
+	case *publishDir != "" && *serve != "":
+		code := runPublishServe(*serve, *dir, *publishDir, *grace)
+		obsClose()
+		os.Exit(code)
+	case *publishDir != "":
+		runPublish(*dir, *publishDir)
+		obsClose()
 	case *snapshot:
 		runSnapshot(*dir, buildConfig(*basic, *minB), *workers, extra)
 		obsClose()
@@ -152,6 +183,95 @@ func main() {
 		os.Exit(2)
 	}
 	obsClose()
+}
+
+// runPublish snapshots dir into the artifact store and prints the version.
+// Publishing an unchanged tree is free and reuses the existing version.
+func runPublish(dir, artifactDir string) {
+	store, err := msync.NewArtifactDir(artifactDir)
+	if err != nil {
+		log.Fatalf("msync: opening artifact store %s: %v", artifactDir, err)
+	}
+	v, created, err := msync.PublishDir(dir, store, 0)
+	if err != nil {
+		log.Fatalf("msync: publish: %v", err)
+	}
+	if created {
+		log.Printf("msync: published %s as v%d into %s", dir, v, artifactDir)
+	} else {
+		log.Printf("msync: %s unchanged, still v%d", dir, v)
+	}
+	fmt.Printf("v%d\n", v)
+}
+
+// runPublishServe publishes dir, then serves the artifact HTTP surface:
+// /latest, /v/<n>/manifest, /v/<n>/sig/<hex>, /v/<n>/blob/<hex>,
+// /since/<base> and /health. The server performs no per-reader computation;
+// any HTTP cache in front of it can absorb the read load.
+func runPublishServe(addr, dir, artifactDir string, grace time.Duration) int {
+	store, err := msync.NewArtifactDir(artifactDir)
+	if err != nil {
+		log.Fatalf("msync: opening artifact store %s: %v", artifactDir, err)
+	}
+	v, created, err := msync.PublishDir(dir, store, 0)
+	if err != nil {
+		log.Fatalf("msync: publish: %v", err)
+	}
+	h, err := msync.PublishHandler(store)
+	if err != nil {
+		log.Fatalf("msync: publish server: %v", err)
+	}
+	if created {
+		log.Printf("msync: published %s as v%d; serving artifacts on %s", dir, v, addr)
+	} else {
+		log.Printf("msync: serving v%d (unchanged) on %s", v, addr)
+	}
+
+	srv := &http.Server{Addr: addr, Handler: h}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	drained := make(chan int, 1)
+	go func() {
+		sig := <-sigc
+		log.Printf("msync: %v: draining requests (grace %v)", sig, grace)
+		ctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("msync: forced shutdown: %v", err)
+			drained <- 1
+			return
+		}
+		drained <- 0
+	}()
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	return <-drained
+}
+
+// runPublishSync updates dir from a publish server, announcing baseVersion
+// (when >= 0) for the /since delta fast path.
+func runPublishSync(url, dir string, dry bool, baseVersion int64, jsonOut bool) {
+	sy := &msync.PublishSyncer{BaseURL: url, DryRun: dry}
+	if baseVersion > 0 {
+		sy.BaseVersion = uint64(baseVersion)
+	}
+	res, err := sy.Sync(context.Background(), dir)
+	if err != nil {
+		log.Fatalf("msync: publish sync: %v", err)
+	}
+	if jsonOut {
+		enc, err := json.Marshal(res)
+		if err != nil {
+			log.Fatalf("msync: encoding result: %v", err)
+		}
+		fmt.Println(string(enc))
+	} else {
+		fmt.Printf("v%d: %d synced, %d full, %d unchanged, %d deleted; %d bytes down (delta path: %v)\n",
+			res.Version, res.FilesSynced, res.FilesFull, res.FilesUnchanged, res.FilesDeleted,
+			res.BytesDown, res.DeltaPath)
+	}
+	log.Printf("msync: %s at v%d (pass -base-version %d next time)", dir, res.Version, res.Version)
 }
 
 // fatalf reports a usage or setup error as one stderr line and exits with

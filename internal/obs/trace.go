@@ -25,6 +25,13 @@ const (
 	// PhaseTree covers one merkle-descent roundtrip of tree-manifest
 	// change detection (the Event.Round field carries the descent round).
 	PhaseTree = "tree"
+	// PhasePublish covers one publish-mode snapshot (internal/pubsig): the
+	// origin's once-per-version artifact computation.
+	PhasePublish = "publish"
+	// PhaseFetch covers one published file's reconciliation on a
+	// publish-mode reader: signature download, local matching and range
+	// fetches (or a whole-blob fallback).
+	PhaseFetch = "fetch"
 	// PhaseStream summarizes one multiplexed stream's whole traffic; the
 	// Event.Stream field carries its 1-based id. A multiplexed session
 	// emits one such span per stream in place of per-round spans for the

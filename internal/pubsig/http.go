@@ -1,11 +1,17 @@
 package pubsig
 
 import (
+	"bytes"
+	"context"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
+
+	"msync/internal/md4"
 )
 
 // SigSuffix is appended to a resource's path to address its signature.
@@ -18,26 +24,88 @@ const SigSuffix = ".msig"
 //	GET /<name>.msig   the published signature
 //
 // The signature is computed once at construction; the server does no
-// per-client synchronization work at all.
+// per-client synchronization work at all. Validators are derived from
+// content (strong ETag = hex MD4), so two replicas serving the same version
+// agree on them and a restart does not invalidate caches; Last-Modified is
+// omitted unless supplied via HandlerModTime.
 func Handler(name string, content []byte, blockSize int) http.Handler {
+	return HandlerModTime(name, content, blockSize, time.Time{})
+}
+
+// HandlerModTime is Handler with a caller-supplied modification time (e.g.
+// the file's real mtime), surfaced as Last-Modified. A zero modTime omits
+// the header and leaves conditional requests to the ETags.
+func HandlerModTime(name string, content []byte, blockSize int, modTime time.Time) http.Handler {
 	sig := Build(content, blockSize)
-	modTime := time.Now()
+	contentSum := md4.Sum(content)
+	sigSum := md4.Sum(sig)
+	contentTag := `"` + hex.EncodeToString(contentSum[:]) + `"`
+	sigTag := `"` + hex.EncodeToString(sigSum[:]) + `"`
 	mux := http.NewServeMux()
 	mux.HandleFunc("/"+name, func(w http.ResponseWriter, r *http.Request) {
-		http.ServeContent(w, r, name, modTime, strings.NewReader(string(content)))
+		w.Header().Set("ETag", contentTag)
+		http.ServeContent(w, r, name, modTime, bytes.NewReader(content))
 	})
 	mux.HandleFunc("/"+name+SigSuffix, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("ETag", sigTag)
 		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Write(sig)
+		http.ServeContent(w, r, "", modTime, bytes.NewReader(sig))
 	})
 	return mux
 }
 
-// HTTPFetcher returns a Fetcher that retrieves byte ranges of url with HTTP
-// Range requests.
-func HTTPFetcher(client *http.Client, url string) Fetcher {
-	return func(off, length int) ([]byte, error) {
-		req, err := http.NewRequest(http.MethodGet, url, nil)
+// parseContentRange parses a Content-Range header of the form
+// "bytes <start>-<end>/<total>" (total may be "*"), returning total = -1
+// when unknown.
+func parseContentRange(h string) (start, end, total int64, ok bool) {
+	rest, found := strings.CutPrefix(h, "bytes ")
+	if !found {
+		return 0, 0, 0, false
+	}
+	span, totalStr, found := strings.Cut(rest, "/")
+	if !found {
+		return 0, 0, 0, false
+	}
+	startStr, endStr, found := strings.Cut(span, "-")
+	if !found {
+		return 0, 0, 0, false
+	}
+	var err error
+	if start, err = strconv.ParseInt(startStr, 10, 64); err != nil || start < 0 {
+		return 0, 0, 0, false
+	}
+	if end, err = strconv.ParseInt(endStr, 10, 64); err != nil || end < start {
+		return 0, 0, 0, false
+	}
+	if totalStr == "*" {
+		return start, end, -1, true
+	}
+	if total, err = strconv.ParseInt(totalStr, 10, 64); err != nil || total <= end {
+		return 0, 0, 0, false
+	}
+	return start, end, total, true
+}
+
+// HTTPRangeFetcher returns a ContextFetcher that retrieves byte ranges of
+// url with HTTP Range requests. It never trusts the transport blindly:
+//
+//   - a 206 reply must carry a Content-Range that matches the requested
+//     range exactly, and a body of exactly that length — middleboxes that
+//     rewrite ranges surface as errors, not silent corruption;
+//   - a 200 reply (the server ignored Range) is accepted only when the
+//     full body covers the requested range, which is then sliced out;
+//   - 416 and every other status fail with the status text;
+//   - the request carries the caller's context, so a stalled server is a
+//     cancellation/timeout, not a hang.
+func HTTPRangeFetcher(client *http.Client, url string) ContextFetcher {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return func(ctx context.Context, off, length int) ([]byte, error) {
+		if off < 0 || length <= 0 {
+			return nil, fmt.Errorf("pubsig: bad range [%d,%d)", off, off+length)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -49,6 +117,16 @@ func HTTPFetcher(client *http.Client, url string) Fetcher {
 		defer resp.Body.Close()
 		switch resp.StatusCode {
 		case http.StatusPartialContent:
+			start, end, total, ok := parseContentRange(resp.Header.Get("Content-Range"))
+			if !ok {
+				return nil, fmt.Errorf("pubsig: 206 with unusable Content-Range %q", resp.Header.Get("Content-Range"))
+			}
+			if start != int64(off) || end != int64(off+length-1) {
+				return nil, fmt.Errorf("pubsig: asked for [%d,%d), server sent [%d,%d]", off, off+length, start, end)
+			}
+			if total >= 0 && total < int64(off+length) {
+				return nil, fmt.Errorf("pubsig: range [%d,%d) beyond resource length %d", off, off+length, total)
+			}
 			data, err := io.ReadAll(io.LimitReader(resp.Body, int64(length)+1))
 			if err != nil {
 				return nil, err
@@ -58,18 +136,34 @@ func HTTPFetcher(client *http.Client, url string) Fetcher {
 			}
 			return data, nil
 		case http.StatusOK:
-			// Server ignored the Range header; slice the full body.
-			data, err := io.ReadAll(io.LimitReader(resp.Body, int64(off+length)+1))
+			// Server ignored the Range header; the body is the whole
+			// resource. Check the advertised length before reading, then
+			// slice the requested range out of the prefix we need.
+			if resp.ContentLength >= 0 && resp.ContentLength < int64(off+length) {
+				return nil, fmt.Errorf("pubsig: full response of %d bytes cannot cover [%d,%d)", resp.ContentLength, off, off+length)
+			}
+			data, err := io.ReadAll(io.LimitReader(resp.Body, int64(off+length)))
 			if err != nil {
 				return nil, err
 			}
-			if off+length > len(data) {
-				return nil, fmt.Errorf("pubsig: short full response")
+			if len(data) < off+length {
+				return nil, fmt.Errorf("pubsig: short full response: %d bytes cannot cover [%d,%d)", len(data), off, off+length)
 			}
-			return data[off : off+length], nil
+			return data[off : off+length : off+length], nil
+		case http.StatusRequestedRangeNotSatisfiable:
+			return nil, fmt.Errorf("pubsig: range [%d,%d) not satisfiable (stale signature?)", off, off+length)
 		default:
 			return nil, fmt.Errorf("pubsig: range request: %s", resp.Status)
 		}
+	}
+}
+
+// HTTPFetcher is HTTPRangeFetcher without cancellation, kept for callers
+// holding a plain Fetcher.
+func HTTPFetcher(client *http.Client, url string) Fetcher {
+	f := HTTPRangeFetcher(client, url)
+	return func(off, length int) ([]byte, error) {
+		return f(context.Background(), off, length)
 	}
 }
 
@@ -77,29 +171,40 @@ func HTTPFetcher(client *http.Client, url string) Fetcher {
 // published signature and range requests, returning the new content and the
 // total bytes downloaded (signature + ranges).
 func SyncHTTP(client *http.Client, baseURL, name string, old []byte) ([]byte, int, error) {
+	return SyncHTTPContext(context.Background(), client, baseURL, name, old)
+}
+
+// SyncHTTPContext is SyncHTTP under a context: both the signature fetch and
+// every range request honor cancellation and deadlines.
+func SyncHTTPContext(ctx context.Context, client *http.Client, baseURL, name string, old []byte) ([]byte, int, error) {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	resp, err := client.Get(baseURL + "/" + name + SigSuffix)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/"+name+SigSuffix, nil)
 	if err != nil {
 		return nil, 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, 0, fmt.Errorf("pubsig: signature fetch: %s", resp.Status)
 	}
 	sig, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if err != nil {
 		return nil, 0, err
 	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, 0, fmt.Errorf("pubsig: signature fetch: %s", resp.Status)
-	}
 	plan, err := NewPlan(old, sig)
 	if err != nil {
 		return nil, len(sig), err
 	}
 	down := len(sig)
-	fetch := HTTPFetcher(client, baseURL+"/"+name)
-	out, err := plan.Reconstruct(old, func(off, length int) ([]byte, error) {
-		data, err := fetch(off, length)
+	fetch := HTTPRangeFetcher(client, baseURL+"/"+name)
+	out, err := plan.ReconstructContext(ctx, old, func(ctx context.Context, off, length int) ([]byte, error) {
+		data, err := fetch(ctx, off, length)
 		down += len(data)
 		return data, err
 	})

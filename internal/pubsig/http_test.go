@@ -2,10 +2,14 @@ package pubsig
 
 import (
 	"bytes"
+	"context"
+	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"msync/internal/corpus"
 )
@@ -88,5 +92,207 @@ func TestHTTPFetcherServerError(t *testing.T) {
 	defer srv.Close()
 	if _, err := HTTPFetcher(srv.Client(), srv.URL)(0, 4); err == nil {
 		t.Fatal("403 accepted")
+	}
+}
+
+// rawResponder serves a fixed status/header/body combination, for modeling
+// broken servers and middleboxes that the fetcher must not trust.
+func rawResponder(status int, contentRange string, body []byte) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if contentRange != "" {
+			w.Header().Set("Content-Range", contentRange)
+		}
+		w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+		w.WriteHeader(status)
+		w.Write(body)
+	})
+}
+
+// TestHTTPFetcherAdversarialResponses sweeps the fetcher across the
+// response shapes a Range-ignoring or range-mangling server can produce:
+// each must either yield exactly the requested bytes or a clean error,
+// never silently-wrong data.
+func TestHTTPFetcherAdversarialResponses(t *testing.T) {
+	full := []byte("0123456789abcdefghij") // 20 bytes; we ask for [4,10)
+	const off, length = 4, 6
+	want := string(full[off : off+length])
+
+	cases := []struct {
+		name    string
+		handler http.Handler
+		want    string // "" = must error
+	}{
+		{"206 correct", rawResponder(206, "bytes 4-9/20", full[4:10]), want},
+		{"206 unknown total", rawResponder(206, "bytes 4-9/*", full[4:10]), want},
+		{"206 shifted range", rawResponder(206, "bytes 5-10/20", full[5:11]), ""},
+		{"206 wrong length range", rawResponder(206, "bytes 4-10/20", full[4:11]), ""},
+		{"206 missing Content-Range", rawResponder(206, "", full[4:10]), ""},
+		{"206 garbage Content-Range", rawResponder(206, "bytes x-y/z", full[4:10]), ""},
+		{"206 short body", rawResponder(206, "bytes 4-9/20", full[4:7]), ""},
+		{"206 overlong body", rawResponder(206, "bytes 4-9/20", full[4:15]), ""},
+		{"206 range beyond total", rawResponder(206, "bytes 4-9/8", full[4:10]), ""},
+		{"200 full body sliced", rawResponder(200, "", full), want},
+		{"200 short body", rawResponder(200, "", full[:6]), ""},
+		{"200 empty body", rawResponder(200, "", nil), ""},
+		{"416", rawResponder(416, "", nil), ""},
+		{"500", rawResponder(500, "", nil), ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := httptest.NewServer(tc.handler)
+			defer srv.Close()
+			got, err := HTTPRangeFetcher(srv.Client(), srv.URL)(context.Background(), off, length)
+			if tc.want == "" {
+				if err == nil {
+					t.Fatalf("accepted, returned %q", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != tc.want {
+				t.Fatalf("got %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHTTPFetcherRejectsBadRanges(t *testing.T) {
+	f := HTTPRangeFetcher(nil, "http://unused.invalid")
+	if _, err := f(context.Background(), -1, 5); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := f(context.Background(), 0, 0); err == nil {
+		t.Fatal("zero length accepted")
+	}
+}
+
+func TestHTTPFetcherHonorsContext(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // stall until the test ends
+	}))
+	defer srv.Close()
+	defer close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := HTTPRangeFetcher(srv.Client(), srv.URL)(ctx, 0, 4)
+	if err == nil {
+		t.Fatal("stalled fetch succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("fetch did not respect the context deadline")
+	}
+}
+
+// TestHandlerValidatorsStableAcrossRestarts pins the modTime = time.Now()
+// fix: two Handler instances over the same content (a restart, or two
+// replicas) must agree on validators, and a conditional request primed by
+// one must revalidate against the other.
+func TestHandlerValidatorsStableAcrossRestarts(t *testing.T) {
+	content := []byte("stable published content, version 7")
+	srv1 := httptest.NewServer(Handler("doc", content, 16))
+	resp1, err := srv1.Client().Get(srv1.URL + "/doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp1.Body.Close()
+	etag := resp1.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag served")
+	}
+	if lm := resp1.Header.Get("Last-Modified"); lm != "" {
+		t.Fatalf("Last-Modified %q fabricated from server start time", lm)
+	}
+	srv1.Close()
+	time.Sleep(10 * time.Millisecond)
+
+	srv2 := httptest.NewServer(Handler("doc", content, 16))
+	defer srv2.Close()
+	req, _ := http.NewRequest(http.MethodGet, srv2.URL+"/doc", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := srv2.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("restarted replica answered %s to a valid If-None-Match, want 304", resp2.Status)
+	}
+}
+
+// TestHandlerSignatureConditionalAndRange: the signature endpoint must get
+// the same HTTP treatment as the content (Content-Length, HEAD, Range,
+// If-None-Match) instead of a bare write.
+func TestHandlerSignatureConditionalAndRange(t *testing.T) {
+	content := []byte("some resource whose signature readers cache")
+	srv := httptest.NewServer(Handler("doc", content, 8))
+	defer srv.Close()
+	url := srv.URL + "/doc" + SigSuffix
+
+	resp, err := srv.Client().Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.ContentLength != int64(len(sig)) || resp.ContentLength <= 0 {
+		t.Fatalf("sig Content-Length = %d, body %d", resp.ContentLength, len(sig))
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("sig has no ETag")
+	}
+	if !bytes.Equal(sig, Build(content, 8)) {
+		t.Fatal("served signature differs from Build")
+	}
+
+	req, _ := http.NewRequest(http.MethodHead, url, nil)
+	resp, err = srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || resp.ContentLength != int64(len(sig)) {
+		t.Fatalf("HEAD sig: %s, length %d", resp.Status, resp.ContentLength)
+	}
+
+	req, _ = http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("sig If-None-Match: %s, want 304", resp.Status)
+	}
+
+	req, _ = http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("Range", "bytes=0-3")
+	resp, err = srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent || !bytes.Equal(part, sig[:4]) {
+		t.Fatalf("sig range: %s, %q", resp.Status, part)
+	}
+}
+
+func TestHandlerModTimeServed(t *testing.T) {
+	mod := time.Unix(1700000000, 0).UTC()
+	srv := httptest.NewServer(HandlerModTime("doc", []byte("content"), 8, mod))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if lm := resp.Header.Get("Last-Modified"); lm != mod.Format(http.TimeFormat) {
+		t.Fatalf("Last-Modified = %q, want %q", lm, mod.Format(http.TimeFormat))
 	}
 }

@@ -15,6 +15,7 @@ package pubsig
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 
@@ -218,6 +219,9 @@ func NewPlan(old, sig []byte) (*Plan, error) {
 // request).
 type Fetcher func(off, length int) ([]byte, error)
 
+// ContextFetcher is a Fetcher that honors cancellation and deadlines.
+type ContextFetcher func(ctx context.Context, off, length int) ([]byte, error)
+
 // ErrVerifyFailed reports that the reconstructed file failed the whole-file
 // check (stale signature or block-hash collision); re-fetch the whole file.
 var ErrVerifyFailed = errors.New("pubsig: reconstructed file failed whole-file check")
@@ -225,6 +229,15 @@ var ErrVerifyFailed = errors.New("pubsig: reconstructed file failed whole-file c
 // Reconstruct executes the plan: local blocks are copied from old, missing
 // ranges fetched, and the result verified against the whole-file hash.
 func (p *Plan) Reconstruct(old []byte, fetch Fetcher) ([]byte, error) {
+	return p.ReconstructContext(context.Background(), old, func(_ context.Context, off, length int) ([]byte, error) {
+		return fetch(off, length)
+	})
+}
+
+// ReconstructContext is Reconstruct under a context: the context is checked
+// between fetches and passed through to each one, so a canceled sync stops
+// instead of draining the remaining ranges.
+func (p *Plan) ReconstructContext(ctx context.Context, old []byte, fetch ContextFetcher) ([]byte, error) {
 	s := p.sig
 	out := make([]byte, s.fileLen)
 	for i, off := range p.localOff {
@@ -239,7 +252,10 @@ func (p *Plan) Reconstruct(old []byte, fetch Fetcher) ([]byte, error) {
 		copy(out[start:end], old[off:])
 	}
 	for _, r := range p.Ranges {
-		data, err := fetch(r.Off, r.Len)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		data, err := fetch(ctx, r.Off, r.Len)
 		if err != nil {
 			return nil, fmt.Errorf("pubsig: fetching [%d,%d): %w", r.Off, r.Off+r.Len, err)
 		}

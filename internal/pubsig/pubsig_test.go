@@ -8,6 +8,9 @@ import (
 	"testing/quick"
 
 	"msync/internal/corpus"
+	"msync/internal/md4"
+	"msync/internal/rolling"
+	"msync/internal/wire"
 )
 
 func TestQuickSyncReconstructs(t *testing.T) {
@@ -136,6 +139,87 @@ func TestBadSignatures(t *testing.T) {
 	}
 	if _, err := NewPlan(nil, append(sig, 0xFF)); err == nil {
 		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// forgeSignature builds a signature whose per-block hashes describe blocks,
+// but whose whole-file hash is whole — modeling a weak-hash collision (all
+// truncated block hashes agree, the file does not).
+func forgeSignature(blocks []byte, bs int, whole [md4.Size]byte) []byte {
+	b := wire.NewBuffer(64)
+	b.Uvarint(uint64(len(blocks)))
+	b.Uvarint(uint64(bs))
+	b.Raw(whole[:])
+	for off := 0; off < len(blocks); off += bs {
+		end := off + bs
+		if end > len(blocks) {
+			end = len(blocks)
+		}
+		blk := blocks[off:end]
+		var w [4]byte
+		weak := rolling.AdlerSum(blk)
+		w[0], w[1], w[2], w[3] = byte(weak), byte(weak>>8), byte(weak>>16), byte(weak>>24)
+		b.Raw(w[:])
+		sum := md4.Sum(blk)
+		b.Raw(sum[:strongLen])
+	}
+	return b.Build()
+}
+
+// TestWholeFileHashBackstopsBlockCollisions: with 4-byte truncated block
+// hashes, colliding blocks are possible; the whole-file hash must catch any
+// reconstruction assembled from collided blocks. We simulate the collision
+// directly: every block of A "matches", but the file-level hash is B's.
+func TestWholeFileHashBackstopsBlockCollisions(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := corpus.SourceText(rng, 8_000)
+	b := corpus.SourceText(rng, 8_000)
+
+	sig := forgeSignature(a, 512, md4.Sum(b))
+	plan, err := NewPlan(a, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.FetchBytes() != 0 {
+		t.Fatalf("collided blocks not matched locally: %d bytes to fetch", plan.FetchBytes())
+	}
+	_, err = plan.Reconstruct(a, func(off, l int) ([]byte, error) {
+		t.Fatal("fetcher called for a fully-local plan")
+		return nil, nil
+	})
+	if !errors.Is(err, ErrVerifyFailed) {
+		t.Fatalf("collision slipped through: err = %v", err)
+	}
+
+	// Sanity: the honest signature over the same blocks verifies.
+	plan, err = NewPlan(a, forgeSignature(a, 512, md4.Sum(a)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := plan.Reconstruct(a, nil)
+	if err != nil || !bytes.Equal(out, a) {
+		t.Fatalf("honest signature rejected: %v", err)
+	}
+}
+
+func TestSignatureRejectsOversizeHeader(t *testing.T) {
+	// A declared file length over the 1<<40 bound must be refused before any
+	// allocation is attempted.
+	b := wire.NewBuffer(64)
+	b.Uvarint(1 << 50)
+	b.Uvarint(512)
+	var whole [md4.Size]byte
+	b.Raw(whole[:])
+	if _, err := NewPlan(nil, b.Build()); err == nil {
+		t.Fatal("absurd file length accepted")
+	}
+	// Zero block size likewise.
+	b = wire.NewBuffer(64)
+	b.Uvarint(100)
+	b.Uvarint(0)
+	b.Raw(whole[:])
+	if _, err := NewPlan(nil, b.Build()); err == nil {
+		t.Fatal("zero block size accepted")
 	}
 }
 

@@ -1,0 +1,325 @@
+package pubsig
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"msync/internal/md4"
+	"msync/internal/obs"
+)
+
+// Cache-control values of the two artifact classes. Versioned and
+// content-addressed URLs never change meaning, so any HTTP cache may keep
+// them forever; the two mutable endpoints (/latest, /since) must be
+// revalidated, which their strong ETags make a cheap 304.
+const (
+	cacheImmutable = "public, max-age=31536000, immutable"
+	cacheMutable   = "public, no-cache"
+)
+
+// Server is the read-side HTTP surface over an ArtifactStore:
+//
+//	GET /latest                 {"version":N} — newest published version
+//	GET /v/<n>/manifest         manifest artifact (immutable)
+//	GET /v/<n>/sig/<hex>        per-file signature blob (immutable)
+//	GET /v/<n>/blob/<hex>       file content, Range-capable (immutable)
+//	GET /since/<base>           composed delta base→latest
+//	GET /health                 liveness + store stats
+//
+// Every artifact response carries a strong content-derived ETag and is
+// served through http.ServeContent, so HEAD, Range, If-None-Match and
+// If-Range work on all of them. The server performs no hashing or matching
+// per request — replicas and CDNs pointed at the same artifacts serve
+// byte-identical responses with identical validators.
+type Server struct {
+	store   ArtifactStore
+	modTime time.Time
+	metrics *obs.Registry
+
+	// etags caches the content hash per artifact key: artifacts are
+	// immutable, so each is hashed at most once per server lifetime and the
+	// marginal cost of an additional reader is zero hashing.
+	mu    sync.Mutex
+	etags map[string]string
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server) error
+
+// WithModTime sets the Last-Modified value for artifact responses. It is
+// caller-supplied precisely so that replicas can agree on it (e.g. the
+// publish commit time); the zero value omits the header entirely and
+// leaves conditional requests to the content-derived ETags, which are
+// stable across restarts by construction.
+func WithModTime(t time.Time) ServerOption {
+	return func(s *Server) error {
+		s.modTime = t
+		return nil
+	}
+}
+
+// WithServerMetrics counts requests, artifact bytes served, and errors in
+// the given registry.
+func WithServerMetrics(r *obs.Registry) ServerOption {
+	return func(s *Server) error {
+		s.metrics = r
+		return nil
+	}
+}
+
+// NewServer returns the HTTP surface over an artifact store.
+func NewServer(store ArtifactStore, opts ...ServerOption) (*Server, error) {
+	s := &Server{store: store, etags: make(map[string]string)}
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// countingWriter tracks body bytes actually written, so served-bytes
+// counters reflect Range and 304 responses truthfully.
+type countingWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (s *Server) count(name string, n int64) {
+	if s.metrics != nil && n != 0 {
+		s.metrics.Counter(name).Add(n)
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	cw := &countingWriter{ResponseWriter: w}
+	s.count("pubsig_http_requests", 1)
+	path := r.URL.Path
+	switch {
+	case path == "/health":
+		s.serveHealth(cw, r)
+	case path == "/latest":
+		s.serveLatest(cw, r)
+	case strings.HasPrefix(path, "/v/"):
+		s.serveVersioned(cw, r, strings.TrimPrefix(path, "/v/"))
+	case strings.HasPrefix(path, "/since/"):
+		s.serveSince(cw, r, strings.TrimPrefix(path, "/since/"))
+	default:
+		s.notFound(cw)
+	}
+	s.count("pubsig_http_bytes", cw.n)
+}
+
+func (s *Server) notFound(w http.ResponseWriter) {
+	s.count("pubsig_http_not_found", 1)
+	http.Error(w, "not found", http.StatusNotFound)
+}
+
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrNoArtifact) {
+		s.notFound(w)
+		return
+	}
+	s.count("pubsig_http_errors", 1)
+	http.Error(w, "internal error", http.StatusInternalServerError)
+}
+
+// serveVersioned routes /v/<n>/manifest, /v/<n>/sig/<hex>, /v/<n>/blob/<hex>.
+func (s *Server) serveVersioned(w http.ResponseWriter, r *http.Request, rest string) {
+	seg := strings.Split(rest, "/")
+	version, err := strconv.ParseUint(seg[0], 10, 64)
+	if err != nil || version == 0 {
+		s.notFound(w)
+		return
+	}
+	switch {
+	case len(seg) == 2 && seg[1] == "manifest":
+		s.count("pubsig_http_manifest_requests", 1)
+		s.serveArtifact(w, r, manifestKey(version), "", cacheImmutable)
+	case len(seg) == 3 && (seg[1] == "sig" || seg[1] == "blob"):
+		sum, err := parseHash(seg[2])
+		if err != nil {
+			s.notFound(w)
+			return
+		}
+		// Content-addressed artifacts carry their identity in the key: the
+		// blob IS the content with that hash, and the signature over it is
+		// deterministic. The key-derived ETag is therefore a strong
+		// validator, and serving costs zero hashing regardless of how many
+		// readers fan out.
+		if seg[1] == "sig" {
+			s.count("pubsig_http_sig_requests", 1)
+			s.serveArtifact(w, r, sigKey(sum), `"sig-`+hex.EncodeToString(sum[:])+`"`, cacheImmutable)
+		} else {
+			s.count("pubsig_http_blob_requests", 1)
+			s.serveArtifact(w, r, blobKey(sum), `"`+hex.EncodeToString(sum[:])+`"`, cacheImmutable)
+		}
+	default:
+		s.notFound(w)
+	}
+}
+
+func parseHash(hexSum string) (sum [md4.Size]byte, err error) {
+	raw, err := hex.DecodeString(strings.ToLower(hexSum))
+	if err != nil || len(raw) != md4.Size {
+		return sum, ErrNoArtifact
+	}
+	copy(sum[:], raw)
+	return sum, nil
+}
+
+// etagFor returns the strong ETag for an immutable artifact — the hex MD4
+// of its bytes, so the same artifact gets the same validator from every
+// replica and across every restart — hashing at most once per server
+// lifetime.
+func (s *Server) etagFor(key string, data []byte) string {
+	s.mu.Lock()
+	et, ok := s.etags[key]
+	s.mu.Unlock()
+	if ok {
+		return et
+	}
+	sum := md4.Sum(data)
+	et = `"` + hex.EncodeToString(sum[:]) + `"`
+	s.count("pubsig_http_bytes_hashed", int64(len(data)))
+	s.mu.Lock()
+	s.etags[key] = et
+	s.mu.Unlock()
+	return et
+}
+
+// serveArtifact serves one stored blob. etag, when non-empty, is a
+// key-derived strong validator (content-addressed artifacts); otherwise the
+// content is hashed once per server lifetime via etagFor.
+func (s *Server) serveArtifact(w http.ResponseWriter, r *http.Request, key, etag, cacheControl string) {
+	data, err := s.store.Get(key)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if etag == "" {
+		etag = s.etagFor(key, data)
+	}
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", cacheControl)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeContent(w, r, "", s.modTime, bytes.NewReader(data))
+}
+
+func (s *Server) serveLatest(w http.ResponseWriter, r *http.Request) {
+	s.count("pubsig_http_latest_requests", 1)
+	latest, err := LatestVersion(s.store)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if latest == 0 {
+		s.notFound(w)
+		return
+	}
+	s.serveJSON(w, r, cacheMutable, map[string]any{
+		"version":  latest,
+		"manifest": fmt.Sprintf("/v/%d/manifest", latest),
+	})
+}
+
+// serveSince answers /since/<base> with the composed delta base→latest.
+// 204 means "you are current"; 404 means the chain cannot be served (never
+// published, or base unknown) and the reader must fall back to the full
+// manifest. The response is mutable (latest moves), but deterministic for
+// a given (base, latest) pair, so its strong ETag keeps revalidation cheap.
+func (s *Server) serveSince(w http.ResponseWriter, r *http.Request, rest string) {
+	s.count("pubsig_http_since_requests", 1)
+	base, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil || base == 0 {
+		s.notFound(w)
+		return
+	}
+	latest, err := LatestVersion(s.store)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if base > latest {
+		s.notFound(w)
+		return
+	}
+	if base == latest {
+		w.Header().Set("Cache-Control", cacheMutable)
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	d, err := ComposeDelta(s.store, base, latest)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	data := EncodeDelta(d)
+	// The composed delta is deterministic for a (base, latest) pair, so its
+	// validator can be cached like the immutable artifacts'.
+	w.Header().Set("ETag", s.etagFor(fmt.Sprintf("since/%d/%d", base, latest), data))
+	w.Header().Set("Cache-Control", cacheMutable)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeContent(w, r, "", s.modTime, bytes.NewReader(data))
+}
+
+func (s *Server) serveHealth(w http.ResponseWriter, r *http.Request) {
+	s.count("pubsig_http_health_requests", 1)
+	latest, err := LatestVersion(s.store)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	versions, err := s.store.Keys("v/")
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	all, err := s.store.Keys("")
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.serveJSON(w, r, "no-cache", map[string]any{
+		"status":    "ok",
+		"latest":    latest,
+		"versions":  len(versions),
+		"artifacts": len(all),
+	})
+}
+
+func (s *Server) serveJSON(w http.ResponseWriter, r *http.Request, cacheControl string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	data = append(data, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", cacheControl)
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	w.Write(data)
+}

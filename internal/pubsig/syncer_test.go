@@ -1,0 +1,274 @@
+package pubsig
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"msync/internal/dirio"
+	"msync/internal/obs"
+)
+
+func writeTree(t *testing.T, files map[string][]byte) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := dirio.ApplyChanges(root, files, nil); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func assertTreeEquals(t *testing.T, root string, want map[string][]byte) {
+	t.Helper()
+	got, err := dirio.Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("tree has %d files, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if !bytes.Equal(got[k], v) {
+			t.Fatalf("file %q differs after sync", k)
+		}
+	}
+}
+
+func publishServer(t *testing.T, versions ...map[string][]byte) (*httptest.Server, ArtifactStore) {
+	t.Helper()
+	s := NewMemStore()
+	p, err := NewPublisher(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, files := range versions {
+		if _, _, err := p.Publish(files); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := NewServer(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv, s
+}
+
+func TestSyncerFullManifestPath(t *testing.T) {
+	v1 := testFiles(31, 8, 6_000)
+	v2 := editSome(v1, 32)
+	delete(v2, func() string {
+		for k := range v2 {
+			return k
+		}
+		return ""
+	}())
+	v2["added/file.txt"] = []byte("entirely new content here")
+	srv, _ := publishServer(t, v1, v2)
+
+	root := writeTree(t, v1)
+	sy := &Syncer{Client: srv.Client(), BaseURL: srv.URL}
+	res, err := sy.Sync(context.Background(), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTreeEquals(t, root, v2)
+	if res.Version != 2 || res.DeltaPath {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.FilesDeleted != 1 {
+		t.Fatalf("deleted %d files, want 1", res.FilesDeleted)
+	}
+	if res.FilesUnchanged == 0 || res.FilesSynced == 0 {
+		t.Fatalf("unchanged=%d synced=%d", res.FilesUnchanged, res.FilesSynced)
+	}
+	// Light edits must ride ranges, not whole blobs: the wire cost of the
+	// changed files should be far below their total size.
+	var changedBytes int64
+	for k, v := range v2 {
+		if !bytes.Equal(v1[k], v) {
+			changedBytes += int64(len(v))
+		}
+	}
+	if res.RangeBytes+res.BlobBytes >= changedBytes {
+		t.Fatalf("fetched %d content bytes for %d bytes of changed files", res.RangeBytes+res.BlobBytes, changedBytes)
+	}
+	if res.BytesReusedLocal == 0 {
+		t.Fatal("no local block reuse recorded")
+	}
+}
+
+func TestSyncerDeltaPath(t *testing.T) {
+	v1 := testFiles(33, 8, 6_000)
+	v2 := editSome(v1, 34)
+	srv, _ := publishServer(t, v1, v2)
+
+	root := writeTree(t, v1)
+	reg := obs.NewRegistry()
+	sy := &Syncer{Client: srv.Client(), BaseURL: srv.URL, BaseVersion: 1, Metrics: reg}
+	res, err := sy.Sync(context.Background(), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTreeEquals(t, root, v2)
+	if !res.DeltaPath || res.Version != 2 {
+		t.Fatalf("delta path not taken: %+v", res)
+	}
+	if reg.Counter("pubsig_sync_delta_hits").Value() != 1 {
+		t.Fatal("delta hit not counted")
+	}
+
+	// The delta path must not download the full manifest: its metadata
+	// bytes are bounded by the change set, not the collection size.
+	fullRes := func() *SyncResult {
+		root2 := writeTree(t, v1)
+		sy2 := &Syncer{Client: srv.Client(), BaseURL: srv.URL}
+		r, err := sy2.Sync(context.Background(), root2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}()
+	if res.ManifestBytes >= fullRes.ManifestBytes {
+		t.Fatalf("delta metadata %d >= full manifest %d", res.ManifestBytes, fullRes.ManifestBytes)
+	}
+}
+
+func TestSyncerUpToDate(t *testing.T) {
+	v1 := testFiles(35, 5, 4_000)
+	srv, _ := publishServer(t, v1)
+	root := writeTree(t, v1)
+
+	// Announcing the current version costs two tiny requests and no work.
+	sy := &Syncer{Client: srv.Client(), BaseURL: srv.URL, BaseVersion: 1}
+	res, err := sy.Sync(context.Background(), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DeltaPath || res.FilesSynced+res.FilesFull+res.FilesDeleted != 0 {
+		t.Fatalf("up-to-date sync did work: %+v", res)
+	}
+	if res.SigBytes+res.RangeBytes+res.BlobBytes != 0 {
+		t.Fatalf("up-to-date sync downloaded content: %+v", res)
+	}
+	assertTreeEquals(t, root, v1)
+}
+
+func TestSyncerUnknownBaseFallsBack(t *testing.T) {
+	v1 := testFiles(36, 6, 5_000)
+	v2 := editSome(v1, 37)
+	srv, _ := publishServer(t, v1, v2)
+	root := writeTree(t, v1)
+
+	// Version 77 was never published: /since misses, the full manifest
+	// path must still converge.
+	sy := &Syncer{Client: srv.Client(), BaseURL: srv.URL, BaseVersion: 77}
+	res, err := sy.Sync(context.Background(), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeltaPath {
+		t.Fatal("rode a delta for an unknown base")
+	}
+	assertTreeEquals(t, root, v2)
+}
+
+func TestSyncerFromScratchAndTamper(t *testing.T) {
+	v1 := testFiles(38, 5, 4_000)
+	srv, _ := publishServer(t, v1)
+
+	// Empty tree: every file arrives as a whole blob.
+	root := t.TempDir()
+	sy := &Syncer{Client: srv.Client(), BaseURL: srv.URL}
+	res, err := sy.Sync(context.Background(), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTreeEquals(t, root, v1)
+	if res.FilesFull != len(v1) || res.FilesSynced != 0 {
+		t.Fatalf("from-scratch: %+v", res)
+	}
+
+	// Tamper with one local file, keeping its size (mtime also changes,
+	// but the full path hashes, so even a same-mtime tamper is caught).
+	var victim string
+	for k := range v1 {
+		victim = k
+		break
+	}
+	path := filepath.Join(root, filepath.FromSlash(victim))
+	data := append([]byte(nil), v1[victim]...)
+	for i := range data[:200] {
+		data[i] ^= 0x5A
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err = sy.Sync(context.Background(), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTreeEquals(t, root, v1)
+	if res.FilesSynced != 1 {
+		t.Fatalf("tampered file not repaired: %+v", res)
+	}
+}
+
+func TestSyncerDryRun(t *testing.T) {
+	v1 := testFiles(39, 6, 4_000)
+	v2 := editSome(v1, 40)
+	srv, _ := publishServer(t, v1, v2)
+	root := writeTree(t, v1)
+
+	sy := &Syncer{Client: srv.Client(), BaseURL: srv.URL, DryRun: true}
+	res, err := sy.Sync(context.Background(), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FilesSynced == 0 {
+		t.Fatal("dry run found nothing to do")
+	}
+	if res.SigBytes+res.RangeBytes+res.BlobBytes != 0 {
+		t.Fatalf("dry run downloaded content: %+v", res)
+	}
+	assertTreeEquals(t, root, v1) // untouched
+}
+
+func TestSyncerCancellation(t *testing.T) {
+	v1 := testFiles(41, 6, 5_000)
+	srv, _ := publishServer(t, v1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sy := &Syncer{Client: srv.Client(), BaseURL: srv.URL}
+	if _, err := sy.Sync(ctx, t.TempDir()); err == nil {
+		t.Fatal("canceled sync succeeded")
+	}
+}
+
+// TestSyncerRepeatedIsStable: syncing twice in a row converges then does
+// nothing, and the second sync's announced base rides the 204 fast path.
+func TestSyncerRepeatedIsStable(t *testing.T) {
+	v1 := testFiles(42, 7, 5_000)
+	v2 := editSome(v1, 43)
+	srv, _ := publishServer(t, v1, v2)
+	root := writeTree(t, v1)
+
+	sy := &Syncer{Client: srv.Client(), BaseURL: srv.URL}
+	res1, err := sy.Sync(context.Background(), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sy.BaseVersion = res1.Version
+	res2, err := sy.Sync(context.Background(), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.FilesSynced+res2.FilesFull+res2.FilesDeleted != 0 {
+		t.Fatalf("second sync did work: %+v", res2)
+	}
+	assertTreeEquals(t, root, v2)
+}

@@ -545,7 +545,7 @@ func (s *Store) Snapshot(manifest []Entry, digest [md4.Size]byte, load func(stri
 	if v := s.latest(); v != nil {
 		prev = v.manifest
 	}
-	changes := diffManifests(prev, manifest)
+	changes := DiffManifests(prev, manifest)
 	memo := make(map[[md4.Size]byte][]byte)
 
 	seg := segName(n)
@@ -553,33 +553,33 @@ func (s *Store) Snapshot(manifest []Entry, digest [md4.Size]byte, load func(stri
 	refs := make(map[[md4.Size]byte]blobRef)
 	ordered := make([][md4.Size]byte, 0, len(changes))
 	for _, ch := range changes {
-		if ch.op == OpDelete {
+		if ch.Op == OpDelete {
 			continue
 		}
-		if _, ok := refs[ch.new.Sum]; ok {
+		if _, ok := refs[ch.New.Sum]; ok {
 			continue
 		}
-		if ref, ok := s.blobs[ch.new.Sum]; ok && s.chainOK(ref) {
+		if ref, ok := s.blobs[ch.New.Sum]; ok && s.chainOK(ref) {
 			continue // content already stored (dedup: renames, copies)
 		}
-		data, err := load(ch.new.Path)
+		data, err := load(ch.New.Path)
 		if err != nil {
-			return 0, false, fmt.Errorf("store: snapshot load %q: %w", ch.new.Path, err)
+			return 0, false, fmt.Errorf("store: snapshot load %q: %w", ch.New.Path, err)
 		}
-		if len(data) != ch.new.Len || md4.Sum(data) != ch.new.Sum {
-			return 0, false, fmt.Errorf("store: %q changed during snapshot", ch.new.Path)
+		if len(data) != ch.New.Len || md4.Sum(data) != ch.New.Sum {
+			return 0, false, fmt.Errorf("store: %q changed during snapshot", ch.New.Path)
 		}
 		blob := delta.Compress(data)
 		ref := blobRef{seg: seg, kind: blobFull}
-		if ch.op == OpModify {
+		if ch.Op == OpModify {
 			// Prefer a delta against the previous version's content when it
 			// is resolvable, the chain stays bounded, and it actually wins.
-			if baseRef, ok := s.blobs[ch.old.Sum]; ok && baseRef.chain+1 <= s.opt.MaxChain && s.chainOK(baseRef) {
-				if base, err := s.content(ch.old.Sum, memo); err == nil {
+			if baseRef, ok := s.blobs[ch.Old.Sum]; ok && baseRef.chain+1 <= s.opt.MaxChain && s.chainOK(baseRef) {
+				if base, err := s.content(ch.Old.Sum, memo); err == nil {
 					if d := delta.Encode(base, data); len(d) < len(blob) {
 						blob = d
 						ref.kind = blobDelta
-						ref.base = ch.old.Sum
+						ref.base = ch.Old.Sum
 						ref.chain = baseRef.chain + 1
 					}
 				}
@@ -589,9 +589,9 @@ func (s *Store) Snapshot(manifest []Entry, digest [md4.Size]byte, load func(stri
 		ref.n = int64(len(blob))
 		ref.crc = crc32.ChecksumIEEE(blob)
 		segBuf = append(segBuf, blob...)
-		refs[ch.new.Sum] = ref
-		ordered = append(ordered, ch.new.Sum)
-		memo[ch.new.Sum] = data
+		refs[ch.New.Sum] = ref
+		ordered = append(ordered, ch.New.Sum)
+		memo[ch.New.Sum] = data
 	}
 
 	if len(segBuf) > 0 {
@@ -718,29 +718,29 @@ func (s *Store) Delta(base uint64, baseDigest, currentDigest [md4.Size]byte) (*D
 		return d, true
 	}
 	memo := make(map[[md4.Size]byte][]byte)
-	for _, ch := range diffManifests(bv.manifest, latest.manifest) {
-		out := &Change{Op: ch.op}
-		switch ch.op {
+	for _, ch := range DiffManifests(bv.manifest, latest.manifest) {
+		out := &Change{Op: ch.Op}
+		switch ch.Op {
 		case OpDelete:
-			d.Changes[ch.old.Path] = out
+			d.Changes[ch.Old.Path] = out
 			continue
 		case OpAdd:
-			payload, err := s.fullPayload(ch.new.Sum, memo)
+			payload, err := s.fullPayload(ch.New.Sum, memo)
 			if err != nil {
 				return nil, false
 			}
 			out.Payload = payload
-			d.Added = append(d.Added, ch.new.Path)
+			d.Added = append(d.Added, ch.New.Path)
 		case OpModify:
-			payload, err := s.modifyPayload(ch.old.Sum, ch.new.Sum, memo)
+			payload, err := s.modifyPayload(ch.Old.Sum, ch.New.Sum, memo)
 			if err != nil {
 				return nil, false
 			}
 			out.Payload = payload
 		}
-		out.Len = ch.new.Len
-		out.Sum = ch.new.Sum
-		d.Changes[ch.new.Path] = out
+		out.Len = ch.New.Len
+		out.Sum = ch.New.Sum
+		d.Changes[ch.New.Path] = out
 	}
 	sort.Strings(d.Added)
 	return d, true
@@ -972,36 +972,42 @@ func (s *Store) appendRecord(payload []byte) error {
 
 // manifest diffing
 
-type chg struct {
-	op       byte
-	old, new Entry
+// ManifestChange is one path's evolution between two manifests, as computed
+// by DiffManifests: Old is the base entry (zero for OpAdd), New the current
+// one (zero for OpDelete).
+type ManifestChange struct {
+	Op       byte
+	Old, New Entry
 }
 
-// diffManifests computes the change list between two sorted manifests.
-func diffManifests(old, new []Entry) []chg {
-	var out []chg
+// DiffManifests computes the change list between two path-sorted manifests —
+// the same diff the store's Snapshot commits to its journal, exported so
+// publish-style pipelines (internal/pubsig) derive their version-to-version
+// delta artifacts from the identical change semantics.
+func DiffManifests(old, new []Entry) []ManifestChange {
+	var out []ManifestChange
 	i, j := 0, 0
 	for i < len(old) && j < len(new) {
 		switch {
 		case old[i].Path == new[j].Path:
 			if old[i].Len != new[j].Len || old[i].Sum != new[j].Sum {
-				out = append(out, chg{op: OpModify, old: old[i], new: new[j]})
+				out = append(out, ManifestChange{Op: OpModify, Old: old[i], New: new[j]})
 			}
 			i++
 			j++
 		case old[i].Path < new[j].Path:
-			out = append(out, chg{op: OpDelete, old: old[i]})
+			out = append(out, ManifestChange{Op: OpDelete, Old: old[i]})
 			i++
 		default:
-			out = append(out, chg{op: OpAdd, new: new[j]})
+			out = append(out, ManifestChange{Op: OpAdd, New: new[j]})
 			j++
 		}
 	}
 	for ; i < len(old); i++ {
-		out = append(out, chg{op: OpDelete, old: old[i]})
+		out = append(out, ManifestChange{Op: OpDelete, Old: old[i]})
 	}
 	for ; j < len(new); j++ {
-		out = append(out, chg{op: OpAdd, new: new[j]})
+		out = append(out, ManifestChange{Op: OpAdd, New: new[j]})
 	}
 	return out
 }

@@ -1,0 +1,78 @@
+package msync
+
+import (
+	"context"
+	"net/http"
+
+	"msync/internal/dirio"
+	"msync/internal/pubsig"
+)
+
+// Publish mode turns the roles of the interactive protocol inside out for
+// the one-writer/many-readers case (the paper's §1.1 scenario 3): the
+// publisher snapshots a directory into immutable, content-addressed
+// artifacts — a versioned manifest, per-file signatures and blobs, and
+// version-to-version deltas — and any dumb HTTP surface (including a CDN)
+// serves them. Readers do all matching locally and fetch only missing byte
+// ranges, so the origin's work is one publish per version, independent of
+// how many readers synchronize from it.
+
+// ArtifactStore is the pluggable storage behind publish mode; artifacts are
+// write-once and content-addressed. See NewArtifactDir for the filesystem
+// implementation.
+type ArtifactStore = pubsig.ArtifactStore
+
+// NewArtifactDir opens (creating if needed) a filesystem-backed artifact
+// store rooted at dir.
+func NewArtifactDir(dir string) (ArtifactStore, error) {
+	return pubsig.NewDirStore(dir)
+}
+
+// PublishDir snapshots the directory tree at root into the artifact store,
+// reusing blobs and signatures already present from earlier versions. It
+// returns the resulting version and whether a new one was created (an
+// unchanged tree re-publishes to the same version for free). A blockSize of
+// 0 uses the store's established (or default) signature block size.
+func PublishDir(root string, store ArtifactStore, blockSize int) (version uint64, created bool, err error) {
+	var opts []pubsig.PublisherOption
+	if blockSize > 0 {
+		opts = append(opts, pubsig.WithBlockSize(blockSize))
+	}
+	p, err := pubsig.NewPublisher(store, opts...)
+	if err != nil {
+		return 0, false, err
+	}
+	t, werrs, err := dirio.OpenTree(root)
+	if err != nil {
+		return 0, false, err
+	}
+	if len(werrs) > 0 {
+		return 0, false, werrs[0]
+	}
+	return p.PublishTree(t)
+}
+
+// PublishHandler returns the read-side HTTP surface over published
+// artifacts: /latest, /v/<n>/manifest, /v/<n>/sig/<hex>, /v/<n>/blob/<hex>,
+// /since/<base> and /health, every artifact response carrying a strong
+// stable ETag and an immutable Cache-Control so replicas and CDNs can serve
+// it forever. See PROTOCOL.md "Published artifacts".
+func PublishHandler(store ArtifactStore) (http.Handler, error) {
+	return pubsig.NewServer(store)
+}
+
+// PublishSyncer reconciles a local directory tree against a publish-mode
+// server (or any cache in front of one), fetching only missing byte ranges.
+type PublishSyncer = pubsig.Syncer
+
+// PublishSyncResult reports what a PublishSyncer run did and downloaded.
+type PublishSyncResult = pubsig.SyncResult
+
+// SyncPublished updates the tree at root from the publish-mode server at
+// baseURL. baseVersion, when nonzero, announces the version the tree was
+// last synced to, enabling the /since delta fast path; 0 fetches the full
+// manifest. A nil client uses http.DefaultClient.
+func SyncPublished(ctx context.Context, client *http.Client, baseURL, root string, baseVersion uint64) (*PublishSyncResult, error) {
+	sy := &pubsig.Syncer{Client: client, BaseURL: baseURL, BaseVersion: baseVersion}
+	return sy.Sync(ctx, root)
+}
