@@ -6,9 +6,9 @@ FUZZTIME ?= 10s
 # Packages holding native Fuzz* targets (decoders and frame parsers).
 FUZZ_PKGS = ./internal/wire ./internal/delta ./internal/huffman \
 	./internal/collection ./internal/rsync ./internal/vcdiff \
-	./internal/merkle ./internal/pubsig
+	./internal/merkle ./internal/pubsig ./internal/cdc
 
-.PHONY: all build test vet race check fuzz-smoke bench bench-cache bench-store bench-mux bench-manifest bench-pub api api-check clean
+.PHONY: all build test vet race check fuzz-smoke bench bench-cache bench-store bench-mux bench-manifest bench-pub bench-cdc api api-check clean
 
 all: check
 
@@ -35,8 +35,8 @@ race:
 # own, so bugs there fail fast with a focused report before the full suite
 # runs.
 check: vet race fuzz-smoke api-check
-	$(GO) vet ./internal/sigcache/ ./internal/dirio/ ./internal/collection/ ./internal/store/ ./internal/obs/ ./internal/bench/ ./internal/pubsig/
-	$(GO) test -race ./internal/sigcache/ ./internal/dirio/ ./internal/collection/ ./internal/store/ ./internal/obs/ ./internal/bench/ ./internal/pubsig/
+	$(GO) vet ./internal/sigcache/ ./internal/dirio/ ./internal/collection/ ./internal/store/ ./internal/obs/ ./internal/bench/ ./internal/pubsig/ ./internal/cdc/ ./internal/corpus/
+	$(GO) test -race ./internal/sigcache/ ./internal/dirio/ ./internal/collection/ ./internal/store/ ./internal/obs/ ./internal/bench/ ./internal/pubsig/ ./internal/cdc/ ./internal/corpus/
 
 # api-check diffs the package's exported surface against the committed
 # API.txt; regenerate with `make api` after an intentional API change.
@@ -66,7 +66,7 @@ fuzz-smoke:
 # scan sweep measures real parallelism rather than a clamped-to-1 runtime.
 NPROC := $(shell nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)
 bench: export GOMAXPROCS ?= $(NPROC)
-bench: bench-cache bench-store bench-mux bench-manifest bench-pub
+bench: bench-cache bench-store bench-mux bench-manifest bench-pub bench-cdc
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 	$(GO) run ./cmd/msbench -scan-json BENCH_scan.json
 
@@ -95,6 +95,13 @@ bench-manifest:
 # path), every reader converge-verified (see internal/bench/pub.go).
 bench-pub:
 	$(GO) run ./cmd/msbench -pub-json BENCH_pub.json
+
+# bench-cdc regenerates BENCH_cdc.json: CDC map construction versus recursive
+# halving over the adversarial boundary-shift corpora (append-heavy logs,
+# database dumps, VM images, binary releases), total wire bytes per arm with
+# every arm convergence-verified (see internal/bench/cdc.go).
+bench-cdc:
+	$(GO) run ./cmd/msbench -cdc-json BENCH_cdc.json
 
 # bench-mux regenerates BENCH_mux.json: per-file sessions versus one lockstep
 # session versus multiplexed streams at widths 4/16/64 over a 10k-small-file

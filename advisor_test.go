@@ -96,6 +96,73 @@ func TestRecommendationsWork(t *testing.T) {
 	}
 }
 
+// TestRecommendShiftHeavyGoesCDC: a pair whose shared content survives but
+// sits at different offsets (the rotated-log shape) must be answered with a
+// CDC map-mode config, and that config must produce a working sync.
+func TestRecommendShiftHeavyGoesCDC(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	old := corpus.SourceText(rng, 120_000)
+	// Rotate away the head and prepend fresh content: every surviving byte
+	// shifts, exactly what breaks fixed power-of-two boundaries.
+	cur := append(corpus.SourceText(rng, 3_000), old[40_000:]...)
+	adv := msync.Recommend(old, cur, msync.LinkModel{})
+	if adv.Config.MapMode != msync.MapCDC {
+		t.Fatalf("shift-heavy pair got mode %v (sim=%.2f): %s",
+			adv.Config.MapMode, adv.Similarity, adv.Rationale)
+	}
+	if err := adv.Config.Validate(); err != nil {
+		t.Fatalf("invalid recommendation: %v", err)
+	}
+	res, err := msync.SyncFile(old, cur, adv.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, cur) {
+		t.Fatal("reconstruction mismatch under recommended CDC config")
+	}
+
+	// In-place edits at stable offsets must NOT trigger the CDC mode.
+	inPlace := append([]byte(nil), old...)
+	for off := 1000; off+64 < len(inPlace); off += 16_000 {
+		copy(inPlace[off:], corpus.RandomText(rng, 64))
+	}
+	adv = msync.Recommend(old, inPlace, msync.LinkModel{})
+	if adv.Config.MapMode != msync.MapHalving {
+		t.Fatalf("aligned in-place edits got mode %v: %s", adv.Config.MapMode, adv.Rationale)
+	}
+}
+
+// TestRecommendShortSamples: samples too short for the chunker's rolling
+// window must not report inflated similarity (the degenerate one-chunk bug).
+func TestRecommendShortSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, tc := range []struct {
+		name     string
+		old, cur []byte
+		lo, hi   float64
+	}{
+		{"both empty", nil, nil, 1, 1},
+		{"new empty", []byte("x"), nil, 1, 1},
+		{"old empty", nil, []byte("x"), 0, 0},
+		{"tiny equal", []byte("same bytes"), []byte("same bytes"), 1, 1},
+		{"tiny different", []byte("aaaaaaaaaa"), []byte("bbbbbbbbbb"), 0, 0},
+		// Unrelated samples that straddle the 48-byte window: the old code
+		// chunked each as one degenerate whole-buffer chunk and could only
+		// answer 0 or 1; same-length unrelated buffers must read as 0.
+		{"window-straddling unrelated", corpus.RandomText(rng, 60), corpus.RandomText(rng, 60), 0, 0},
+		{"short unrelated", corpus.RandomText(rng, 500), corpus.RandomText(rng, 500), 0, 0.2},
+		{"short identical", bytes.Repeat([]byte("abcdefgh"), 64), bytes.Repeat([]byte("abcdefgh"), 64), 0.9, 1},
+	} {
+		adv := msync.Recommend(tc.old, tc.cur, msync.LinkModel{})
+		if adv.Similarity < tc.lo || adv.Similarity > tc.hi {
+			t.Errorf("%s: similarity %.2f outside [%.2f, %.2f]", tc.name, adv.Similarity, tc.lo, tc.hi)
+		}
+		if err := adv.Config.Validate(); err != nil {
+			t.Errorf("%s: invalid config: %v", tc.name, err)
+		}
+	}
+}
+
 func TestRecommendEdgeInputs(t *testing.T) {
 	for _, tc := range [][2][]byte{
 		{nil, nil},

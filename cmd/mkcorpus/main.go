@@ -3,6 +3,7 @@
 //
 //	mkcorpus -profile gcc -out /tmp/corpus          # writes v1/ and v2/
 //	mkcorpus -profile web -days 0,2,7 -out /tmp/web # one dir per night
+//	mkcorpus -profile dbdump -out /tmp/dump         # adversarial CDC corpus
 package main
 
 import (
@@ -19,7 +20,7 @@ import (
 
 func main() {
 	var (
-		profile = flag.String("profile", "gcc", "corpus profile: gcc, emacs, web, rename, deep, logs")
+		profile = flag.String("profile", "gcc", "corpus profile: gcc, emacs, web, rename, deep, logs, logs-heavy, dbdump, vmimage, binrelease")
 		out     = flag.String("out", "corpus", "output directory")
 		scale   = flag.Float64("scale", 1.0, "corpus scale factor")
 		seed    = flag.Int64("seed", 42, "generator seed")
@@ -38,7 +39,7 @@ func main() {
 		mustWrite(filepath.Join(*out, "v2"), v2)
 		fmt.Printf("wrote %s: v1 %d files (%d bytes), v2 %d files (%d bytes)\n",
 			*out, len(v1.Files), v1.TotalBytes(), len(v2.Files), v2.TotalBytes())
-	case "rename", "deep", "logs":
+	case "rename", "deep", "logs", "logs-heavy", "dbdump", "vmimage", "binrelease":
 		var v1, v2 *corpus.Tree
 		switch *profile {
 		case "rename":
@@ -47,6 +48,17 @@ func main() {
 			v1, v2 = corpus.DefaultDeepTreeProfile(*scale).Generate(*seed)
 		case "logs":
 			v1, v2 = corpus.DefaultLogAppendProfile(*scale).Generate(*seed)
+		// The adversarial boundary-shift profiles behind the bench-cdc
+		// matrix (DESIGN.md §16); the fixed default seed keeps the written
+		// corpora deterministic across runs and machines.
+		case "logs-heavy":
+			v1, v2 = corpus.DefaultHeavyLogProfile(*scale).Generate(*seed)
+		case "dbdump":
+			v1, v2 = corpus.DefaultDBDumpProfile(*scale).Generate(*seed)
+		case "vmimage":
+			v1, v2 = corpus.DefaultVMImageProfile(*scale).Generate(*seed)
+		case "binrelease":
+			v1, v2 = corpus.DefaultBinaryReleaseProfile(*scale).Generate(*seed)
 		}
 		mustWrite(filepath.Join(*out, "v1"), v1)
 		mustWrite(filepath.Join(*out, "v2"), v2)

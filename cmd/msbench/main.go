@@ -35,6 +35,7 @@ func main() {
 		muxJSON   = flag.String("mux-json", "", "write the mux.pipeline (multiplexed streams vs per-file/lockstep sessions) report as JSON to this file and exit")
 		manJSON   = flag.String("manifest-json", "", "write the manifest.scaling (flat vs merkle-tree change detection, cross-file matching) report as JSON to this file and exit")
 		pubJSON   = flag.String("pub-json", "", "write the pub.fanout (published artifacts vs interactive protocol under N readers) report as JSON to this file and exit")
+		cdcJSON   = flag.String("cdc-json", "", "write the cdc.map (CDC vs halving map construction on adversarial corpora) report as JSON to this file and exit")
 		cacheMode = flag.String("cache", "off", "signature-cache condition for parallel.scan: off, cold or warm (never changes wire bytes)")
 	)
 	flag.Parse()
@@ -88,6 +89,10 @@ func main() {
 	}
 	if *pubJSON != "" {
 		writeReport(*pubJSON, bench.PubJSON)
+		return
+	}
+	if *cdcJSON != "" {
+		writeReport(*cdcJSON, bench.CDCJSON)
 		return
 	}
 

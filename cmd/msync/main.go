@@ -106,6 +106,7 @@ func main() {
 		allowPush = flag.Bool("allow-push", false, "server: accept pushes and update -dir")
 		workers   = flag.Int("workers", 0, "worker goroutines for hashing/scanning (0 = all CPUs, 1 = serial); wire output is identical for every value")
 		muxWidth  = flag.Int("mux-streams", 0, "multiplexed streams per session: clients request the width, servers cap it; interleaves per-file rounds on one connection (0 = legacy lockstep)")
+		mapMode   = flag.String("map-mode", "halving", "client: map-construction mode to request (halving, cdc); cdc derives block boundaries from content-defined chunks — best for shift-heavy data; servers that don't support it fall back to halving")
 		cacheDir  = flag.String("cache-dir", "", "persistent signature cache directory; repeat syncs of unchanged files skip hashing (never changes the bytes on the wire)")
 		cacheMem  = flag.Int64("cache-mem", 64, "signature cache in-memory budget in MiB")
 		paranoid  = flag.Bool("cache-paranoid", false, "re-verify every signature cache hit by re-reading the file (catches edits that restore size+mtime)")
@@ -139,6 +140,13 @@ func main() {
 	extra = append(extra, storeOptions(*storeDir, *storeBudget)...)
 	if *muxWidth > 0 {
 		extra = append(extra, msync.WithMuxStreams(*muxWidth))
+	}
+	mm, err := msync.ParseMapMode(*mapMode)
+	if err != nil {
+		fatalf("msync: %v", err)
+	}
+	if mm != msync.MapHalving {
+		extra = append(extra, msync.WithMapMode(mm))
 	}
 	if *specDesc {
 		extra = append(extra, msync.WithSpeculativeDescent())

@@ -328,6 +328,7 @@ var registry = map[string]func(Options) *Table{
 	"ablate.twophase": AblateTwoPhase,
 	"parallel.scan":   ParallelScan,
 	"cache.sync":      CacheSync,
+	"cdc.map":         CDCMap,
 }
 
 // Run executes one experiment by id.

@@ -14,6 +14,8 @@ package cdc
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 
 	"msync/internal/delta"
 	"msync/internal/md4"
@@ -51,15 +53,54 @@ type Chunk struct {
 	Sum      [md4.Size]byte
 }
 
+// ErrBadParams is wrapped by ChunksE (and by the map-mode negotiation path
+// built on it) when the chunking parameters are unusable.
+var ErrBadParams = errors.New("cdc: invalid params")
+
 // Chunks splits data into content-defined chunks. The split points depend
 // only on local content (within Max bytes), so an insertion or deletion
 // perturbs only nearby chunks — the property that makes chunk hashes
 // comparable across file versions.
+//
+// Chunks panics on invalid Params; callers handling untrusted or
+// user-supplied parameters should use ChunksE instead.
 func Chunks(data []byte, p Params) []Chunk {
-	if !p.Valid() {
-		panic("cdc: invalid params")
+	out, err := ChunksE(data, p)
+	if err != nil {
+		panic(err.Error())
 	}
-	var out []Chunk
+	return out
+}
+
+// ChunksE is Chunks with parameter validation reported as an error instead
+// of a panic: invalid Params return an error wrapping ErrBadParams. This is
+// the entry point for configuration paths (CLI flags, mode negotiation)
+// where a bad value must surface as a diagnostic, never a crash.
+func ChunksE(data []byte, p Params) ([]Chunk, error) {
+	cuts, err := CutsE(data, p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Chunk, len(cuts))
+	start := 0
+	for i, cut := range cuts {
+		out[i] = Chunk{Off: start, Len: cut - start, Sum: md4.Sum(data[start:cut])}
+		start = cut
+	}
+	return out, nil
+}
+
+// CutsE returns the content-defined chunk end offsets of data (the last cut
+// is always len(data)) without hashing the chunks — the boundary scan alone.
+// Map-construction callers that hash chunks with their own hash family use
+// this to avoid a wasted strong hash per chunk. Invalid Params return an
+// error wrapping ErrBadParams.
+func CutsE(data []byte, p Params) ([]int, error) {
+	if !p.Valid() {
+		return nil, fmt.Errorf("%w: min=%d avg=%d max=%d (need 0 < %d < min <= avg <= max, avg a power of two)",
+			ErrBadParams, p.Min, p.Avg, p.Max, windowSize)
+	}
+	var out []int
 	mask := uint64(p.Avg - 1)
 	magic := uint64(boundaryMagic) & mask
 	poly := rolling.Default()
@@ -92,10 +133,10 @@ func Chunks(data []byte, p Params) []Chunk {
 				pos++
 			}
 		}
-		out = append(out, Chunk{Off: start, Len: cut - start, Sum: md4.Sum(data[start:cut])})
+		out = append(out, cut)
 		start = cut
 	}
-	return out
+	return out, nil
 }
 
 // Result reports one LBFS-style transfer.

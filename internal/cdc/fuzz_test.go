@@ -1,0 +1,112 @@
+package cdc
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzChunks checks the splitter's boundary invariants on arbitrary input:
+// chunks tile the data exactly, every chunk length lies in [Min, Max] (the
+// final chunk may undershoot Min at end-of-data), chunking is deterministic,
+// and appending a suffix perturbs only chunks within Max of the splice —
+// the concatenation's chunking must reproduce the prefix's chunking exactly
+// up to the prefix's final chunk, which is the only chunk the splice may
+// touch (chunk length is capped at Max, so it starts within Max of it).
+func FuzzChunks(f *testing.F) {
+	f.Add([]byte("hello, content-defined world"), uint8(11), uint8(2), 7)
+	f.Add([]byte{}, uint8(6), uint8(1), 0)
+	f.Add(make([]byte, 4096), uint8(8), uint8(8), 100)
+	f.Fuzz(func(t *testing.T, data []byte, avgShift, maxFactor uint8, split int) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		// Derive valid params from the fuzz ints: Avg a power of two in
+		// [64, 16384], Min just above the rolling window, Max a small
+		// multiple of Avg.
+		shift := 6 + int(avgShift)%9
+		p := Params{Avg: 1 << shift}
+		p.Min = p.Avg / 4
+		if p.Min <= windowSize {
+			p.Min = windowSize + 1
+		}
+		p.Max = p.Avg * (1 + int(maxFactor)%8)
+		if !p.Valid() {
+			t.Fatalf("derived invalid params %+v", p)
+		}
+
+		chunks, err := ChunksE(data, p)
+		if err != nil {
+			t.Fatalf("ChunksE(valid params): %v", err)
+		}
+		pos := 0
+		for i, c := range chunks {
+			if c.Off != pos {
+				t.Fatalf("chunk %d at %d, want %d", i, c.Off, pos)
+			}
+			if c.Len <= 0 || c.Len > p.Max {
+				t.Fatalf("chunk %d len %d outside (0, %d]", i, c.Len, p.Max)
+			}
+			if c.Len < p.Min && i != len(chunks)-1 {
+				t.Fatalf("non-final chunk %d len %d < min %d", i, c.Len, p.Min)
+			}
+			pos += c.Len
+		}
+		if pos != len(data) {
+			t.Fatalf("chunks cover %d of %d bytes", pos, len(data))
+		}
+
+		// Identical data ⇒ identical cuts.
+		again, _ := ChunksE(data, p)
+		if len(again) != len(chunks) {
+			t.Fatalf("nondeterministic: %d vs %d chunks", len(again), len(chunks))
+		}
+		for i := range again {
+			if again[i] != chunks[i] {
+				t.Fatalf("nondeterministic chunk %d", i)
+			}
+		}
+
+		// Splice locality: chunk a prefix alone, then the whole input. The
+		// full input's chunking must begin with every prefix chunk except
+		// the prefix's last (whose cut may have been forced by end-of-data).
+		if len(data) < 2 {
+			return
+		}
+		cut := split % len(data)
+		if cut < 0 {
+			cut = -cut % len(data)
+		}
+		prefix, _ := ChunksE(data[:cut], p)
+		if len(prefix) < 2 {
+			return
+		}
+		stable := prefix[:len(prefix)-1]
+		if len(chunks) < len(stable) {
+			t.Fatalf("concat has %d chunks, prefix has %d stable", len(chunks), len(stable))
+		}
+		for i, c := range stable {
+			if chunks[i] != c {
+				t.Fatalf("splice at %d perturbed chunk %d (off %d, %d from splice, max %d)",
+					cut, i, c.Off, cut-c.Off, p.Max)
+			}
+		}
+	})
+}
+
+func TestChunksETypedError(t *testing.T) {
+	bad := []Params{
+		{},
+		{Min: 0, Avg: 1024, Max: 4096},
+		{Min: 256, Avg: 1000, Max: 4096}, // avg not a power of two
+		{Min: 4096, Avg: 8192, Max: 1024},
+		{Min: 16, Avg: 64, Max: 128}, // min <= window
+	}
+	for i, p := range bad {
+		if _, err := ChunksE([]byte("data"), p); !errors.Is(err, ErrBadParams) {
+			t.Errorf("params %d: err = %v, want ErrBadParams", i, err)
+		}
+	}
+	if got, err := ChunksE([]byte("data"), DefaultParams()); err != nil || len(got) != 1 {
+		t.Fatalf("valid params: %d chunks, err %v", len(got), err)
+	}
+}

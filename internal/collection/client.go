@@ -104,6 +104,14 @@ type Client struct {
 	// multiplex (or sessions with nothing to sync) ignore the request and
 	// the session runs the legacy lockstep protocol unchanged.
 	MuxStreams int
+	// MapMode requests a map-construction mode (hello extension 4):
+	// core.MapCDC asks the server to derive block boundaries from
+	// content-defined chunk cuts instead of recursive halving. The server
+	// is authoritative — it grants the mode by echoing it in the session
+	// config it ships with the verdicts, and servers that predate the
+	// extension ignore it, so the session falls back to halving
+	// byte-identically. The zero value never emits the extension.
+	MapMode core.MapMode
 	// Tracer, if set, receives span-like events per protocol phase; the
 	// summed frame bytes of a session's spans equal its Costs wire totals.
 	// Tracing never changes what goes on the wire.
@@ -207,6 +215,9 @@ func (c *Client) SyncContext(ctx context.Context, conn io.ReadWriter) (*Result, 
 		if treeCaps != 0 {
 			nExt++
 		}
+		if c.MapMode != core.MapHalving {
+			nExt++
+		}
 		if nExt > 0 {
 			hb.Uvarint(uint64(nExt))
 			if c.AnnounceVersion {
@@ -225,6 +236,12 @@ func (c *Client) SyncContext(ctx context.Context, conn io.ReadWriter) (*Result, 
 				ext := wire.NewBuffer(8)
 				ext.Uvarint(uint64(treeCaps))
 				hb.Uvarint(helloExtTree)
+				hb.Bytes(ext.Build())
+			}
+			if c.MapMode != core.MapHalving {
+				ext := wire.NewBuffer(8)
+				ext.Uvarint(uint64(c.MapMode))
+				hb.Uvarint(helloExtMapMode)
 				hb.Bytes(ext.Build())
 			}
 		}
@@ -375,6 +392,7 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 		return nil, err
 	}
 	cfg.Workers = workers
+	st.setMode(cfg.MapMode)
 	nv, err := vp.Uvarint()
 	if err != nil || int(nv) != len(verdictPaths) {
 		return nil, fmt.Errorf("collection: verdict count mismatch")
@@ -466,6 +484,9 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 			}
 			engines = append(engines, clientFile{path: path, engine: eng})
 			costs.FilesSynced++
+			if cfg.MapMode == core.MapCDC {
+				costs.FilesCDC++
+			}
 		case verdictJournal:
 			newLen, err := vp.Uvarint()
 			if err != nil {
@@ -710,6 +731,7 @@ func consume(ctx context.Context, fr *wire.FrameReader, fw *wire.FrameWriter, co
 	} // end legacy lockstep path
 	perFile := make(map[string]int64, len(engines)+len(jfiles))
 	for i := range engines {
+		costs.CDCChunks += engines[i].engine.CDCChunks
 		perFile[engines[i].path] = perEngine[i]
 	}
 	for path, n := range jbytes {

@@ -41,6 +41,12 @@ func encodeConfig(c *core.Config) []byte {
 	b.Uvarint(uint64(c.AdaptiveMinBlock))
 	b.Uvarint(math.Float64bits(c.AdaptiveFactor))
 	b.String(c.HashFamily)
+	// The map mode rides as an optional trailing field: sessions that
+	// negotiated CDC (hello extension 4) append it; halving sessions end
+	// the config here, byte-identical to pre-CDC servers.
+	if c.MapMode != core.MapHalving {
+		b.Uvarint(uint64(c.MapMode))
+	}
 	return b.Build()
 }
 
@@ -119,6 +125,13 @@ func decodeConfig(p []byte) (core.Config, error) {
 	c.AdaptiveFactor = math.Float64frombits(af)
 	if c.HashFamily, err = pr.String(); err != nil {
 		return c, err
+	}
+	if pr.Remaining() > 0 {
+		mm, err := pr.Uvarint()
+		if err != nil {
+			return c, err
+		}
+		c.MapMode = core.MapMode(mm)
 	}
 	return c, c.Validate()
 }

@@ -33,7 +33,9 @@ func manifestDelta(t *testing.T, dir string, cache *sigcache.Cache, fp uint64, p
 // TestCacheInvalidationMatrix pins down exactly which stat changes invalidate
 // a cached signature: mtime alone, size alone, and a config-fingerprint
 // change each force a miss; a content change that restores both size and
-// mtime is the documented stale-hit limitation, caught only by paranoid mode.
+// mtime is caught by the ctime-widened key where the platform reports one,
+// and remains the documented stale-hit limitation (paranoid mode as the
+// backstop) where it doesn't.
 func TestCacheInvalidationMatrix(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "f.txt")
@@ -104,26 +106,53 @@ func TestCacheInvalidationMatrix(t *testing.T) {
 		t.Fatal("size-only: sum not refreshed")
 	}
 
-	// Content change with size AND mtime restored: the stat key cannot tell,
-	// so this is the documented stale hit — the manifest carries the old sum.
+	// Content change with size AND mtime restored. Where the platform
+	// reports a stat ctime the rewrite still moved it — userspace cannot put
+	// it back — so the widened key catches what size+mtime alone missed.
+	// Platforms without ctime keep the documented stale hit, with paranoid
+	// mode as the backstop.
 	v3 := v2[:len(v2)-1] + "?" // same length, different content
 	setFile(v3, later)
-	m, d, hashed = manifestDelta(t, dir, cache, fp, false)
-	if d.Hits != 1 || d.Misses != 0 || hashed != 0 {
-		t.Fatalf("restored-mtime: %+v hashed=%d, want the (stale) hit", d, hashed)
+	tree, _, err := dirio.OpenTree(dir)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if m[0].Sum != md4.Sum([]byte(v2)) || m[0].Sum == md4.Sum([]byte(v3)) {
-		t.Fatal("restored-mtime: expected the stale cached sum")
+	ctimeAware := tree.Files()[0].CTime != 0
+	m, d, hashed = manifestDelta(t, dir, cache, fp, false)
+	if ctimeAware {
+		if d.Misses != 1 || d.Hits != 0 || hashed != int64(len(v3)) {
+			t.Fatalf("restored-mtime: %+v hashed=%d, want a ctime-keyed miss", d, hashed)
+		}
+		if m[0].Sum != md4.Sum([]byte(v3)) {
+			t.Fatal("restored-mtime: sum not refreshed after ctime-keyed miss")
+		}
+	} else {
+		if d.Hits != 1 || d.Misses != 0 || hashed != 0 {
+			t.Fatalf("restored-mtime: %+v hashed=%d, want the (stale) hit", d, hashed)
+		}
+		if m[0].Sum != md4.Sum([]byte(v2)) || m[0].Sum == md4.Sum([]byte(v3)) {
+			t.Fatal("restored-mtime: expected the stale cached sum")
+		}
 	}
 
-	// Paranoid mode streams the file on every hit and catches exactly this:
-	// the stale entry is rejected, recomputed and replaced.
+	// Paranoid mode streams the file on every hit. With a ctime-aware key
+	// the entry is already fresh, so the verify stream confirms it; without
+	// one this is where the stale entry is rejected, recomputed and replaced.
 	m, d, hashed = manifestDelta(t, dir, cache, fp, true)
-	if d.Misses != 1 || d.Hits != 0 {
-		t.Fatalf("paranoid: %+v, want the stale entry rejected", d)
-	}
-	if hashed != 2*int64(len(v3)) { // one verify stream + one recompute
-		t.Fatalf("paranoid: hashed %d bytes, want %d", hashed, 2*len(v3))
+	if ctimeAware {
+		if d.Hits != 1 || d.Misses != 0 {
+			t.Fatalf("paranoid: %+v, want a verified hit", d)
+		}
+		if hashed != int64(len(v3)) { // one verify stream, no recompute
+			t.Fatalf("paranoid: hashed %d bytes, want %d", hashed, len(v3))
+		}
+	} else {
+		if d.Misses != 1 || d.Hits != 0 {
+			t.Fatalf("paranoid: %+v, want the stale entry rejected", d)
+		}
+		if hashed != 2*int64(len(v3)) { // one verify stream + one recompute
+			t.Fatalf("paranoid: hashed %d bytes, want %d", hashed, 2*len(v3))
+		}
 	}
 	if m[0].Sum != md4.Sum([]byte(v3)) {
 		t.Fatal("paranoid: sum not corrected")

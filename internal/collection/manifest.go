@@ -125,6 +125,14 @@ const (
 	// reply; otherwise — or with a zero request — the descent runs
 	// byte-identically to a pre-extension session.
 	helloExtTree = 3
+	// helloExtMapMode requests a map-construction mode as a uvarint
+	// core.MapMode. The server is authoritative: it grants the request by
+	// running the session's engines in that mode and shipping the mode in
+	// the session config (an optional trailing config field), which is how
+	// the client learns the grant. Servers that predate the extension, or
+	// that refuse the mode, run recursive halving and ship the config
+	// without the trailing field — byte-identical to a legacy session.
+	helloExtMapMode = 4
 )
 
 // Tree-mode capability bits carried in helloExtTree and TREE_ACK.

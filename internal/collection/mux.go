@@ -188,6 +188,7 @@ func (s *Server) serveMux(ctx context.Context, sess *transport.Session, fr *wire
 			stm.costs.MatchesConfirmed += e.MatchesConfirmed
 			stm.costs.BlockHashesComputed += e.BlockHashesComputed
 			stm.costs.BytesHashed += e.BytesHashed
+			stm.costs.CDCChunks += e.CDCChunks
 		}
 		stm.costs.FalseCandidates = stm.costs.CandidatesFound - stm.costs.MatchesConfirmed
 		costs.Merge(&stm.costs)

@@ -227,7 +227,7 @@ func (s *Server) serveConn(ctx context.Context, sess *transport.Session, fr *wir
 	if err != nil {
 		return fail(fmt.Errorf("collection: missing manifest mode"))
 	}
-	announce, muxReq, treeCaps := parseHelloExtensions(hp)
+	announce, muxReq, treeCaps, mapMode := parseHelloExtensions(hp)
 	if role == rolePush {
 		// The remote side holds the newer data and plays the serving role;
 		// we consume the session and adopt the result.
@@ -256,31 +256,32 @@ func (s *Server) serveConn(ctx context.Context, sess *transport.Session, fr *wir
 	if muxReq > s.MuxStreams {
 		muxReq = s.MuxStreams // 0 when the server refuses multiplexing
 	}
-	return s.serveSession(ctx, sess, fr, fw, costs, fail, mode, announce, muxReq, treeCaps, st)
+	return s.serveSession(ctx, sess, fr, fw, costs, fail, mode, announce, muxReq, treeCaps, mapMode, st)
 }
 
 // parseHelloExtensions reads the optional extension trailer after the mode
 // byte and returns the announced version (-1: none), the requested mux
-// stream width (0: none), and the requested tree capabilities (masked to the
-// bits this server implements). A malformed trailer is treated as absent —
+// stream width (0: none), the requested tree capabilities (masked to the
+// bits this server implements), and the requested map-construction mode
+// (MapHalving: none). A malformed trailer is treated as absent —
 // extensions are an optimization hint, never a reason to fail a session.
-func parseHelloExtensions(hp *wire.Parser) (announce int64, mux int, treeCaps byte) {
+func parseHelloExtensions(hp *wire.Parser) (announce int64, mux int, treeCaps byte, mapMode core.MapMode) {
 	announce = int64(-1)
 	if hp.Remaining() == 0 {
-		return announce, 0, 0
+		return announce, 0, 0, core.MapHalving
 	}
 	n, err := hp.Uvarint()
 	if err != nil {
-		return announce, 0, 0
+		return announce, 0, 0, core.MapHalving
 	}
 	for i := uint64(0); i < n; i++ {
 		id, err := hp.Uvarint()
 		if err != nil {
-			return announce, mux, treeCaps
+			return announce, mux, treeCaps, mapMode
 		}
 		ext, err := hp.Bytes()
 		if err != nil {
-			return announce, mux, treeCaps
+			return announce, mux, treeCaps, mapMode
 		}
 		switch id {
 		case helloExtVersion:
@@ -298,9 +299,13 @@ func parseHelloExtensions(hp *wire.Parser) (announce int64, mux int, treeCaps by
 			if v, err := wire.NewParser(ext).Uvarint(); err == nil {
 				treeCaps = byte(v) & (treeCapSpec | treeCapCross)
 			}
+		case helloExtMapMode:
+			if v, err := wire.NewParser(ext).Uvarint(); err == nil {
+				mapMode = core.MapMode(v)
+			}
 		}
 	}
-	return announce, mux, treeCaps
+	return announce, mux, treeCaps, mapMode
 }
 
 // serveSession runs the serving role after the handshake header, checking
@@ -310,8 +315,22 @@ func parseHelloExtensions(hp *wire.Parser) (announce int64, mux int, treeCaps by
 // granted stream width (0: legacy lockstep session); a journal hit or a
 // session without sync engines falls back to legacy regardless. treeCaps is
 // the client's requested tree-mode capability mask (already limited to what
-// this server implements).
-func (s *Server) serveSession(ctx context.Context, sess *transport.Session, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, fail func(error) (*stats.Costs, error), mode byte, announce int64, mux int, treeCaps byte, st *sessTrace) (*stats.Costs, error) {
+// this server implements). mapMode is the client's requested
+// map-construction mode; granting it is this server's call, made here by
+// building the session config the engines (and the shipped config) use.
+func (s *Server) serveSession(ctx context.Context, sess *transport.Session, fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, fail func(error) (*stats.Costs, error), mode byte, announce int64, mux int, treeCaps byte, mapMode core.MapMode, st *sessTrace) (*stats.Costs, error) {
+	// The session config starts from the server's: a granted map mode is
+	// the only per-session deviation, and an unusable request (unknown
+	// mode, or chunker parameters the config cannot support) degrades to
+	// halving rather than failing the session.
+	sessCfg := s.cfg
+	if mapMode != core.MapHalving {
+		sessCfg.MapMode = mapMode
+		if sessCfg.Validate() != nil {
+			sessCfg.MapMode = core.MapHalving
+		}
+	}
+	st.setMode(sessCfg.MapMode)
 	// Accounting must start before sessionState so a first session's
 	// manifest build (cache misses, streamed hashing) is attributed to it.
 	acct := beginAccounting(s.source())
@@ -328,9 +347,9 @@ func (s *Server) serveSession(ctx context.Context, sess *transport.Session, fr *
 	var muxCounts []int
 	switch mode {
 	case modeManifest:
-		engines, jfiles, muxCounts, err = s.manifestHandshake(fr, fw, costs, src, serverManifest, sbuf, announce, mux, st)
+		engines, jfiles, muxCounts, err = s.manifestHandshake(fr, fw, costs, &sessCfg, src, serverManifest, sbuf, announce, mux, st)
 	case modeTree:
-		engines, muxCounts, err = s.treeHandshake(fr, fw, costs, src, mtree, sbuf, mux, treeCaps, st)
+		engines, muxCounts, err = s.treeHandshake(fr, fw, costs, &sessCfg, src, mtree, sbuf, mux, treeCaps, st)
 	default:
 		err = fmt.Errorf("collection: unknown manifest mode %d", mode)
 	}
@@ -341,6 +360,9 @@ func (s *Server) serveSession(ctx context.Context, sess *transport.Session, fr *
 		// Verdicts are out: the client is real and transfer has begun, so
 		// the handshake deadline no longer applies.
 		sess.SetPhaseDeadline(time.Time{})
+	}
+	if sessCfg.MapMode == core.MapCDC {
+		costs.FilesCDC += len(engines)
 	}
 	if len(muxCounts) > 0 {
 		// The MUX_ACK went out with the verdicts: stream-multiplexed phases
@@ -508,6 +530,7 @@ func (s *Server) serveSession(ctx context.Context, sess *transport.Session, fr *
 		costs.MatchesConfirmed += e.MatchesConfirmed
 		costs.BlockHashesComputed += e.BlockHashesComputed
 		costs.BytesHashed += e.BytesHashed
+		costs.CDCChunks += e.CDCChunks
 	}
 	costs.FalseCandidates = costs.CandidatesFound - costs.MatchesConfirmed
 	return costs, nil
@@ -555,7 +578,7 @@ func (s *Server) PushContext(ctx context.Context, conn io.ReadWriter) (*stats.Co
 		}
 		// Push receivers never request multiplexing or tree extensions, so
 		// none are granted.
-		return s.serveSession(ctx, nil, fr, fw, costs, fail, mode, -1, 0, 0, st)
+		return s.serveSession(ctx, nil, fr, fw, costs, fail, mode, -1, 0, 0, core.MapHalving, st)
 	}()
 	st.end(costs, err, fr, fw, sess.Stats())
 	return res, err
@@ -576,7 +599,7 @@ type journalFile struct {
 // precomputed journal delta replaces map construction entirely (journal
 // verdicts carry the payloads inline); any miss falls back to the normal
 // path and only appends the server's current version to the verdict frame.
-func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, serverManifest []ManifestEntry, vb *wire.Buffer, announce int64, mux int, st *sessTrace) ([]syncFile, []journalFile, []int, error) {
+func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, cfg *core.Config, src Source, serverManifest []ManifestEntry, vb *wire.Buffer, announce int64, mux int, st *sessTrace) ([]syncFile, []journalFile, []int, error) {
 	manifestRaw, err := fr.ExpectFrame(wire.FrameManifest)
 	if err != nil {
 		return nil, nil, nil, err
@@ -593,7 +616,7 @@ func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, c
 			// A journal hit runs no engines, so there is nothing to
 			// multiplex: no MUX_ACK, legacy session shape.
 			costs.JournalHits++
-			jfiles, err := s.journalVerdicts(fw, costs, manifest, vd, vb, st)
+			jfiles, err := s.journalVerdicts(fw, costs, cfg, manifest, vd, vb, st)
 			return nil, jfiles, nil, err
 		}
 		costs.JournalMisses++
@@ -604,7 +627,7 @@ func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, c
 		serverByPath[e.Path] = i
 	}
 	vb.Reset()
-	vb.Bytes(encodeConfig(&s.cfg))
+	vb.Bytes(encodeConfig(cfg))
 	vb.Uvarint(uint64(len(manifest)))
 	var engines []syncFile
 	seen := make(map[string]bool, len(manifest))
@@ -631,7 +654,7 @@ func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, c
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		eng, err := s.emitChangedVerdict(vb, src, e.Path, data, costs, &fullBytes)
+		eng, err := s.emitChangedVerdict(vb, cfg, src, e.Path, data, costs, &fullBytes)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -680,9 +703,9 @@ func (s *Server) manifestHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, c
 // (the journal verdict carries the delta payload inline), adds ride in the
 // new-files trailer, and the current version is appended. No engines run —
 // the whole transfer happens in this one frame plus the empty delta round.
-func (s *Server) journalVerdicts(fw *wire.FrameWriter, costs *stats.Costs, clientManifest []ManifestEntry, vd *store.Delta, vb *wire.Buffer, st *sessTrace) ([]journalFile, error) {
+func (s *Server) journalVerdicts(fw *wire.FrameWriter, costs *stats.Costs, cfg *core.Config, clientManifest []ManifestEntry, vd *store.Delta, vb *wire.Buffer, st *sessTrace) ([]journalFile, error) {
 	vb.Reset()
-	vb.Bytes(encodeConfig(&s.cfg))
+	vb.Bytes(encodeConfig(cfg))
 	vb.Uvarint(uint64(len(clientManifest)))
 	var jfiles []journalFile
 	fullBytes, deltaBytes := 0, 0
@@ -730,7 +753,7 @@ func (s *Server) journalVerdicts(fw *wire.FrameWriter, costs *stats.Costs, clien
 // tree capability mask; anything we grant is announced with a TREE_ACK sent
 // before the first TREE reply (same flush, no extra roundtrip). With caps ==
 // 0 the exchange is byte-identical to a pre-extension session.
-func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, src Source, mtree *merkle.TreeCache, vb *wire.Buffer, mux int, caps byte, st *sessTrace) ([]syncFile, []int, error) {
+func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs *stats.Costs, cfg *core.Config, src Source, mtree *merkle.TreeCache, vb *wire.Buffer, mux int, caps byte, st *sessTrace) ([]syncFile, []int, error) {
 	resp := merkle.NewResponderCached(mtree)
 	granted := caps & (treeCapSpec | treeCapCross)
 	resp.Speculative = granted&treeCapSpec != 0
@@ -785,7 +808,7 @@ func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs
 		return nil, nil, err
 	}
 	vb.Reset()
-	vb.Bytes(encodeConfig(&s.cfg))
+	vb.Bytes(encodeConfig(cfg))
 	vb.Uvarint(n)
 	var engines []syncFile
 	fullBytes := 0
@@ -819,7 +842,7 @@ func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs
 			// protocol is basis-agnostic, so the serving side is unchanged.
 			costs.FilesRebased++
 		}
-		eng, err := s.emitChangedVerdict(vb, src, path, data, costs, &fullBytes)
+		eng, err := s.emitChangedVerdict(vb, cfg, src, path, data, costs, &fullBytes)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -839,7 +862,7 @@ func (s *Server) treeHandshake(fr *wire.FrameReader, fw *wire.FrameWriter, costs
 // small files go whole, larger ones get a sync engine. The announced length
 // and the engine both come from the same data snapshot, so the two sides can
 // never disagree even if the underlying file mutates mid-session.
-func (s *Server) emitChangedVerdict(vb *wire.Buffer, src Source, path string, data []byte, costs *stats.Costs, fullBytes *int) (*core.ServerFile, error) {
+func (s *Server) emitChangedVerdict(vb *wire.Buffer, cfg *core.Config, src Source, path string, data []byte, costs *stats.Costs, fullBytes *int) (*core.ServerFile, error) {
 	if len(data) < s.cfg.MinBlockSize*2 {
 		vb.Byte(verdictFull)
 		comp := delta.Compress(data)
@@ -850,7 +873,7 @@ func (s *Server) emitChangedVerdict(vb *wire.Buffer, src Source, path string, da
 	}
 	vb.Byte(verdictSync)
 	vb.Uvarint(uint64(len(data)))
-	eng, err := core.NewServerFile(data, &s.cfg)
+	eng, err := core.NewServerFile(data, cfg)
 	if err != nil {
 		return nil, err
 	}

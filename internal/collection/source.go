@@ -120,7 +120,7 @@ func (s *TreeSource) Manifest() ([]ManifestEntry, error) {
 func (s *TreeSource) signatureFor(fi dirio.FileInfo) (*sigcache.Sig, error) {
 	var hashErr error
 	if s.cache != nil {
-		key := sigcache.Key{Path: fi.Path, Size: fi.Size, MTime: fi.MTime.UnixNano(), Fingerprint: s.fp}
+		key := sigcache.Key{Path: fi.Path, Size: fi.Size, MTime: fi.MTime.UnixNano(), CTime: fi.CTime, Fingerprint: s.fp}
 		var verify func(*sigcache.Sig) bool
 		if s.paranoid {
 			verify = func(sig *sigcache.Sig) bool {

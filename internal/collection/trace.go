@@ -4,6 +4,7 @@ import (
 	"log/slog"
 	"time"
 
+	"msync/internal/core"
 	"msync/internal/obs"
 	"msync/internal/stats"
 	"msync/internal/transport"
@@ -24,6 +25,7 @@ type sessTrace struct {
 	log  *slog.Logger
 	sid  uint64
 	side string // "client" or "server"
+	mode core.MapMode
 
 	// Current span.
 	phase  string
@@ -91,6 +93,15 @@ func (t *sessTrace) flush() {
 	t.down = 0
 }
 
+// setMode records the session's negotiated map-construction mode; spans
+// emitted from then on carry it. Nil-receiver safe like every other method.
+func (t *sessTrace) setMode(m core.MapMode) {
+	if t == nil {
+		return
+	}
+	t.mode = m
+}
+
 // emit stamps and sends one event.
 func (t *sessTrace) emit(e obs.Event) {
 	if t.tr == nil {
@@ -99,6 +110,9 @@ func (t *sessTrace) emit(e obs.Event) {
 	e.Time = time.Now()
 	e.Session = t.sid
 	e.Side = t.side
+	if t.mode != core.MapHalving {
+		e.Mode = t.mode.String()
+	}
 	t.tr.Emit(e)
 }
 

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// cdcConfig is DefaultConfig in CDC map-construction mode.
+func cdcConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MapMode = MapCDC
+	return cfg
+}
+
+func TestParseMapMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want MapMode
+	}{{"", MapHalving}, {"halving", MapHalving}, {"cdc", MapCDC}} {
+		got, err := ParseMapMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseMapMode(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseMapMode("bogus"); err == nil {
+		t.Error("ParseMapMode(bogus): no error")
+	}
+	if MapCDC.String() != "cdc" || MapHalving.String() != "halving" {
+		t.Errorf("String(): %q, %q", MapCDC, MapHalving)
+	}
+}
+
+func TestConfigValidateMapMode(t *testing.T) {
+	cfg := cdcConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("CDC default config invalid: %v", err)
+	}
+	cfg.MapMode = MapMode(7)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("unknown MapMode validated")
+	}
+}
+
+func TestSyncLocalCDCConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	old := textLike(rng, 100_000)
+	cur := mutate(old, 20, 50, rng)
+
+	res, err := SyncLocal(old, cur, cdcConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Output, cur) {
+		t.Fatal("reconstruction mismatch")
+	}
+	if res.Costs.FilesCDC != 1 {
+		t.Errorf("FilesCDC = %d, want 1", res.Costs.FilesCDC)
+	}
+	if res.Costs.CDCChunks == 0 {
+		t.Error("CDCChunks = 0, want > 0")
+	}
+	if total := res.Costs.Total(); total >= int64(len(cur)) {
+		t.Errorf("sync cost %d not below file size %d", total, len(cur))
+	}
+	t.Logf("cdc: %d bytes total, %d rounds, %d chunks hashed",
+		res.Costs.Total(), res.Rounds, res.Costs.CDCChunks)
+}
+
+func TestSyncLocalCDCEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	big := randBytes(rng, 60_000)
+	cases := [][2][]byte{
+		{nil, nil},
+		{nil, []byte("hello")},
+		{[]byte("hello"), nil},
+		{[]byte("hello"), []byte("world")},
+		{nil, big},       // no old file at all
+		{big, big},       // identical
+		{big[:100], big}, // tiny basis
+		{big, append([]byte("prefix-shift"), big...)}, // pure prefix insert
+	}
+	for i, c := range cases {
+		res, err := SyncLocal(c[0], c[1], cdcConfig())
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(res.Output, c[1]) {
+			t.Fatalf("case %d: mismatch", i)
+		}
+	}
+}
+
+// TestSyncLocalCDCDeterministic pins that a CDC session's wire output does
+// not depend on the worker count or the run (the shared-state invariant the
+// whole protocol rests on).
+func TestSyncLocalCDCDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	old := randBytes(rng, 150_000)
+	cur := mutate(old, 30, 200, rng)
+
+	var ref *LocalResult
+	for _, workers := range []int{1, 1, 4} {
+		cfg := cdcConfig()
+		cfg.Workers = workers
+		res, err := SyncLocal(old, cur, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.Costs.Total() != ref.Costs.Total() || res.Rounds != ref.Rounds {
+			t.Fatalf("workers=%d: %d bytes / %d rounds, want %d / %d",
+				workers, res.Costs.Total(), res.Rounds, ref.Costs.Total(), ref.Rounds)
+		}
+	}
+}
+
+// TestSyncLocalCDCShiftAdvantage demonstrates the point of the mode: under
+// insertion-heavy edits (every fixed block boundary after the first insert
+// shifts) CDC map construction transfers fewer total wire bytes than
+// recursive halving.
+func TestSyncLocalCDCShiftAdvantage(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	old := randBytes(rng, 256_000)
+	// A handful of small insertions sprinkled through the file: almost all
+	// content survives, but every fixed boundary downstream of the first
+	// insertion is misaligned.
+	cur := append([]byte(nil), old...)
+	for i := 0; i < 8; i++ {
+		pos := (i + 1) * len(cur) / 10
+		ins := randBytes(rng, 3)
+		cur = append(cur[:pos], append(ins, cur[pos:]...)...)
+	}
+
+	halving, err := SyncLocal(old, cur, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdcRes, err := SyncLocal(old, cur, cdcConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("halving: %d bytes / %d rounds; cdc: %d bytes / %d rounds",
+		halving.Costs.Total(), halving.Rounds, cdcRes.Costs.Total(), cdcRes.Rounds)
+	if cdcRes.Costs.Total() >= halving.Costs.Total() {
+		t.Errorf("cdc total %d not below halving total %d on shift-heavy edits",
+			cdcRes.Costs.Total(), halving.Costs.Total())
+	}
+}

@@ -3,8 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/bits"
+	"sort"
 
 	"msync/internal/bitio"
+	"msync/internal/cdc"
 	"msync/internal/delta"
 	"msync/internal/gtest"
 	"msync/internal/md4"
@@ -32,6 +35,9 @@ type ClientFile struct {
 	altNext  []int
 
 	awaitConfirm bool
+
+	// CDCChunks counts content-defined chunks hashed in MapCDC rounds.
+	CDCChunks int64
 
 	// Round-scratch buffers reused across AbsorbHashes calls. candArena
 	// backs every per-entry candidate slice (fixed stride, so concurrent
@@ -197,6 +203,9 @@ func (c *ClientFile) finalizeRound() {
 // round from the piggybacked confirm bits, derives the same plan as the
 // server, reads the hashes, and searches fOld for candidates.
 func (c *ClientFile) AbsorbHashes(payload []byte) error {
+	if c.cfg.MapMode == MapCDC {
+		return c.absorbHashesCDC(payload)
+	}
 	r := bitio.NewReader(payload)
 	if err := c.finalizePending(r); err != nil {
 		return err
@@ -314,6 +323,262 @@ func (c *ClientFile) AbsorbHashes(payload []byte) error {
 		c.altNext = append(c.altNext, 0)
 	}
 	return nil
+}
+
+// absorbHashesCDC processes a CDC round's hash section (see emitHashesCDC
+// for the layout): it derives the same probe plan and chunk regions from
+// shared state, rebuilds the server's chunk entries from the transmitted
+// lengths — validating that they tile each region exactly — then chunks its
+// own old file at the same parameters and matches the received truncated
+// hashes by exact (length, hash) lookup. Candidate offsets come out in
+// ascending old-file order, so the reply is deterministic and the
+// retry-alternate machinery works unchanged.
+func (c *ClientFile) absorbHashesCDC(payload []byte) error {
+	r := bitio.NewReader(payload)
+	if err := c.finalizePending(r); err != nil {
+		return err
+	}
+	if c.done {
+		return fmt.Errorf("%w: hashes for a finished file", ErrProtocol)
+	}
+	p, regions := c.cdcPlanBase()
+	nProbes := len(p.entries)
+	params := c.cfg.cdcParams(c.b)
+	lenBits := uint(bits.Len(uint(params.Max - params.Min)))
+	hb := c.cfg.cdcHashBits(c.n, c.b)
+	var mapBits int64
+	for _, g := range regions {
+		count := 1
+		if cb := cdcCountBits(g.end-g.start, params.Min); cb > 0 {
+			v, err := r.ReadBits(cb)
+			if err != nil {
+				return fmt.Errorf("core: cdc chunk count: %w", err)
+			}
+			count = int(v) + 1
+			mapBits += int64(cb)
+		}
+		start := g.start
+		for i := 0; i < count; i++ {
+			l := g.end - start // a region's last chunk runs to its end
+			if i < count-1 {
+				v, err := r.ReadBits(lenBits)
+				if err != nil {
+					return fmt.Errorf("core: cdc chunk lengths: %w", err)
+				}
+				l = int(v) + params.Min
+				mapBits += int64(lenBits)
+			}
+			if l <= 0 || l > params.Max || start+l > g.end {
+				return fmt.Errorf("%w: cdc chunk length %d does not tile region [%d,%d)", ErrProtocol, l, g.start, g.end)
+			}
+			p.entries = append(p.entries, entry{
+				kind: kGlobal, bits: uint8(hb),
+				blockIdx: -1, off: start, size: l,
+				matchIdx: -1, matchIdx2: -1,
+			})
+			start += l
+		}
+	}
+	c.plan = p
+	c.roundBits += mapBits + int64(len(p.entries)-nProbes)*int64(hb)
+
+	// A region's first and last chunks start/end at confirmed cover edges —
+	// positions the old-file chunking almost never cuts at — so exact chunk
+	// lookup cannot find them. But the match adjacent to the enclosing gap
+	// predicts where such an edge chunk continues in fOld, exactly like a
+	// continuation probe. Candidate discovery is client-local (the server
+	// only ever sees the bitmap), so this extra check costs no wire bytes
+	// and keeps the plans identical on both sides.
+	type edgePred struct{ mi1, mi2 int }
+	preds := make(map[int]edgePred)
+	{
+		gs := c.gaps()
+		gi := 0
+		ei := nProbes
+		for _, reg := range regions {
+			for gi < len(gs) && gs[gi].end < reg.end {
+				gi++
+			}
+			first, last := -1, -1
+			for ; ei < len(p.entries) && p.entries[ei].off < reg.end; ei++ {
+				if first < 0 {
+					first = ei
+				}
+				last = ei
+			}
+			if first < 0 || gi >= len(gs) {
+				continue
+			}
+			if mi := c.matchEndingAt(gs[gi].start); mi >= 0 {
+				ep := preds[first]
+				ep.mi1 = mi + 1 // store 1-based; zero value means "none"
+				preds[first] = ep
+			}
+			if mi := c.matchStartingAt(gs[gi].end); mi >= 0 {
+				ep := preds[last]
+				ep.mi2 = mi + 1
+				preds[last] = ep
+			}
+		}
+	}
+
+	// Index the old file's chunks at the same parameters by (length,
+	// truncated hash). Offsets are appended in file order, so candidate
+	// alternates are ascending — the same tie-break the halving scan uses.
+	type ckey struct {
+		size int
+		hash uint64
+	}
+	var index map[ckey][]int32
+	var cuts []int
+	if len(c.fOld) > 0 && len(p.entries) > nProbes {
+		var err error
+		cuts, err = cdc.CutsE(c.fOld, params)
+		if err != nil {
+			panic("core: validated config yielded bad cdc params: " + err.Error())
+		}
+		index = make(map[ckey][]int32, len(cuts))
+		start := 0
+		for _, cut := range cuts {
+			h := rolling.Truncate(c.fam.Hash(c.fOld[start:cut]), hb)
+			index[ckey{cut - start, h}] = append(index[ckey{cut - start, h}], int32(start))
+			start = cut
+		}
+		c.CDCChunks += int64(len(cuts))
+	}
+
+	// Candidate scratch, carved exactly like the halving path so rounds
+	// reuse one arena block.
+	ne := len(p.entries)
+	maxAlt := c.cfg.MaxAlternates
+	if maxAlt < 1 {
+		maxAlt = 1
+	}
+	stride := maxAlt
+	if stride < 2 {
+		stride = 2 // continuation probes may record two predicted positions
+	}
+	if cap(c.scratchCands) < ne {
+		c.scratchCands = make([][]int32, ne)
+	}
+	if cap(c.candArena) < ne*stride {
+		c.candArena = make([]int32, ne*stride)
+	}
+	cands := c.scratchCands[:ne]
+	arena := c.candArena[:ne*stride]
+	for i := range cands {
+		cands[i] = nil
+	}
+	for i := range p.entries {
+		e := &p.entries[i]
+		raw, err := r.ReadBits(uint(e.bits))
+		if err != nil {
+			return fmt.Errorf("core: cdc round hashes: %w", err)
+		}
+		dst := arena[i*stride : i*stride : i*stride+stride]
+		if e.kind == kProbe {
+			cands[i] = c.probeCandidates(e, raw, dst)
+			continue
+		}
+		if ep, ok := preds[i]; ok {
+			// Edge chunk: try the collinear continuation position(s) first —
+			// they are the most likely source, so they get the first verify.
+			// If an edit inside the adjacent probe range shifted the
+			// continuation, the chunk still starts/ends at a content cut in
+			// fOld, so also try cut-anchored positions near the prediction
+			// (the CDC analog of local hashes).
+			pe := *e
+			pe.matchIdx, pe.matchIdx2 = ep.mi1-1, ep.mi2-1
+			dst = c.probeCandidates(&pe, raw, dst)
+			dst = c.cutAnchoredCandidates(&pe, raw, cuts, dst)
+		}
+		for _, a := range index[ckey{e.size, raw}] {
+			if len(dst) >= maxAlt {
+				break
+			}
+			dup := false
+			for _, d := range dst {
+				if d == a {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				dst = append(dst, a)
+			}
+		}
+		if len(dst) > 0 {
+			cands[i] = dst
+		}
+	}
+
+	c.candEntries = c.candEntries[:0]
+	c.candOff = c.candOff[:0]
+	c.candAlts = c.candAlts[:0]
+	for i := range p.entries {
+		if len(cands[i]) > 0 {
+			c.candEntries = append(c.candEntries, i)
+			c.candOff = append(c.candOff, int(cands[i][0]))
+			c.candAlts = append(c.candAlts, cands[i])
+		}
+	}
+	c.altNext = c.altNext[:0]
+	for range c.candEntries {
+		c.altNext = append(c.altNext, 0)
+	}
+	return nil
+}
+
+// cutAnchoredCandidates tries cut-anchored source positions for a CDC
+// region-edge chunk whose collinear prediction may be off by a small shift:
+// a first chunk (matchIdx) ends at a content cut, so old-file cuts near the
+// predicted end are tried as chunk ends; a last chunk (matchIdx2) starts at
+// one, so cuts near the predicted start are tried as chunk starts. The
+// neighborhood is LocalRadius, mirroring local hashes. Appends into the
+// caller's arena-backed dst (bounded by its capacity), deduplicating.
+func (c *ClientFile) cutAnchoredCandidates(e *entry, val uint64, cuts []int, dst []int32) []int32 {
+	if len(cuts) == 0 {
+		return dst
+	}
+	radius := c.cfg.LocalRadius
+	if radius <= 0 {
+		radius = 256
+	}
+	try := func(start int) {
+		if start < 0 || start+e.size > len(c.fOld) || len(dst) == cap(dst) {
+			return
+		}
+		for _, p := range dst {
+			if int(p) == start {
+				return
+			}
+		}
+		if rolling.Truncate(c.fam.Hash(c.fOld[start:start+e.size]), uint(e.bits)) == val {
+			dst = append(dst, int32(start))
+		}
+	}
+	forCutsNear := func(target int, f func(cut int)) {
+		lo := sort.SearchInts(cuts, target-radius)
+		for j := lo; j < len(cuts) && cuts[j] <= target+radius; j++ {
+			f(cuts[j])
+		}
+	}
+	if mi := e.matchIdx; mi >= 0 {
+		m := c.matches[mi]
+		end := m.clientOff + (e.off - m.serverOff) + e.size
+		forCutsNear(end, func(cut int) { try(cut - e.size) })
+	}
+	if mi := e.matchIdx2; mi >= 0 {
+		m := c.matches[mi]
+		start := m.clientOff + (e.off - m.serverOff)
+		// Cut offsets are chunk ends, which are exactly the later chunks'
+		// starts; offset 0 is a start too.
+		if start-radius <= 0 && 0 <= start+radius {
+			try(0)
+		}
+		forCutsNear(start, func(cut int) { try(cut) })
+	}
+	return dst
 }
 
 // scanMinShard is the floor on window positions per scan shard; below two

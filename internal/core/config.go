@@ -17,9 +17,50 @@ import (
 	"fmt"
 	"math/bits"
 
+	"msync/internal/cdc"
 	"msync/internal/gtest"
 	"msync/internal/rolling"
 )
+
+// MapMode selects the map-construction strategy of a session.
+type MapMode int
+
+const (
+	// MapHalving is the paper's recursive halving: fixed power-of-two block
+	// boundaries split in half each round. The default, and the only mode
+	// legacy peers understand.
+	MapHalving MapMode = 0
+	// MapCDC derives block boundaries from content-defined chunk cuts
+	// (internal/cdc) instead of fixed offsets. Insertions and deletions
+	// perturb only nearby chunks, so shift-heavy edits keep matching;
+	// the trade-off is that chunk lengths must travel with the hashes.
+	MapCDC MapMode = 1
+)
+
+// String names the mode the way ParseMapMode accepts it.
+func (m MapMode) String() string {
+	switch m {
+	case MapHalving:
+		return "halving"
+	case MapCDC:
+		return "cdc"
+	default:
+		return fmt.Sprintf("mapmode(%d)", int(m))
+	}
+}
+
+// ParseMapMode parses a mode name as accepted by the -map-mode flag:
+// "halving" (or "") and "cdc".
+func ParseMapMode(s string) (MapMode, error) {
+	switch s {
+	case "", "halving":
+		return MapHalving, nil
+	case "cdc":
+		return MapCDC, nil
+	default:
+		return 0, fmt.Errorf("core: unknown map mode %q (want halving or cdc)", s)
+	}
+}
 
 // Config tunes the synchronization protocol. The zero value is not valid;
 // start from DefaultConfig or BasicConfig.
@@ -82,6 +123,12 @@ type Config struct {
 	// is purely a local execution knob — wire output is bit-identical for
 	// every value, and it is never serialized into the protocol config.
 	Workers int
+	// MapMode selects the map-construction strategy: MapHalving (default,
+	// the paper's recursive halving) or MapCDC (content-defined chunk
+	// boundaries). At the collection layer the mode is negotiated per
+	// session via a hello extension; it is serialized into the protocol
+	// config only when nonzero, so legacy sessions stay byte-identical.
+	MapMode MapMode
 }
 
 // DefaultConfig enables all the paper's techniques with its best practical
@@ -173,7 +220,101 @@ func (c *Config) Validate() error {
 	if _, err := rolling.FamilyByName(c.HashFamily); err != nil {
 		return err
 	}
+	switch c.MapMode {
+	case MapHalving:
+	case MapCDC:
+		// Probe the chunker with the largest and smallest scheduled chunk
+		// sizes so an unusable derived Params surfaces here as the cdc
+		// package's typed error (the negotiation path reports it verbatim).
+		for _, avg := range []int{c.cdcInitialAvg(c.MaxBlockSize * 2), c.cdcFloor()} {
+			if _, err := cdc.CutsE(nil, c.cdcParams(avg)); err != nil {
+				return fmt.Errorf("core: MapCDC schedule unusable at avg %d: %w", avg, err)
+			}
+		}
+	default:
+		return fmt.Errorf("core: unknown MapMode %d", int(c.MapMode))
+	}
 	return nil
+}
+
+// cdcFloor is the smallest average chunk size the CDC schedule chunks at.
+// Exact (length, hash) chunk lookup confines collisions to the ~n/avg old
+// chunks of equal length — not the n window positions a halving-mode scan
+// visits — so CDC can afford one level below the halving global floor
+// (MinBlockSize/2). The hard limit is Avg = 64: the chunker needs
+// Min > its 48-byte rolling window (Min is clamped to 49 at small averages).
+// Below the floor, rounds continue probe-only down to ContMinBlock (see
+// cdcMinSchedule), like halving below MinBlockSize.
+func (c *Config) cdcFloor() int {
+	f := c.MinBlockSize / 2
+	if f < 64 {
+		f = 64
+	}
+	return f
+}
+
+// cdcMinSchedule is the smallest per-round size the CDC schedule reaches:
+// the chunking floor, or the continuation-probe minimum when that is smaller.
+func (c *Config) cdcMinSchedule() int {
+	if c.ContMinBlock > 0 && c.ContMinBlock < c.cdcFloor() {
+		return c.ContMinBlock
+	}
+	return c.cdcFloor()
+}
+
+// cdcInitialAvg picks the starting average chunk size for a file of length
+// n: the halving schedule's initial block size, clamped up to the CDC floor.
+func (c *Config) cdcInitialAvg(n int) int {
+	avg := c.initialBlockSize(n)
+	if avg < c.cdcFloor() {
+		avg = c.cdcFloor()
+	}
+	return avg
+}
+
+// cdcHashBits returns the width of a chunk hash for average chunk size avg in
+// a file of length n. A chunk hash is compared only against old chunks of the
+// exact same length — a handful out of the ~n/avg old chunks, spread across
+// roughly avg distinct lengths — instead of the n sliding positions a
+// halving-mode global hash must survive. That shrinks the collision domain by
+// a factor of ~n/(n/avg/avg) and removes the need for most of the usual
+// 2*log2(n/b)+slack width: log2(avg) for the position count, and ~8 more for
+// the per-length spread. A rare false candidate is cheap — group-testing
+// verification rejects it and the alternate list retries. The usual floor and
+// ceiling still apply.
+func (c *Config) cdcHashBits(n, avg int) uint {
+	h := c.hashBits(n, avg)
+	cut := uint(bits.Len(uint(avg))-1) + 8
+	if h > cut && h-cut > c.MinHashBits {
+		h -= cut
+	} else {
+		h = c.MinHashBits
+	}
+	return h
+}
+
+// cdcCountBits is the width of a region's chunk-count field. Every chunk but
+// a region's last is at least min long, so a region of regionLen bytes splits
+// into at most ceil(regionLen/min) chunks; count-1 is what travels. Both
+// sides derive the width from the shared region geometry.
+func cdcCountBits(regionLen, min int) uint {
+	maxCount := (regionLen + min - 1) / min
+	if maxCount <= 1 {
+		return 0
+	}
+	return uint(bits.Len(uint(maxCount - 1)))
+}
+
+// cdcParams derives the chunker parameters for one CDC round from its
+// average chunk size (a power of two >= cdcFloor). Min is Avg/4 but never at
+// or below the chunker's 48-byte rolling window, which keeps small averages
+// (64, 128) usable.
+func (c *Config) cdcParams(avg int) cdc.Params {
+	mn := avg / 4
+	if mn <= 48 {
+		mn = 49
+	}
+	return cdc.Params{Min: mn, Avg: avg, Max: avg * 4}
 }
 
 // hashFamily resolves the configured hash family (validated configs only).

@@ -170,6 +170,10 @@ func syncLocal(ctx context.Context, fOld, fNew []byte, cfg Config, tr obs.Tracer
 	res.Output = out
 	res.RoundDetails = srv.Rounds()
 	res.Costs.FilesSynced = 1
+	if cfg.MapMode == MapCDC {
+		res.Costs.FilesCDC = 1
+		res.Costs.CDCChunks = srv.CDCChunks + cli.CDCChunks
+	}
 	res.Costs.HashesSent = srv.HashesSent
 	res.Costs.CandidatesFound = srv.CandidatesSeen
 	res.Costs.MatchesConfirmed = srv.MatchesConfirmed

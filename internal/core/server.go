@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"msync/internal/bitio"
+	"msync/internal/cdc"
 	"msync/internal/delta"
 	"msync/internal/gtest"
 	"msync/internal/md4"
@@ -41,6 +43,8 @@ type ServerFile struct {
 	// the hash function for them.
 	BlockHashesComputed int64
 	BytesHashed         int64
+	// CDCChunks counts content-defined chunks hashed in MapCDC rounds.
+	CDCChunks int64
 }
 
 // NewServerFile starts the server engine for one file.
@@ -120,6 +124,9 @@ func PrecomputeSignature(data []byte, cfg *Config) (*sigcache.Sig, error) {
 // EmitHashes builds the round plan and writes the round's hash section:
 // pending confirm bits followed by one hash per planned entry.
 func (s *ServerFile) EmitHashes() []byte {
+	if s.cfg.MapMode == MapCDC {
+		return s.emitHashesCDC()
+	}
 	w := bitio.NewWriter(64)
 	for _, r := range s.pendingConfirm {
 		w.WriteBit(r)
@@ -163,6 +170,72 @@ func (s *ServerFile) EmitHashes() []byte {
 		}
 	}
 	s.HashesSent += int64(len(s.plan.entries))
+	return w.Bytes()
+}
+
+// emitHashesCDC writes a CDC round's hash section: pending confirm bits;
+// then — per chunk region (uncovered gaps minus this round's probe ranges,
+// in file order) — the content-defined chunk lengths of the region's bytes;
+// then one truncated hash per plan entry (continuation probes at ContBits,
+// chunks at the round's global width). Probes derive from shared state
+// exactly as in halving rounds, but chunk boundaries depend on server
+// content, so the chunk structure itself travels in the payload; the client
+// rebuilds the identical plan from the lengths (absorbHashesCDC) and
+// everything downstream — candidate bitmap, group-testing verification,
+// retry alternates, delta — is shared code.
+func (s *ServerFile) emitHashesCDC() []byte {
+	w := bitio.NewWriter(64)
+	for _, r := range s.pendingConfirm {
+		w.WriteBit(r)
+	}
+	s.pendingConfirm = nil
+
+	p, regions := s.cdcPlanBase()
+	nProbes := len(p.entries)
+	params := s.cfg.cdcParams(s.b)
+	lenBits := uint(bits.Len(uint(params.Max - params.Min)))
+	hb := s.cfg.cdcHashBits(s.n, s.b)
+	var mapBits int64
+	for _, g := range regions {
+		cuts, err := cdc.CutsE(s.fNew[g.start:g.end], params)
+		if err != nil {
+			panic("core: validated config yielded bad cdc params: " + err.Error())
+		}
+		// Chunk lengths travel biased by Min (every chunk but a region's last
+		// is at least Min long), and the last length not at all — it is
+		// implied by the region end the client already knows, once the count
+		// field says how many lengths to expect.
+		if cb := cdcCountBits(g.end-g.start, params.Min); cb > 0 {
+			w.WriteBits(uint64(len(cuts)-1), cb)
+			mapBits += int64(cb)
+		}
+		start := g.start
+		for i, cut := range cuts {
+			end := g.start + cut
+			if i < len(cuts)-1 {
+				w.WriteBits(uint64(end-start-params.Min), lenBits)
+				mapBits += int64(lenBits)
+			}
+			p.entries = append(p.entries, entry{
+				kind: kGlobal, bits: uint8(hb),
+				blockIdx: -1, off: start, size: end - start,
+				matchIdx: -1, matchIdx2: -1,
+			})
+			start = end
+		}
+	}
+	for i := range p.entries {
+		e := &p.entries[i]
+		full := s.fam.Hash(s.fNew[e.off : e.off+e.size])
+		s.BlockHashesComputed++
+		s.BytesHashed += int64(e.size)
+		w.WriteBits(rolling.Truncate(full, uint(e.bits)), uint(e.bits))
+	}
+	nChunks := len(p.entries) - nProbes
+	s.CDCChunks += int64(nChunks)
+	s.HashesSent += int64(len(p.entries))
+	s.roundBits += mapBits + int64(nChunks)*int64(hb)
+	s.plan = p
 	return w.Bytes()
 }
 

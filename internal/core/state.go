@@ -108,6 +108,14 @@ type state struct {
 	lastProbeRanges     []interval
 	lastPhaseAConfirmed []interval
 
+	// CDC dead-zone pruning: cdcMiss holds the intervals of last round's
+	// chunks that drew no candidate at all; cdcDead accumulates intervals
+	// that missed at two consecutive levels — almost certainly new content —
+	// which later rounds stop re-chunking (the delta phase ships them).
+	// Both derive from the shared candidate bitmap, so the two sides agree.
+	cdcMiss []interval
+	cdcDead []interval
+
 	// bitsSpent accumulates map-phase wire bits for this file, maintained
 	// identically on both sides (used by the adaptive stop and reporting).
 	bitsSpent      int64
@@ -135,6 +143,13 @@ func (st *state) initState(cfg *Config, n int) {
 	if st.b < cfg.MinBlockSize || n < cfg.MinBlockSize {
 		// Too small for map construction; straight to delta.
 		st.done = true
+		return
+	}
+	if cfg.MapMode == MapCDC {
+		// CDC mode has no fixed splitting tree: st.b doubles as the round's
+		// average chunk size, and boundaries are rediscovered from content
+		// each round (emit/absorbHashesCDC). No blocks to prebuild.
+		st.b = cfg.cdcInitialAvg(n)
 		return
 	}
 	for off := 0; off < n; off += st.b {
@@ -277,53 +292,7 @@ func (st *state) buildPlan() *plan {
 		probeRanges = append(probeRanges, st.lastProbeRanges...)
 	}
 	if !st.phaseB && st.cfg.ContMinBlock > 0 && st.b >= st.cfg.ContMinBlock && len(st.matches) > 0 {
-		for _, g := range st.gaps() {
-			glen := g.end - g.start
-			size := st.b
-			if size > glen {
-				size = glen
-			}
-			wholeGap := size == glen
-			// Right-extension probe of the region ending at g.start.
-			if g.start > 0 {
-				if mi := st.matchEndingAt(g.start); mi >= 0 && st.allowProbe(g.start, false, size) {
-					e := entry{
-						kind: kProbe, bits: uint8(st.cfg.ContBits),
-						off: g.start, size: size,
-						matchIdx: mi, matchIdx2: -1,
-						probeLeft: false, edgeOff: g.start,
-					}
-					if wholeGap && g.end < st.n {
-						if mi2 := st.matchStartingAt(g.end); mi2 >= 0 {
-							e.matchIdx2 = mi2
-						}
-					}
-					p.entries = append(p.entries, e)
-					probeRanges = append(probeRanges, interval{e.off, e.off + e.size})
-					if wholeGap {
-						continue // one probe covers the whole gap
-					}
-				}
-			}
-			// Left-extension probe of the region starting at g.end.
-			if g.end < st.n {
-				if mi := st.matchStartingAt(g.end); mi >= 0 && st.allowProbe(g.end, true, size) {
-					e := entry{
-						kind: kProbe, bits: uint8(st.cfg.ContBits),
-						off: g.end - size, size: size,
-						matchIdx: mi, matchIdx2: -1,
-						probeLeft: true, edgeOff: g.end,
-					}
-					if wholeGap && g.start > 0 {
-						if mi2 := st.matchEndingAt(g.start); mi2 >= 0 {
-							e.matchIdx2 = mi2
-						}
-					}
-					p.entries = append(p.entries, e)
-					probeRanges = append(probeRanges, interval{e.off, e.off + e.size})
-				}
-			}
-		}
+		probeRanges = st.planProbes(p, probeRanges)
 	}
 
 	// Two-phase rounds: if this is the probe half and probes exist, stop
@@ -412,6 +381,120 @@ func (st *state) buildPlan() *plan {
 	return p
 }
 
+// planProbes appends continuation-probe entries at cover-interval edges to p
+// and returns probeRanges extended with their server ranges. The logic is
+// mode-agnostic: it derives purely from shared state (gaps, matches, failure
+// bookkeeping), so both halving and CDC rounds reuse it and both sides derive
+// identical probe plans.
+func (st *state) planProbes(p *plan, probeRanges []interval) []interval {
+	for _, g := range st.gaps() {
+		glen := g.end - g.start
+		size := st.b
+		if size > glen {
+			size = glen
+		}
+		wholeGap := size == glen
+		// Right-extension probe of the region ending at g.start.
+		if g.start > 0 {
+			if mi := st.matchEndingAt(g.start); mi >= 0 && st.allowProbe(g.start, false, size) {
+				e := entry{
+					kind: kProbe, bits: uint8(st.cfg.ContBits),
+					off: g.start, size: size,
+					matchIdx: mi, matchIdx2: -1,
+					probeLeft: false, edgeOff: g.start,
+				}
+				if wholeGap && g.end < st.n {
+					if mi2 := st.matchStartingAt(g.end); mi2 >= 0 {
+						e.matchIdx2 = mi2
+					}
+				}
+				p.entries = append(p.entries, e)
+				probeRanges = append(probeRanges, interval{e.off, e.off + e.size})
+				if wholeGap {
+					continue // one probe covers the whole gap
+				}
+			}
+		}
+		// Left-extension probe of the region starting at g.end.
+		if g.end < st.n {
+			if mi := st.matchStartingAt(g.end); mi >= 0 && st.allowProbe(g.end, true, size) {
+				e := entry{
+					kind: kProbe, bits: uint8(st.cfg.ContBits),
+					off: g.end - size, size: size,
+					matchIdx: mi, matchIdx2: -1,
+					probeLeft: true, edgeOff: g.end,
+				}
+				if wholeGap && g.start > 0 {
+					if mi2 := st.matchEndingAt(g.start); mi2 >= 0 {
+						e.matchIdx2 = mi2
+					}
+				}
+				p.entries = append(p.entries, e)
+				probeRanges = append(probeRanges, interval{e.off, e.off + e.size})
+			}
+		}
+	}
+	return probeRanges
+}
+
+// cdcPlanBase starts a CDC round plan: continuation probes first (shared
+// derivation, same as halving rounds), then the chunk regions — each gap minus
+// the ranges probed this round. Chunk boundaries inside those regions are
+// content-defined, so only the server can compute them; the caller fills in
+// the chunk entries (server from fNew, client from the received lengths).
+// Probe payload bits are accounted here; chunk bits by the caller.
+func (st *state) cdcPlanBase() (*plan, []interval) {
+	p := &plan{b: st.b}
+	var probeRanges []interval
+	if st.cfg.ContMinBlock > 0 && st.b >= st.cfg.ContMinBlock && len(st.matches) > 0 {
+		probeRanges = st.planProbes(p, probeRanges)
+	}
+	for _, e := range p.entries {
+		st.roundBits += int64(e.bits)
+	}
+	var regions []interval
+	if st.b >= st.cfg.cdcFloor() {
+		skip := probeRanges
+		if len(st.cdcDead) > 0 {
+			skip = append(append([]interval(nil), probeRanges...), st.cdcDead...)
+		}
+		for _, g := range st.gaps() {
+			for _, r := range subtractIntervals(g, skip) {
+				// Chunking a region shorter than two average chunks yields
+				// one or two edge-bounded chunks that rarely match; the next
+				// round's probes cover such remnants more cheaply.
+				if r.end-r.start >= 2*st.b {
+					regions = append(regions, r)
+				}
+			}
+		}
+	}
+	return p, regions
+}
+
+// subtractIntervals returns the parts of g not covered by any of ivs.
+// ivs need not be sorted or disjoint.
+func subtractIntervals(g interval, ivs []interval) []interval {
+	out := []interval{g}
+	for _, iv := range ivs {
+		var next []interval
+		for _, o := range out {
+			if iv.end <= o.start || o.end <= iv.start {
+				next = append(next, o)
+				continue
+			}
+			if o.start < iv.start {
+				next = append(next, interval{o.start, iv.start})
+			}
+			if iv.end < o.end {
+				next = append(next, interval{iv.end, o.end})
+			}
+		}
+		out = next
+	}
+	return out
+}
+
 func overlapsAny(ivs []interval, start, end int) bool {
 	for _, iv := range ivs {
 		if start < iv.end && iv.start < end {
@@ -495,7 +578,46 @@ func (st *state) finishRound(confirmed []bool, confirmedOff []int) {
 			clientOff: confirmedOff[ci],
 		})
 	}
-	_ = candSet
+	if st.cfg.MapMode == MapCDC {
+		// Dead-zone bookkeeping: coalesce this round's candidate-less chunks
+		// (they tile regions, so adjacent ones merge into maximal runs); any
+		// run fully inside a run that already missed last level is declared
+		// dead. Chunk boundaries do not nest across levels, so the sub-level
+		// containment check needs the merged runs, not individual chunks.
+		var miss []interval
+		for ei := range p.entries {
+			e := &p.entries[ei]
+			if e.kind != kGlobal {
+				continue
+			}
+			if _, ok := candSet[ei]; ok {
+				continue
+			}
+			iv := interval{e.off, e.off + e.size}
+			if k := len(miss) - 1; k >= 0 && miss[k].end == iv.start {
+				miss[k].end = iv.end
+			} else {
+				miss = append(miss, iv)
+			}
+		}
+		for _, iv := range miss {
+			// Only long runs qualify: a chunk holding a single edit misses at
+			// every level until the level isolates the edit, so short misses
+			// must keep descending. A run of >= 16 chunk-widths that missed at
+			// two consecutive levels means dozens of independent chunk lookups
+			// all failed — that is new content, not misalignment.
+			if iv.end-iv.start < 12*st.b {
+				continue
+			}
+			for _, prev := range st.cdcMiss {
+				if prev.start <= iv.start && iv.end <= prev.end {
+					st.cdcDead = append(st.cdcDead, iv)
+					break
+				}
+			}
+		}
+		st.cdcMiss = miss
+	}
 	st.coverCache = nil // cover dirty
 
 	// Adaptive early stop.
@@ -551,6 +673,15 @@ func (st *state) finishRound(confirmed []bool, confirmedOff []int) {
 			if probeConfirmed[ei] {
 				st.lastPhaseAConfirmed = append(st.lastPhaseAConfirmed, interval{e.off, e.off + e.size})
 			}
+		}
+	} else if st.cfg.MapMode == MapCDC {
+		// CDC schedule: halve the average chunk size each round. Below the
+		// chunking floor rounds continue probe-only (extending confirmed
+		// regions byte-accurately) down to the continuation minimum, exactly
+		// as halving does below MinBlockSize.
+		st.b /= 2
+		if st.b < st.cfg.cdcMinSchedule() {
+			st.done = true
 		}
 	} else {
 		st.phaseB = false

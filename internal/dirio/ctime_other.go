@@ -1,0 +1,10 @@
+//go:build !linux && !darwin
+
+package dirio
+
+import "io/fs"
+
+// ctimeOf reports 0 on platforms whose stat does not expose an inode change
+// time; the signature cache then falls back to the size+mtime key (with
+// paranoid mode as the stale-hit backstop).
+func ctimeOf(fs.FileInfo) int64 { return 0 }

@@ -136,6 +136,11 @@ type FileInfo struct {
 	Size int64
 	// MTime is the modification time at walk time.
 	MTime time.Time
+	// CTime is the inode change time in Unix nanoseconds at walk time, 0
+	// when the platform does not report one. Unlike MTime it cannot be set
+	// from userspace, so a rewrite that restores size and mtime (archive
+	// extraction, timestamp-preserving editors) still moves it.
+	CTime int64
 }
 
 // Tree is the lazy view of a directory: a snapshot of file identities taken
@@ -161,7 +166,7 @@ func OpenTree(root string) (t *Tree, werrs WalkErrors, err error) {
 			statErrs = append(statErrs, &FileError{Path: rel, Err: err})
 			return
 		}
-		t.files = append(t.files, FileInfo{Path: rel, Size: info.Size(), MTime: info.ModTime()})
+		t.files = append(t.files, FileInfo{Path: rel, Size: info.Size(), MTime: info.ModTime(), CTime: ctimeOf(info)})
 	})
 	werrs = append(werrs, statErrs...)
 	werrs.sortByPath()

@@ -68,6 +68,9 @@ type Event struct {
 	BytesDown int64 `json:"bytes_down,omitempty"`
 	// Dur is the span's wall time.
 	Dur time.Duration `json:"dur_ns,omitempty"`
+	// Mode names the session's map-construction mode ("cdc"); empty for
+	// the default recursive halving.
+	Mode string `json:"mode,omitempty"`
 	// Err carries the session error on a failed PhaseSession event.
 	Err string `json:"err,omitempty"`
 	// Candidates and Confirmed carry per-round engine diagnostics on

@@ -27,9 +27,12 @@ import (
 //	2: same byte layout, but decodeEntry requires the signature length to
 //	   equal the key's size; the bump forces every v1 entry to read as a
 //	   miss and be rewritten under the stricter rule.
+//	3: the key gained the inode change time (ctime varint after the mtime),
+//	   closing the restored-mtime stale hit on platforms that report one;
+//	   v2 entries read as misses and are rewritten under the wider key.
 var diskMagic = [4]byte{'M', 'S', 'I', 'G'}
 
-const diskVersion = 2
+const diskVersion = 3
 
 // maxDiskEntry bounds how much of an entry file we are willing to read back,
 // as corruption armor for the length fields inside.
@@ -57,6 +60,7 @@ func (c *Cache) storeDisk(k Key, sig *Sig) {
 	buf = append(buf, k.Path...)
 	buf = binary.AppendUvarint(buf, uint64(k.Size))
 	buf = binary.AppendVarint(buf, k.MTime)
+	buf = binary.AppendVarint(buf, k.CTime)
 	buf = binary.LittleEndian.AppendUint64(buf, k.Fingerprint)
 	buf = binary.AppendUvarint(buf, uint64(sig.Len))
 	buf = append(buf, sig.Sum[:]...)
@@ -129,13 +133,14 @@ func decodeEntry(raw []byte, want Key) (*Sig, bool) {
 	path := d.raw(int(pathLen))
 	size := d.uvarint()
 	mtime := d.varint()
+	ctime := d.varint()
 	fp := d.u64()
 	sigLen := d.uvarint()
 	sumRaw := d.raw(md4.Size)
 	if d.bad {
 		return nil, false
 	}
-	got := Key{Path: string(path), Size: int64(size), MTime: mtime, Fingerprint: fp}
+	got := Key{Path: string(path), Size: int64(size), MTime: mtime, CTime: ctime, Fingerprint: fp}
 	if got != want {
 		return nil, false
 	}

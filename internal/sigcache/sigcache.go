@@ -1,8 +1,8 @@
 // Package sigcache implements a persistent signature cache for repeated
 // collection syncs: per-file whole-file fingerprints and per-round block-hash
-// level tables, keyed by (path, size, mtime, engine config fingerprint) so
-// any observable change to a file or to the hashing configuration invalidates
-// its entry.
+// level tables, keyed by (path, size, mtime, ctime, engine config
+// fingerprint) so any observable change to a file or to the hashing
+// configuration invalidates its entry.
 //
 // The cache has an in-memory LRU front bounded by a byte budget and an
 // optional on-disk store (see disk.go) so signatures survive process
@@ -13,8 +13,10 @@
 // into the protocol, and a cached hash always equals the hash the engine
 // would have computed from the file bytes — so syncs are byte-identical on
 // the wire whether the cache is enabled, disabled, cold, or warm. The one
-// caveat is staleness: a file whose content changed while size and mtime were
-// restored hits a stale entry (see Options.Paranoid).
+// caveat is staleness: on platforms without a stat ctime, a file whose
+// content changed while size and mtime were restored hits a stale entry
+// (see Options.Paranoid); where ctime is reported it widens the key and
+// catches exactly that rewrite.
 package sigcache
 
 import (
@@ -33,6 +35,11 @@ type Key struct {
 	Size int64
 	// MTime is the modification time in Unix nanoseconds.
 	MTime int64
+	// CTime is the inode change time in Unix nanoseconds, 0 on platforms
+	// that don't report one. ctime cannot be restored from userspace, so it
+	// catches content rewrites that put size and mtime back — the stale-hit
+	// caveat then only remains where CTime is 0.
+	CTime int64
 	// Fingerprint identifies the engine configuration whose block schedule
 	// the cached levels follow (0 when no engine config applies, e.g. on the
 	// client, which caches only whole-file sums).

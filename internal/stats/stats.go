@@ -82,6 +82,11 @@ type Costs struct {
 	FilesFull int
 	// Files updated by a precomputed journal delta (versioned store path).
 	FilesJournal int
+	// Files whose map construction ran in CDC (content-defined chunking)
+	// mode, and the content-defined chunks hashed for them (both sides'
+	// engines counted on whichever side merges).
+	FilesCDC  int
+	CDCChunks int64
 	// Journal fast-path outcomes on the server: a hit serves the session
 	// from the version store, a miss falls back to the full protocol.
 	JournalHits   int64
@@ -150,6 +155,8 @@ func (c *Costs) Merge(other *Costs) {
 	c.FilesUnchanged += other.FilesUnchanged
 	c.FilesFull += other.FilesFull
 	c.FilesJournal += other.FilesJournal
+	c.FilesCDC += other.FilesCDC
+	c.CDCChunks += other.CDCChunks
 	c.JournalHits += other.JournalHits
 	c.JournalMisses += other.JournalMisses
 	c.TreeRounds += other.TreeRounds
@@ -191,6 +198,9 @@ func (c *Costs) String() string {
 	}
 	fmt.Fprintf(&b, "  files: %d synced, %d unchanged, %d full",
 		c.FilesSynced, c.FilesUnchanged, c.FilesFull)
+	if c.FilesCDC+int(c.CDCChunks) > 0 {
+		fmt.Fprintf(&b, "\n  cdc: %d files, %d chunks hashed", c.FilesCDC, c.CDCChunks)
+	}
 	if c.FilesJournal+int(c.JournalHits+c.JournalMisses) > 0 {
 		fmt.Fprintf(&b, "\n  journal: %d files, %d hits, %d misses",
 			c.FilesJournal, c.JournalHits, c.JournalMisses)
@@ -216,6 +226,8 @@ func (c *Costs) MarshalJSON() ([]byte, error) {
 		"files_unchanged":       int64(c.FilesUnchanged),
 		"files_full":            int64(c.FilesFull),
 		"files_journal":         int64(c.FilesJournal),
+		"files_cdc":             int64(c.FilesCDC),
+		"cdc_chunks":            c.CDCChunks,
 		"journal_hits":          c.JournalHits,
 		"journal_misses":        c.JournalMisses,
 		"tree_rounds":           int64(c.TreeRounds),

@@ -73,6 +73,25 @@ func BasicConfig() Config { return core.BasicConfig() }
 // latency-bound links.
 func OneShotConfig(blockSize int) Config { return core.OneShotConfig(blockSize) }
 
+// MapMode selects the map-construction strategy of a session; see the mode
+// constants and WithMapMode.
+type MapMode = core.MapMode
+
+const (
+	// MapHalving is the paper's recursive-halving map construction — the
+	// default, and the only mode pre-CDC peers understand.
+	MapHalving = core.MapHalving
+	// MapCDC derives block boundaries from content-defined chunk cuts, so
+	// insertions and deletions shift boundaries with the content instead of
+	// breaking the fixed power-of-two grid. Strongest on shift-heavy data
+	// (growing logs, database dumps, rebuilt archives).
+	MapCDC = core.MapCDC
+)
+
+// ParseMapMode parses a mode name ("halving" or "cdc") as accepted by the
+// CLI's -map-mode flag.
+func ParseMapMode(s string) (MapMode, error) { return core.ParseMapMode(s) }
+
 // FileResult reports a single-file synchronization.
 type FileResult struct {
 	// Data is the reconstructed current version.
@@ -787,6 +806,7 @@ func (c *Client) applyClientOptions() {
 	c.inner.Tracer = c.opt.tracer
 	c.inner.Logger = c.opt.logger
 	c.inner.MuxStreams = c.opt.muxStreams
+	c.inner.MapMode = c.opt.mapMode
 }
 
 // NewDirClient creates a Client whose local copy is streamed from a

@@ -67,6 +67,7 @@ type sessionOptions struct {
 	muxStreams   int
 	specDescent  bool
 	crossFile    bool
+	mapMode      MapMode
 
 	maxSessions      int           // concurrent-session cap; 0 = unlimited
 	maxQueued        int           // admission wait-queue depth; 0 = no queue
@@ -303,8 +304,8 @@ func WithBusyRetryAfter(d time.Duration) Option {
 // WithSignatureCache enables the persistent signature cache for a
 // NewDirServer or NewDirClient endpoint: whole-file fingerprints and block
 // hash tables are remembered across sessions, keyed by (path, size, mtime,
-// engine config), so repeat syncs of unchanged files cost a stat instead of
-// a hash. dir is the on-disk store directory ("" keeps the cache in memory
+// ctime where the platform reports one, engine config), so repeat syncs of
+// unchanged files cost a stat instead of a hash. dir is the on-disk store directory ("" keeps the cache in memory
 // only); memBytes bounds the in-memory layer (0 selects a 64 MB default,
 // negative is an error).
 // The cache is purely a local accelerator — cached values are identical to
@@ -324,9 +325,11 @@ func WithSignatureCache(dir string, memBytes int64) Option {
 }
 
 // WithParanoidCache re-verifies every signature-cache hit by re-reading the
-// file, catching content changes that restored size and mtime (which the
-// stat-identity key cannot see). This costs the streaming hash the cache was
-// meant to avoid — use it when files are rewritten by tools that preserve
+// file, catching content changes the stat-identity key cannot see. On
+// platforms with a stat ctime the key already catches restored-mtime
+// rewrites, so this is mainly a backstop for filesystems without one (or
+// for clock-skewed stats). It costs the streaming hash the cache was meant
+// to avoid — use it when files are rewritten by tools that preserve
 // timestamps.
 func WithParanoidCache() Option {
 	return func(o *sessionOptions) { o.cacheParanoid = true }
@@ -418,6 +421,27 @@ func WithMuxStreams(n int) Option {
 			return
 		}
 		o.muxStreams = n
+	}
+}
+
+// WithMapMode makes a Client request the given map-construction mode
+// (hello extension 4). The server is authoritative: it grants the mode by
+// running the session in it and echoing it in the session config, and
+// servers that predate the extension — or refuse the mode — run recursive
+// halving byte-identically to a legacy session, so the option is always safe
+// to set. MapCDC derives block boundaries from content-defined chunk cuts,
+// which keeps boundaries aligned with content across insertions and
+// deletions; prefer it for shift-heavy data (append-and-rotate logs,
+// database dumps, rebuilt archives). MapHalving (the default) requests
+// nothing. Any other value is an error. Ignored by servers, which always
+// honor usable client requests.
+func WithMapMode(m MapMode) Option {
+	return func(o *sessionOptions) {
+		if m != MapHalving && m != MapCDC {
+			o.badf("WithMapMode: unknown mode %d", int(m))
+			return
+		}
+		o.mapMode = m
 	}
 }
 
